@@ -1,0 +1,94 @@
+// Package baton is the public API of this repository: a from-scratch
+// implementation of BATON — the BAlanced Tree Overlay Network of Jagadish,
+// Ooi, Rinard and Vu (VLDB 2005) — together with the substrates its
+// evaluation depends on (a per-peer ordered storage engine, workload
+// generators, a CHORD baseline and a multiway-tree baseline) and a harness
+// that regenerates every figure of the paper.
+//
+// The central type is Network, an in-process simulation of a BATON overlay
+// that executes the full protocol — join, leave, failure and repair, exact
+// and range search, insertion, deletion, restructuring and load balancing —
+// while counting every message peers would exchange, which is the metric the
+// paper reports. See the examples directory for runnable walkthroughs and
+// cmd/batonsim for the experiment driver.
+//
+//	nw := baton.NewNetwork(baton.Config{Seed: 1})
+//	for i := 0; i < 1000; i++ {
+//		nw.Join(nw.RandomPeer())
+//	}
+//	nw.Insert(nw.RandomPeer(), 42, []byte("value"))
+//	value, found, cost, _ := nw.SearchExact(nw.RandomPeer(), 42)
+//
+// The heavy lifting lives in internal packages; this package re-exports the
+// user-facing types so downstream code has a single stable import path.
+package baton
+
+import (
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+	"baton/internal/store"
+)
+
+// Key is a point in the one-dimensional key space the overlay partitions.
+type Key = keyspace.Key
+
+// Range is a half-open key interval [Lower, Upper).
+type Range = keyspace.Range
+
+// NewRange returns the half-open range [lower, upper).
+func NewRange(lower, upper Key) Range { return keyspace.NewRange(lower, upper) }
+
+// FullDomain returns the paper's default key domain, [1, 10^9).
+func FullDomain() Range { return keyspace.FullDomain() }
+
+// Item is a key/value pair stored at a peer.
+type Item = store.Item
+
+// PeerID is the stable physical identity of a peer.
+type PeerID = core.PeerID
+
+// Position identifies a peer's logical place in the balanced binary tree.
+type Position = core.Position
+
+// NodeInfo is a read-only snapshot of one peer's state.
+type NodeInfo = core.NodeInfo
+
+// Config configures a simulated BATON network.
+type Config = core.Config
+
+// LoadBalanceConfig configures the load balancing scheme of Section IV-D of
+// the paper.
+type LoadBalanceConfig = core.LoadBalanceConfig
+
+// LoadBalanceStats summarises load balancing activity.
+type LoadBalanceStats = core.LoadBalanceStats
+
+// Network is an in-process BATON overlay simulation. See core.Network for
+// the full method set.
+type Network = core.Network
+
+// RangeResult is the answer to a range query.
+type RangeResult = core.RangeResult
+
+// OpCost reports the message cost of one overlay operation.
+type OpCost = stats.OpCost
+
+// Metrics accumulates message counters for a whole network.
+type Metrics = stats.Metrics
+
+// NewNetwork creates a network with a single peer owning the whole key
+// domain.
+func NewNetwork(cfg Config) *Network { return core.NewNetwork(cfg) }
+
+// Errors re-exported from the core implementation.
+var (
+	// ErrUnknownPeer is returned when an operation names a peer that is not
+	// part of the network.
+	ErrUnknownPeer = core.ErrUnknownPeer
+	// ErrPeerDown is returned when an operation is addressed to a failed
+	// peer.
+	ErrPeerDown = core.ErrPeerDown
+	// ErrLastPeer is returned when the only remaining peer tries to leave.
+	ErrLastPeer = core.ErrLastPeer
+)

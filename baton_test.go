@@ -1,0 +1,81 @@
+package baton_test
+
+import (
+	"testing"
+
+	"baton"
+)
+
+// TestPublicAPIQuickstart exercises the re-exported public API end to end:
+// grow a network, store data, query it, remove peers, and read the metrics.
+func TestPublicAPIQuickstart(t *testing.T) {
+	nw := baton.NewNetwork(baton.Config{Seed: 42})
+	for nw.Size() < 50 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nw.Domain() != baton.FullDomain() {
+		t.Fatalf("domain = %v", nw.Domain())
+	}
+
+	keys := []baton.Key{7, 1_000, 999_999_999 / 2, 123_456_789}
+	for _, k := range keys {
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		_, found, cost, err := nw.SearchExact(nw.RandomPeer(), k)
+		if err != nil || !found {
+			t.Fatalf("key %d: found=%v err=%v", k, found, err)
+		}
+		if cost.Messages > 40 {
+			t.Fatalf("unreasonable search cost %d", cost.Messages)
+		}
+	}
+
+	res, _, err := nw.SearchRange(nw.RandomPeer(), baton.NewRange(1, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 {
+		t.Fatalf("range query returned %d items, want 2", len(res.Items))
+	}
+
+	if _, err := nw.Leave(nw.RandomPeer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Metrics().TotalMessages() == 0 {
+		t.Fatal("metrics should have accumulated messages")
+	}
+}
+
+func TestPublicAPILoadBalancing(t *testing.T) {
+	nw := baton.NewNetwork(baton.Config{
+		Seed:        7,
+		LoadBalance: baton.LoadBalanceConfig{OverloadThreshold: 30},
+	})
+	for nw.Size() < 20 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Insert a skewed burst of keys into one narrow region.
+	for i := 0; i < 600; i++ {
+		k := baton.Key(500_000_000 + i)
+		if _, err := nw.Insert(nw.RandomPeer(), k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := nw.LoadBalanceStats()
+	if st.Events == 0 {
+		t.Fatal("expected load balancing to trigger")
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

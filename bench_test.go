@@ -1,0 +1,168 @@
+// Package baton_test holds the repository-level benchmark harness: one
+// benchmark per figure of the BATON paper's evaluation (Figure 8(a)–(i)),
+// each driving the corresponding experiment at a reduced scale so that
+// `go test -bench=. -benchmem` finishes quickly. Paper-scale runs are
+// available through `go run ./cmd/batonsim -full`.
+//
+// Each benchmark reports, in addition to the usual ns/op, the headline
+// metric of its figure (average messages per operation, cumulative load
+// balancing messages, ...) via b.ReportMetric so that the regenerated
+// numbers appear directly in the benchmark output.
+package baton_test
+
+import (
+	"testing"
+
+	"baton/internal/experiments"
+)
+
+// benchOptions returns the reduced experiment scale used by the benchmarks.
+func benchOptions() experiments.Options {
+	opt := experiments.Quick()
+	opt.Sizes = []int{200, 400, 800}
+	opt.Runs = 1
+	return opt
+}
+
+// lastY returns the final Y value of the series with the given label.
+func lastY(r experiments.Result, label string) float64 {
+	for _, s := range r.Series {
+		if s.Label == label && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	return 0
+}
+
+// BenchmarkFigureA_JoinLeaveSearchCost regenerates Figure 8(a): the average
+// number of messages to find the join node and the replacement node.
+func BenchmarkFigureA_JoinLeaveSearchCost(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureA(opt)
+	}
+	b.ReportMetric(lastY(r, "baton join"), "baton-join-msgs")
+	b.ReportMetric(lastY(r, "baton leave"), "baton-leave-msgs")
+	b.ReportMetric(lastY(r, "chord join"), "chord-join-msgs")
+	b.ReportMetric(lastY(r, "multiway leave"), "multiway-leave-msgs")
+}
+
+// BenchmarkFigureB_RoutingTableUpdateCost regenerates Figure 8(b): the
+// average number of messages to update routing tables on join/leave.
+func BenchmarkFigureB_RoutingTableUpdateCost(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureB(opt)
+	}
+	b.ReportMetric(lastY(r, "baton"), "baton-update-msgs")
+	b.ReportMetric(lastY(r, "chord"), "chord-update-msgs")
+	b.ReportMetric(lastY(r, "multiway"), "multiway-update-msgs")
+}
+
+// BenchmarkFigureC_InsertDelete regenerates Figure 8(c): the average number
+// of messages per insert and delete operation.
+func BenchmarkFigureC_InsertDelete(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureC(opt)
+	}
+	b.ReportMetric(lastY(r, "baton insert"), "baton-insert-msgs")
+	b.ReportMetric(lastY(r, "baton delete"), "baton-delete-msgs")
+	b.ReportMetric(lastY(r, "chord insert"), "chord-insert-msgs")
+	b.ReportMetric(lastY(r, "multiway insert"), "multiway-insert-msgs")
+}
+
+// BenchmarkFigureD_ExactMatch regenerates Figure 8(d): the average number of
+// messages per exact-match query.
+func BenchmarkFigureD_ExactMatch(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureD(opt)
+	}
+	b.ReportMetric(lastY(r, "baton"), "baton-exact-msgs")
+	b.ReportMetric(lastY(r, "chord"), "chord-exact-msgs")
+	b.ReportMetric(lastY(r, "multiway"), "multiway-exact-msgs")
+}
+
+// BenchmarkFigureE_RangeQuery regenerates Figure 8(e): the average number of
+// messages per range query.
+func BenchmarkFigureE_RangeQuery(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureE(opt)
+	}
+	b.ReportMetric(lastY(r, "baton"), "baton-range-msgs")
+	b.ReportMetric(lastY(r, "multiway"), "multiway-range-msgs")
+}
+
+// BenchmarkFigureF_AccessLoad regenerates Figure 8(f): the per-peer access
+// load at each tree level. The reported metrics are the per-peer search load
+// at the root and at the deepest level; the paper's claim is that the root is
+// not a hot spot.
+func BenchmarkFigureF_AccessLoad(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureF(opt)
+	}
+	for _, s := range r.Series {
+		if s.Label == "search load/peer" && len(s.Points) > 0 {
+			b.ReportMetric(s.Points[0].Y, "root-search-load")
+			b.ReportMetric(s.Points[len(s.Points)-1].Y, "leaf-search-load")
+		}
+	}
+}
+
+// BenchmarkFigureG_LoadBalancing regenerates Figure 8(g): the cumulative
+// number of load balancing messages for uniform and skewed insertions.
+func BenchmarkFigureG_LoadBalancing(b *testing.B) {
+	opt := benchOptions()
+	opt.DataPerNode = 40
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureG(opt)
+	}
+	b.ReportMetric(lastY(r, "uniform data"), "uniform-lb-msgs")
+	b.ReportMetric(lastY(r, "zipf(1.0) data"), "zipf-lb-msgs")
+}
+
+// BenchmarkFigureH_RestructureSize regenerates Figure 8(h): the distribution
+// of the number of peers involved in a load balancing operation. The reported
+// metric is the fraction of operations involving at most four peers.
+func BenchmarkFigureH_RestructureSize(b *testing.B) {
+	opt := benchOptions()
+	opt.DataPerNode = 40
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureH(opt)
+	}
+	small := 0.0
+	for _, s := range r.Series {
+		if s.Label != "fraction" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.X <= 4 {
+				small += p.Y
+			}
+		}
+	}
+	b.ReportMetric(small, "fraction-small-shifts")
+}
+
+// BenchmarkFigureI_NetworkDynamics regenerates Figure 8(i): the extra
+// messages caused by concurrent joins and leaves. The reported metric is the
+// redirect overhead per operation at the largest concurrency level.
+func BenchmarkFigureI_NetworkDynamics(b *testing.B) {
+	opt := benchOptions()
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.FigureI(opt)
+	}
+	b.ReportMetric(lastY(r, "extra messages/op"), "extra-msgs-per-op")
+}

@@ -1,0 +1,104 @@
+// Command batonsim reproduces the evaluation of the BATON paper. It runs the
+// experiment behind each panel of Figure 8 and prints the resulting series
+// as aligned text tables (one row per x value, one column per plotted line).
+//
+// Usage:
+//
+//	batonsim                  # run every figure at the quick (seconds) scale
+//	batonsim -figure 8d       # run a single figure
+//	batonsim -full            # paper-scale parameters (1,000–10,000 peers)
+//	batonsim -sizes 500,1000  # custom network sizes
+//	batonsim -list            # list the reproducible figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"baton/internal/experiments"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
+		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
+		list    = flag.Bool("list", false, "list reproducible figures and exit")
+		sizes   = flag.String("sizes", "", "comma-separated network sizes overriding the defaults")
+		queries = flag.Int("queries", 0, "queries per measurement (0 = default)")
+		data    = flag.Int("data", 0, "data items per peer (0 = default)")
+		runs    = flag.Int("runs", 0, "independent repetitions to average (0 = default)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		verbose = flag.Bool("v", false, "print the notes recorded for each figure")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Figures() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := experiments.Quick()
+	if *full {
+		opt = experiments.Default()
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Sizes = parsed
+	}
+	if *queries > 0 {
+		opt.Queries = *queries
+	}
+	if *data > 0 {
+		opt.DataPerNode = *data
+	}
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	opt.Seed = *seed
+
+	ids := experiments.Figures()
+	if *figure != "" {
+		ids = []string{strings.TrimPrefix(strings.ToLower(*figure), "figure ")}
+	}
+	for _, id := range ids {
+		result, err := experiments.Run(id, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure %s — %s\n", result.ID, result.Title)
+		fmt.Println(strings.Repeat("-", 72))
+		fmt.Print(result.Table())
+		if *verbose {
+			for _, note := range result.Notes {
+				fmt.Printf("note: %s\n", note)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid network size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "batonsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Churn and fault tolerance: peers keep joining, leaving and failing while
+// the overlay continues to answer queries.
+//
+// The paper's fault-tolerance argument (Section III-D) is that the sideways
+// routing tables provide many alternative paths, so the failure of a peer —
+// or of many peers at once — does not disconnect the tree: requests route
+// around the failed peers until their parents repair the damage. This example
+// subjects a network to a churn sequence (joins, graceful leaves and abrupt
+// failures), measures query success and cost throughout, and repairs the
+// failures at the end.
+//
+// Run with:
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"baton"
+	"baton/internal/workload"
+)
+
+func main() {
+	nw := baton.NewNetwork(baton.Config{Seed: 3})
+	for nw.Size() < 250 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			log.Fatalf("join: %v", err)
+		}
+	}
+
+	// Store data so queries have something to find.
+	gen := workload.NewGenerator(workload.Config{Seed: 5})
+	keys := gen.Keys(5_000)
+	for _, k := range keys {
+		if _, err := nw.Insert(nw.RandomPeer(), k, nil); err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+	}
+	fmt.Printf("initial network: %d peers, %d items\n", nw.Size(), nw.TotalItems())
+
+	// Generate a churn sequence: 40% joins, 60% departures, a third of which
+	// are abrupt failures.
+	events := workload.ChurnSequence(workload.ChurnConfig{
+		Events:       150,
+		JoinFraction: 0.4,
+		FailFraction: 0.33,
+		Seed:         9,
+	})
+	rng := rand.New(rand.NewSource(13))
+	joins, leaves, failures := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case workload.EventJoin:
+			if _, _, err := nw.Join(randomLivePeer(nw, rng)); err != nil {
+				log.Fatalf("churn join: %v", err)
+			}
+			joins++
+		case workload.EventLeave:
+			if _, err := nw.Leave(randomLivePeer(nw, rng)); err != nil {
+				log.Fatalf("churn leave: %v", err)
+			}
+			leaves++
+		case workload.EventFail:
+			if err := nw.Fail(randomLivePeer(nw, rng)); err != nil {
+				log.Fatalf("churn fail: %v", err)
+			}
+			failures++
+		}
+	}
+	fmt.Printf("applied churn: %d joins, %d graceful leaves, %d failures (still unrepaired)\n",
+		joins, leaves, failures)
+
+	// Query while the failed peers are still down: routing goes around them.
+	found, totalMsgs, extra := 0, 0, 0
+	const queries = 500
+	for i := 0; i < queries; i++ {
+		k := keys[rng.Intn(len(keys))]
+		_, ok, cost, err := nw.SearchExact(randomLivePeer(nw, rng), k)
+		if err != nil {
+			log.Fatalf("query during failures: %v", err)
+		}
+		if ok {
+			found++
+		}
+		totalMsgs += cost.Messages
+		extra += cost.ExtraMessages
+	}
+	fmt.Printf("during failures: %d/%d queries answered, avg %.1f messages (%.2f redirects) per query\n",
+		found, queries, float64(totalMsgs)/queries, float64(extra)/queries)
+
+	// Repair every failure: the parents regenerate the lost routing state and
+	// drive graceful departures on behalf of the failed peers.
+	for _, id := range nw.FailedPeers() {
+		if _, err := nw.RepairFailure(id); err != nil {
+			log.Fatalf("repair: %v", err)
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		log.Fatalf("invariants violated after repair: %v", err)
+	}
+	fmt.Printf("after repair: %d peers, invariants hold, height %d\n", nw.Size(), nw.Height())
+}
+
+// randomLivePeer returns a peer that is up (Fail leaves peers in the
+// registry until they are repaired).
+func randomLivePeer(nw *baton.Network, rng *rand.Rand) baton.PeerID {
+	for {
+		id := nw.RandomPeer()
+		info, err := nw.Peer(id)
+		if err == nil && info.Alive {
+			return id
+		}
+		_ = rng
+	}
+}

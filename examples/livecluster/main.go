@@ -1,0 +1,98 @@
+// Live cluster: run the overlay as concurrently executing peers
+// (goroutine-per-peer) and hammer it with parallel clients while peers die.
+//
+// The simulator in internal/core reproduces the paper's figures; this
+// example shows the same overlay behaving as a deployment would: requests
+// are real messages between peer goroutines, many clients issue queries at
+// once, and killed peers are routed around thanks to the sideways routing
+// tables (Section III-D of the paper).
+//
+// Run with:
+//
+//	go run ./examples/livecluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baton"
+	"baton/internal/p2p"
+	"baton/internal/workload"
+)
+
+func main() {
+	// Build and load the overlay with the simulator, then animate it.
+	nw := baton.NewNetwork(baton.Config{Seed: 99})
+	for nw.Size() < 300 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			log.Fatalf("join: %v", err)
+		}
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: 101})
+	keys := gen.Keys(10_000)
+	for _, k := range keys {
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+	}
+	cluster := p2p.NewCluster(nw)
+	defer cluster.Stop()
+	ids := cluster.PeerIDs()
+	fmt.Printf("live cluster: %d peer goroutines, %d items\n", cluster.Size(), len(keys))
+
+	// 32 concurrent clients issue lookups and range queries while 20 peers
+	// are killed mid-run.
+	var found, missed, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	const clients = 32
+	const perClient = 400
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl)))
+			for i := 0; i < perClient; i++ {
+				via := ids[rng.Intn(len(ids))]
+				if !cluster.Alive(via) {
+					continue
+				}
+				k := keys[rng.Intn(len(keys))]
+				_, ok, _, err := cluster.Get(via, k)
+				switch {
+				case err != nil:
+					failed.Add(1)
+				case ok:
+					found.Add(1)
+				default:
+					missed.Add(1)
+				}
+			}
+		}(cl)
+	}
+
+	// Kill peers while the clients are running.
+	killer := rand.New(rand.NewSource(7))
+	killed := 0
+	for killed < 20 {
+		id := ids[killer.Intn(len(ids))]
+		if cluster.Alive(id) {
+			if err := cluster.Kill(id); err == nil {
+				killed++
+			}
+		}
+	}
+	wg.Wait()
+
+	total := found.Load() + missed.Load() + failed.Load()
+	fmt.Printf("killed %d of %d peers while %d clients ran %d lookups in %v\n",
+		killed, cluster.Size(), clients, total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  answered: %d   not found: %d   unavailable or failed: %d\n",
+		found.Load(), missed.Load(), failed.Load())
+	fmt.Printf("  peer-to-peer messages delivered: %d\n", cluster.Messages())
+}

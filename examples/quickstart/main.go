@@ -1,0 +1,86 @@
+// Quickstart: build a BATON overlay, store some data and query it.
+//
+// This example grows a 200-peer network through random joins (exactly how
+// peers would discover the network in practice: each new peer contacts any
+// peer it already knows), inserts a handful of keys, and then issues exact
+// and range queries from random peers, printing the number of messages each
+// operation needed — the metric the paper's evaluation is built on.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"baton"
+)
+
+func main() {
+	nw := baton.NewNetwork(baton.Config{Seed: 2026})
+
+	// Grow the network: every join is routed by Algorithm 1 of the paper to
+	// a peer that may accept a child without unbalancing the tree.
+	for nw.Size() < 200 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			log.Fatalf("join: %v", err)
+		}
+	}
+	fmt.Printf("network: %d peers, tree height %d (1.44*log2(200) ≈ 11)\n", nw.Size(), nw.Height())
+
+	// Store a few key/value pairs. Each insert is routed to the peer whose
+	// range contains the key.
+	type entry struct {
+		key   baton.Key
+		value string
+	}
+	entries := []entry{
+		{42, "answer"},
+		{1_000_000, "a million"},
+		{250_000_000, "a quarter of the domain"},
+		{999_999_998, "near the top"},
+	}
+	for _, e := range entries {
+		cost, err := nw.Insert(nw.RandomPeer(), e.key, []byte(e.value))
+		if err != nil {
+			log.Fatalf("insert %d: %v", e.key, err)
+		}
+		fmt.Printf("insert %-12d -> %2d messages\n", e.key, cost.Messages)
+	}
+
+	// Exact-match queries from random peers: O(log N) messages each.
+	for _, e := range entries {
+		value, found, cost, err := nw.SearchExact(nw.RandomPeer(), e.key)
+		if err != nil || !found {
+			log.Fatalf("search %d: found=%v err=%v", e.key, found, err)
+		}
+		fmt.Printf("search %-12d -> %q in %2d messages\n", e.key, value, cost.Messages)
+	}
+
+	// A range query: routed to the first intersecting peer, then along the
+	// adjacent links — something a plain DHT cannot do.
+	res, cost, err := nw.SearchRange(nw.RandomPeer(), baton.NewRange(1, 2_000_000))
+	if err != nil {
+		log.Fatalf("range query: %v", err)
+	}
+	fmt.Printf("range [1, 2000000) -> %d items from %d peers in %d messages\n",
+		len(res.Items), len(res.Peers), cost.Messages)
+
+	// Peers can leave at any time; the overlay re-balances itself.
+	for i := 0; i < 50; i++ {
+		if _, err := nw.Leave(nw.RandomPeer()); err != nil {
+			log.Fatalf("leave: %v", err)
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		log.Fatalf("invariants violated after churn: %v", err)
+	}
+	fmt.Printf("after 50 departures: %d peers, height %d, data still reachable:\n", nw.Size(), nw.Height())
+	for _, e := range entries {
+		_, found, _, err := nw.SearchExact(nw.RandomPeer(), e.key)
+		fmt.Printf("  key %-12d found=%v err=%v\n", e.key, found, err)
+	}
+	fmt.Printf("total protocol messages exchanged: %d\n", nw.Metrics().TotalMessages())
+}

@@ -1,0 +1,525 @@
+// Package chord implements the Chord distributed hash table (Stoica et al.,
+// SIGCOMM 2001) as a message-counting simulator. The BATON paper compares
+// its join, routing-table-update and exact-match costs against Chord
+// (Figures 8(a), 8(b) and 8(d)); the paper's authors used the original Chord
+// simulator, which we replace with this from-scratch implementation of the
+// same protocol: consistent hashing onto an m-bit identifier ring, finger
+// tables, iterative find_successor routing, and the "aggressive" join of the
+// original paper (init_finger_table plus update_others), whose routing-state
+// maintenance costs O(log^2 N) messages.
+//
+// Chord has no native range-query support — hashing destroys key order —
+// which is exactly the motivation for BATON; the experiment harness therefore
+// only uses this package for the operations Chord supports.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+)
+
+// DefaultBits is the default width of the identifier space (m). 24 bits is
+// ample for the paper's network sizes (up to 10,000 peers) while keeping
+// finger tables realistically sized.
+const DefaultBits = 24
+
+// ErrUnknownNode is returned when an operation references a node that is not
+// part of the ring.
+var ErrUnknownNode = errors.New("chord: unknown node")
+
+// NodeID is a Chord identifier (a point on the ring).
+type NodeID uint64
+
+// Config configures a simulated Chord ring.
+type Config struct {
+	// Bits is the identifier width m. Zero means DefaultBits.
+	Bits int
+	// Seed seeds identifier assignment.
+	Seed int64
+}
+
+// node is one Chord peer.
+type node struct {
+	id      NodeID
+	finger  []*node // finger[i] = successor(id + 2^i)
+	succ    *node
+	pred    *node
+	keys    map[uint64]keyspace.Key // chord key hash -> original key
+	handled int64
+}
+
+// Ring is an in-process simulation of a Chord ring with message counting.
+// Like core.Network it executes one operation at a time.
+type Ring struct {
+	cfg     Config
+	bits    int
+	space   uint64
+	rng     *rand.Rand
+	metrics *stats.Metrics
+	nodes   map[NodeID]*node
+	sorted  []NodeID
+	curOp   *stats.OpCost
+}
+
+// NewRing creates a ring with a single node.
+func NewRing(cfg Config) *Ring {
+	bits := cfg.Bits
+	if bits <= 0 {
+		bits = DefaultBits
+	}
+	r := &Ring{
+		cfg:     cfg,
+		bits:    bits,
+		space:   uint64(1) << uint(bits),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		metrics: stats.NewMetrics(),
+		nodes:   make(map[NodeID]*node),
+	}
+	first := r.newNode()
+	first.succ = first
+	first.pred = first
+	for i := range first.finger {
+		first.finger[i] = first
+	}
+	r.register(first)
+	return r
+}
+
+func (r *Ring) newNode() *node {
+	for {
+		id := NodeID(r.rng.Int63n(int64(r.space)))
+		if _, taken := r.nodes[id]; taken {
+			continue
+		}
+		return &node{
+			id:     id,
+			finger: make([]*node, r.bits),
+			keys:   make(map[uint64]keyspace.Key),
+		}
+	}
+}
+
+func (r *Ring) register(n *node) {
+	r.nodes[n.id] = n
+	r.sorted = append(r.sorted, n.id)
+	sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
+}
+
+func (r *Ring) unregister(n *node) {
+	delete(r.nodes, n.id)
+	for i, id := range r.sorted {
+		if id == n.id {
+			r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+			break
+		}
+	}
+}
+
+// Size returns the number of nodes in the ring.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Metrics returns the ring's message counters.
+func (r *Ring) Metrics() *stats.Metrics { return r.metrics }
+
+// NodeIDs returns the identifiers of all nodes, sorted.
+func (r *Ring) NodeIDs() []NodeID {
+	out := make([]NodeID, len(r.sorted))
+	copy(out, r.sorted)
+	return out
+}
+
+// RandomNode returns a uniformly random node identifier.
+func (r *Ring) RandomNode() NodeID {
+	return r.sorted[r.rng.Intn(len(r.sorted))]
+}
+
+func (r *Ring) beginOp(kind stats.OpKind) { r.curOp = &stats.OpCost{Kind: kind} }
+
+func (r *Ring) endOp() stats.OpCost {
+	cost := *r.curOp
+	r.metrics.RecordOp(cost)
+	r.curOp = nil
+	return cost
+}
+
+func (r *Ring) send(dst *node, t stats.MsgType, locate bool) {
+	r.metrics.CountMessage(t)
+	if dst != nil {
+		dst.handled++
+	}
+	if r.curOp == nil {
+		return
+	}
+	r.curOp.Messages++
+	if locate {
+		r.curOp.LocateMessages++
+	} else {
+		r.curOp.UpdateMessages++
+	}
+}
+
+// hashKey maps a data key onto the identifier ring. A multiplicative hash is
+// sufficient for the simulation (the original system uses SHA-1).
+func (r *Ring) hashKey(k keyspace.Key) uint64 {
+	x := uint64(k) * 0x9E3779B97F4A7C15
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x % r.space
+}
+
+// inIntervalOpen reports whether x lies in the open ring interval (a, b).
+func inIntervalOpen(x, a, b uint64, space uint64) bool {
+	if a == b {
+		return x != a // the whole ring except a
+	}
+	if a < b {
+		return x > a && x < b
+	}
+	return x > a || x < b
+}
+
+// inIntervalHalfOpen reports whether x lies in the ring interval (a, b].
+func inIntervalHalfOpen(x, a, b uint64, space uint64) bool {
+	if a == b {
+		return true
+	}
+	if a < b {
+		return x > a && x <= b
+	}
+	return x > a || x <= b
+}
+
+// closestPrecedingFinger returns n's finger that most closely precedes id.
+func (r *Ring) closestPrecedingFinger(n *node, id uint64) *node {
+	for i := r.bits - 1; i >= 0; i-- {
+		f := n.finger[i]
+		if f != nil && inIntervalOpen(uint64(f.id), uint64(n.id), id, r.space) {
+			return f
+		}
+	}
+	return n
+}
+
+// findPredecessor walks the ring from start towards the node that precedes
+// id, counting one message per remote hop.
+func (r *Ring) findPredecessor(start *node, id uint64) *node {
+	n := start
+	for steps := 0; steps < 4*r.bits+len(r.nodes); steps++ {
+		if inIntervalHalfOpen(id, uint64(n.id), uint64(n.succ.id), r.space) {
+			return n
+		}
+		next := r.closestPrecedingFinger(n, id)
+		if next == n {
+			next = n.succ
+		}
+		r.send(next, stats.MsgLookup, true)
+		n = next
+	}
+	return n
+}
+
+// findSuccessor returns the node responsible for id, starting from start.
+func (r *Ring) findSuccessor(start *node, id uint64) *node {
+	p := r.findPredecessor(start, id)
+	r.send(p.succ, stats.MsgLookup, true)
+	return p.succ
+}
+
+// Join adds a new node to the ring, contacting the existing node via. It
+// follows the original paper's join: locate the successor (O(log N)
+// messages, the Figure 8(a) quantity for Chord), initialise the finger table
+// and move keys, and run update_others so existing nodes repair their finger
+// tables (O(log^2 N) messages in total, the Figure 8(b) quantity).
+func (r *Ring) Join(via NodeID) (NodeID, stats.OpCost, error) {
+	start, ok := r.nodes[via]
+	if !ok {
+		return 0, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownNode, via)
+	}
+	r.beginOp(stats.OpJoin)
+	n := r.newNode()
+
+	// Locate the successor of the new node's identifier.
+	r.send(start, stats.MsgJoinRequest, true)
+	succ := r.findSuccessor(start, uint64(n.id))
+
+	// init_finger_table with the optimisation from the original paper: only
+	// issue a lookup when the previous finger does not already cover the
+	// next finger start. A finger start that falls between the new node's
+	// predecessor and the new node itself is owned by the new node.
+	n.succ = succ
+	n.pred = succ.pred
+	n.finger[0] = succ
+	for i := 1; i < r.bits; i++ {
+		startID := (uint64(n.id) + (uint64(1) << uint(i))) % r.space
+		if inIntervalHalfOpen(startID, uint64(n.pred.id), uint64(n.id), r.space) {
+			n.finger[i] = n
+			continue
+		}
+		if prev := n.finger[i-1]; prev != n && inIntervalHalfOpen(startID, uint64(n.id), uint64(prev.id), r.space) {
+			n.finger[i] = prev
+			continue
+		}
+		n.finger[i] = r.findSuccessorCounted(start, startID, false)
+	}
+	// Splice into the ring and move the keys in (pred, n] from the
+	// successor.
+	succ.pred.succ = n
+	succ.pred = n
+	r.send(succ, stats.MsgUpdateRouting, false)
+	r.send(n.pred, stats.MsgUpdateRouting, false)
+	moved := 0
+	for h, k := range succ.keys {
+		if inIntervalHalfOpen(h, uint64(n.pred.id), uint64(n.id), r.space) {
+			n.keys[h] = k
+			delete(succ.keys, h)
+			moved++
+		}
+	}
+	if moved > 0 {
+		r.send(n, stats.MsgTransferData, false)
+	}
+
+	// update_others: existing nodes whose finger tables should now point at
+	// n are found and updated; updates propagate to predecessors while they
+	// remain applicable. The +1 avoids the classic off-by-one when a node
+	// sits exactly at n - 2^i.
+	for i := 0; i < r.bits; i++ {
+		target := (uint64(n.id) + r.space - (uint64(1) << uint(i)) + 1) % r.space
+		p := r.findPredecessorCounted(start, target, false)
+		r.updateFingerTable(p, n, i)
+	}
+
+	r.register(n)
+	cost := r.endOp()
+	return n.id, cost, nil
+}
+
+// findSuccessorCounted is findSuccessor with messages attributed to either
+// the locate or the update component.
+func (r *Ring) findSuccessorCounted(start *node, id uint64, locate bool) *node {
+	p := r.findPredecessorCounted(start, id, locate)
+	r.send(p.succ, stats.MsgLookup, locate)
+	return p.succ
+}
+
+func (r *Ring) findPredecessorCounted(start *node, id uint64, locate bool) *node {
+	n := start
+	for steps := 0; steps < 4*r.bits+len(r.nodes); steps++ {
+		if inIntervalHalfOpen(id, uint64(n.id), uint64(n.succ.id), r.space) {
+			return n
+		}
+		next := r.closestPrecedingFinger(n, id)
+		if next == n {
+			next = n.succ
+		}
+		r.send(next, stats.MsgLookup, locate)
+		n = next
+	}
+	return n
+}
+
+// updateFingerTable installs s as the i-th finger of p if s is a better
+// successor for p's i-th finger start than the current entry, and propagates
+// to p's predecessor as in the original algorithm.
+func (r *Ring) updateFingerTable(p *node, s *node, i int) {
+	for steps := 0; steps < len(r.nodes)+1; steps++ {
+		if p == s {
+			return
+		}
+		startID := (uint64(p.id) + (uint64(1) << uint(i))) % r.space
+		f := p.finger[i]
+		// s improves the entry when it lies in [startID, current finger):
+		// it is then the first node reachable from the finger start.
+		improves := f == nil ||
+			uint64(s.id) == startID ||
+			(uint64(f.id) != startID && inIntervalOpen(uint64(s.id), (startID+r.space-1)%r.space, uint64(f.id), r.space))
+		if improves {
+			p.finger[i] = s
+			if i == 0 {
+				p.succ = s
+			}
+			r.send(p, stats.MsgUpdateRouting, false)
+			p = p.pred
+			continue
+		}
+		return
+	}
+}
+
+// Leave removes the node from the ring: its keys move to its successor, the
+// ring pointers are re-spliced, and the finger tables of the nodes that
+// pointed at it are repaired (the Chord-side counterpart of BATON's
+// departure, again O(log^2 N) update messages).
+func (r *Ring) Leave(id NodeID) (stats.OpCost, error) {
+	n, ok := r.nodes[id]
+	if !ok {
+		return stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownNode, id)
+	}
+	if len(r.nodes) == 1 {
+		return stats.OpCost{}, errors.New("chord: cannot remove the last node")
+	}
+	r.beginOp(stats.OpLeave)
+
+	// Transfer keys to the successor.
+	for h, k := range n.keys {
+		n.succ.keys[h] = k
+	}
+	if len(n.keys) > 0 {
+		r.send(n.succ, stats.MsgTransferData, false)
+	}
+
+	// Splice out of the ring.
+	n.pred.succ = n.succ
+	n.succ.pred = n.pred
+	r.send(n.pred, stats.MsgUpdateRouting, false)
+	r.send(n.succ, stats.MsgUpdateRouting, false)
+	r.unregister(n)
+
+	// Repair the finger tables that pointed at the departed node.
+	for i := 0; i < r.bits; i++ {
+		target := (uint64(n.id) + r.space - (uint64(1) << uint(i))) % r.space
+		p := r.findPredecessorCounted(n.pred, target, true)
+		r.replaceFinger(p, n, n.succ, i)
+	}
+	// Also repair any remaining stale references (cheap in the simulator,
+	// counted as one message per fixed entry).
+	for _, m := range r.nodes {
+		for i, f := range m.finger {
+			if f == n {
+				m.finger[i] = n.succ
+				r.send(m, stats.MsgUpdateRouting, false)
+			}
+		}
+		if m.succ == n {
+			m.succ = n.succ
+		}
+		if m.pred == n {
+			m.pred = n.pred
+		}
+	}
+	return r.endOp(), nil
+}
+
+func (r *Ring) replaceFinger(p *node, old, repl *node, i int) {
+	for steps := 0; steps < len(r.nodes)+1; steps++ {
+		if p.finger[i] == old {
+			p.finger[i] = repl
+			r.send(p, stats.MsgUpdateRouting, false)
+			p = p.pred
+			continue
+		}
+		return
+	}
+}
+
+// Insert stores a key in the ring (the value itself is irrelevant to the
+// message counts), routing from the node via.
+func (r *Ring) Insert(via NodeID, key keyspace.Key) (stats.OpCost, error) {
+	start, ok := r.nodes[via]
+	if !ok {
+		return stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownNode, via)
+	}
+	r.beginOp(stats.OpInsert)
+	h := r.hashKey(key)
+	owner := r.findSuccessor(start, h)
+	owner.keys[h] = key
+	return r.endOp(), nil
+}
+
+// Lookup routes an exact-match query for key from the node via and reports
+// whether the key is stored.
+func (r *Ring) Lookup(via NodeID, key keyspace.Key) (bool, stats.OpCost, error) {
+	start, ok := r.nodes[via]
+	if !ok {
+		return false, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownNode, via)
+	}
+	r.beginOp(stats.OpSearchExact)
+	h := r.hashKey(key)
+	owner := r.findSuccessor(start, h)
+	_, found := owner.keys[h]
+	return found, r.endOp(), nil
+}
+
+// Delete removes a key from the ring, reporting whether it was present.
+func (r *Ring) Delete(via NodeID, key keyspace.Key) (bool, stats.OpCost, error) {
+	start, ok := r.nodes[via]
+	if !ok {
+		return false, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownNode, via)
+	}
+	r.beginOp(stats.OpDelete)
+	h := r.hashKey(key)
+	owner := r.findSuccessor(start, h)
+	_, found := owner.keys[h]
+	delete(owner.keys, h)
+	r.endOp()
+	cost := stats.OpCost{Kind: stats.OpDelete}
+	return found, cost, nil
+}
+
+// CheckInvariants verifies the ring structure: successor/predecessor chains
+// are consistent and every finger entry points at the true successor of its
+// start point.
+func (r *Ring) CheckInvariants() error {
+	if len(r.nodes) == 0 {
+		return errors.New("chord: empty ring")
+	}
+	// Walk the successor chain and ensure it visits every node exactly once.
+	start := r.nodes[r.sorted[0]]
+	seen := map[NodeID]bool{}
+	n := start
+	for i := 0; i < len(r.nodes); i++ {
+		if seen[n.id] {
+			return fmt.Errorf("chord: successor chain revisits node %d", n.id)
+		}
+		seen[n.id] = true
+		if n.succ.pred != n {
+			return fmt.Errorf("chord: node %d successor %d does not point back", n.id, n.succ.id)
+		}
+		n = n.succ
+	}
+	if n != start {
+		return errors.New("chord: successor chain does not close")
+	}
+	if len(seen) != len(r.nodes) {
+		return fmt.Errorf("chord: successor chain visited %d of %d nodes", len(seen), len(r.nodes))
+	}
+	// Finger correctness.
+	for _, m := range r.nodes {
+		for i, f := range m.finger {
+			if f == nil {
+				return fmt.Errorf("chord: node %d finger %d is nil", m.id, i)
+			}
+			startID := (uint64(m.id) + (uint64(1) << uint(i))) % r.space
+			want := r.trueSuccessor(startID)
+			if f != want {
+				return fmt.Errorf("chord: node %d finger %d = %d, want %d", m.id, i, f.id, want.id)
+			}
+		}
+	}
+	return nil
+}
+
+// trueSuccessor returns the node that owns identifier id according to the
+// global view (used only by the invariant checker and tests).
+func (r *Ring) trueSuccessor(id uint64) *node {
+	idx := sort.Search(len(r.sorted), func(i int) bool { return uint64(r.sorted[i]) >= id })
+	if idx == len(r.sorted) {
+		idx = 0
+	}
+	return r.nodes[r.sorted[idx]]
+}
+
+// KeyCount returns the total number of keys stored in the ring.
+func (r *Ring) KeyCount() int {
+	total := 0
+	for _, n := range r.nodes {
+		total += len(n.keys)
+	}
+	return total
+}

@@ -1,0 +1,203 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+)
+
+func buildRing(t testing.TB, n int, seed int64) *Ring {
+	t.Helper()
+	r := NewRing(Config{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	for r.Size() < n {
+		ids := r.NodeIDs()
+		if _, _, err := r.Join(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatalf("join at size %d: %v", r.Size(), err)
+		}
+	}
+	return r
+}
+
+func TestNewRing(t *testing.T) {
+	r := NewRing(Config{Seed: 1})
+	if r.Size() != 1 {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinMaintainsInvariants(t *testing.T) {
+	for _, size := range []int{2, 5, 16, 50, 128} {
+		r := buildRing(t, size, int64(size))
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestJoinUnknownNode(t *testing.T) {
+	r := NewRing(Config{Seed: 1})
+	if _, _, err := r.Join(NodeID(1 << 40)); err == nil {
+		t.Fatal("join via unknown node should error")
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	r := buildRing(t, 40, 7)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]keyspace.Key, 0, 300)
+	for i := 0; i < 300; i++ {
+		k := keyspace.Key(rng.Int63n(1_000_000_000))
+		keys = append(keys, k)
+		if _, err := r.Insert(r.RandomNode(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.KeyCount() == 0 {
+		t.Fatal("no keys stored")
+	}
+	for _, k := range keys {
+		found, cost, err := r.Lookup(r.RandomNode(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("key %d not found", k)
+		}
+		if cost.Messages > 4*DefaultBits {
+			t.Fatalf("lookup cost %d unreasonably high", cost.Messages)
+		}
+	}
+	// A key that was never inserted is not found.
+	found, _, err := r.Lookup(r.RandomNode(), keyspace.Key(999_999_999_999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatal("phantom key found")
+	}
+}
+
+func TestDeleteKey(t *testing.T) {
+	r := buildRing(t, 20, 11)
+	if _, err := r.Insert(r.RandomNode(), 12345); err != nil {
+		t.Fatal(err)
+	}
+	existed, _, err := r.Delete(r.RandomNode(), 12345)
+	if err != nil || !existed {
+		t.Fatalf("delete existing key: existed=%v err=%v", existed, err)
+	}
+	found, _, _ := r.Lookup(r.RandomNode(), 12345)
+	if found {
+		t.Fatal("key still present after delete")
+	}
+	existed, _, _ = r.Delete(r.RandomNode(), 12345)
+	if existed {
+		t.Fatal("double delete should report absence")
+	}
+}
+
+func TestLeaveMaintainsInvariantsAndKeys(t *testing.T) {
+	r := buildRing(t, 60, 13)
+	rng := rand.New(rand.NewSource(13))
+	keys := make([]keyspace.Key, 0, 200)
+	for i := 0; i < 200; i++ {
+		k := keyspace.Key(rng.Int63n(1_000_000_000))
+		keys = append(keys, k)
+		if _, err := r.Insert(r.RandomNode(), k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		ids := r.NodeIDs()
+		if _, err := r.Leave(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("after leave %d: %v", i, err)
+		}
+	}
+	for _, k := range keys {
+		found, _, err := r.Lookup(r.RandomNode(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("key %d lost after departures", k)
+		}
+	}
+	// The last node cannot leave.
+	for r.Size() > 1 {
+		if _, err := r.Leave(r.NodeIDs()[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Leave(r.NodeIDs()[0]); err == nil {
+		t.Fatal("removing the last node should error")
+	}
+}
+
+func TestJoinUpdateCostGrowsFasterThanLookup(t *testing.T) {
+	// The defining comparison of Figure 8(b): Chord's routing-table update
+	// cost per join (O(log^2 N)) is a multiple of its lookup cost
+	// (O(log N)).
+	r := buildRing(t, 200, 17)
+	rng := rand.New(rand.NewSource(17))
+	var joinUpdate, lookupCost stats.Accumulator
+	for i := 0; i < 30; i++ {
+		ids := r.NodeIDs()
+		_, cost, err := r.Join(ids[rng.Intn(len(ids))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinUpdate.AddInt(cost.UpdateMessages)
+	}
+	for i := 0; i < 100; i++ {
+		_, cost, err := r.Lookup(r.RandomNode(), keyspace.Key(rng.Int63n(1_000_000_000)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lookupCost.AddInt(cost.Messages)
+	}
+	if joinUpdate.Mean() < 2*lookupCost.Mean() {
+		t.Fatalf("expected join update cost (%.1f) to clearly exceed lookup cost (%.1f)", joinUpdate.Mean(), lookupCost.Mean())
+	}
+}
+
+func TestRandomNodeAndMetrics(t *testing.T) {
+	r := buildRing(t, 10, 19)
+	if r.Metrics().TotalMessages() == 0 {
+		t.Fatal("joins should have produced messages")
+	}
+	id := r.RandomNode()
+	if _, ok := r.nodes[id]; !ok {
+		t.Fatal("RandomNode returned an unknown id")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	const space = 1 << 8
+	if !inIntervalOpen(5, 250, 10, space) {
+		t.Fatal("wrap-around open interval failed")
+	}
+	if inIntervalOpen(250, 250, 10, space) {
+		t.Fatal("open interval should exclude endpoints")
+	}
+	if !inIntervalHalfOpen(10, 250, 10, space) {
+		t.Fatal("half-open interval should include upper endpoint")
+	}
+	if !inIntervalOpen(7, 3, 3, space) {
+		t.Fatal("degenerate interval (a==b) covers everything but a")
+	}
+	if inIntervalOpen(3, 3, 3, space) {
+		t.Fatal("degenerate interval excludes a")
+	}
+	if !inIntervalHalfOpen(99, 42, 42, space) {
+		t.Fatal("degenerate half-open interval covers the whole ring")
+	}
+}

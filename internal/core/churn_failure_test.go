@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+	"baton/internal/workload"
+)
+
+// TestInterleavedChurnAndFailures subjects a network to the worst mix the
+// protocol has to survive: joins, graceful leaves and abrupt failures
+// interleaved, with queries issued while failures are still unrepaired, and
+// repairs at the end. This is the scenario of examples/churn turned into a
+// regression test: structural invariants must hold after the repairs and
+// queries must never wander (no hop-limit errors).
+func TestInterleavedChurnAndFailures(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		nw := buildNetwork(t, 150, seed)
+		keys := populate(t, nw, 1500, seed)
+		rng := rand.New(rand.NewSource(seed))
+
+		events := workload.ChurnSequence(workload.ChurnConfig{
+			Events:       120,
+			JoinFraction: 0.4,
+			FailFraction: 0.35,
+			Seed:         seed,
+		})
+		queriesDuringChurn, unroutable := 0, 0
+		livePeer := func() PeerID {
+			for {
+				id := nw.RandomPeer()
+				if n := nw.nodes[id]; n != nil && n.alive {
+					return id
+				}
+			}
+		}
+		for i, ev := range events {
+			switch ev.Kind {
+			case workload.EventJoin:
+				if _, _, err := nw.Join(livePeer()); err != nil {
+					t.Fatalf("seed %d event %d join: %v", seed, i, err)
+				}
+			case workload.EventLeave:
+				if _, err := nw.Leave(livePeer()); err != nil && err != ErrLastPeer {
+					t.Fatalf("seed %d event %d leave: %v", seed, i, err)
+				}
+			case workload.EventFail:
+				if err := nw.Fail(livePeer()); err != nil && err != ErrLastPeer {
+					t.Fatalf("seed %d event %d fail: %v", seed, i, err)
+				}
+			}
+			// Issue a query every few events while the damage is live. With
+			// many failures still unrepaired a query may occasionally find no
+			// route (the key's neighbourhood is down); that is tolerated as
+			// long as it stays rare.
+			if i%5 == 0 {
+				queriesDuringChurn++
+				k := keys[rng.Intn(len(keys))]
+				if _, _, _, err := nw.SearchExact(livePeer(), k); err != nil {
+					if errors.Is(err, ErrHopLimit) {
+						unroutable++
+					} else {
+						t.Fatalf("seed %d event %d query: %v", seed, i, err)
+					}
+				}
+			}
+		}
+		if queriesDuringChurn > 0 && unroutable*10 > queriesDuringChurn {
+			t.Fatalf("seed %d: %d of %d queries found no route during unrepaired failures", seed, unroutable, queriesDuringChurn)
+		}
+
+		// Range queries must also work around the unrepaired failures (the
+		// same rare no-route tolerance applies).
+		for q := 0; q < 20; q++ {
+			lo := keyspace.Key(rng.Int63n(900_000_000))
+			r := keyspace.NewRange(lo, lo+50_000_000)
+			if _, _, err := nw.SearchRange(livePeer(), r); err != nil && !errors.Is(err, ErrHopLimit) {
+				t.Fatalf("seed %d range query: %v", seed, err)
+			}
+		}
+
+		// Repair everything and verify the structure.
+		for _, id := range nw.FailedPeers() {
+			if _, err := nw.RepairFailure(id); err != nil {
+				t.Fatalf("seed %d repair %d: %v", seed, id, err)
+			}
+		}
+		if got := len(nw.FailedPeers()); got != 0 {
+			t.Fatalf("seed %d: %d failures left after repair", seed, got)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: invariants after churn+failures: %v", seed, err)
+		}
+
+		// Every key on a live peer must be reachable again.
+		unreachable := 0
+		for _, k := range keys[:300] {
+			_, found, _, err := nw.SearchExact(livePeer(), k)
+			if err != nil {
+				t.Fatalf("seed %d final query: %v", seed, err)
+			}
+			if !found {
+				unreachable++
+			}
+		}
+		// Some keys were legitimately lost with failed peers; but the loss
+		// must be bounded by the fraction of peers that failed.
+		if unreachable > 150 {
+			t.Fatalf("seed %d: %d of 300 keys unreachable after repair", seed, unreachable)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// CheckInvariants verifies the structural invariants of the overlay and
+// returns a descriptive error when any of them is violated. The checks cover
+// every property the paper relies on:
+//
+//  1. Registry consistency: the position map and the peer registry agree,
+//     every occupied position holds a live or failed-but-unrepaired peer,
+//     and every ancestor of an occupied position is occupied.
+//  2. Height balance (Definition 1): at every node the heights of the two
+//     subtrees differ by at most one.
+//  3. Link correctness: parent, child and adjacent links match the position
+//     map, and the in-order (adjacent) chain visits every peer exactly once.
+//  4. Routing table correctness: entry i of a table points to the peer at
+//     the same level at distance 2^i, or is nil exactly when that position
+//     is unoccupied.
+//  5. Theorem 2: if a peer links to another peer in its routing tables, its
+//     parent links to that peer's parent (unless they share the parent).
+//  6. Range partitioning: the ranges of the peers, read in in-order
+//     position order, tile the key domain contiguously without gaps or
+//     overlaps, and every stored item lies inside its peer's range.
+//
+// Tests call CheckInvariants after every mutating operation; the experiment
+// harness calls it at checkpoints.
+func (nw *Network) CheckInvariants() error {
+	if len(nw.nodes) == 0 {
+		return fmt.Errorf("baton: network has no peers")
+	}
+	if err := nw.checkRegistry(); err != nil {
+		return err
+	}
+	if err := nw.checkBalanceInvariant(); err != nil {
+		return err
+	}
+	if err := nw.checkLinks(); err != nil {
+		return err
+	}
+	if err := nw.checkRoutingTables(); err != nil {
+		return err
+	}
+	if err := nw.checkTheorem2(); err != nil {
+		return err
+	}
+	if err := nw.checkRanges(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (nw *Network) checkRegistry() error {
+	if len(nw.nodes) != len(nw.positions) {
+		return fmt.Errorf("baton: %d peers registered but %d positions occupied", len(nw.nodes), len(nw.positions))
+	}
+	for pos, n := range nw.positions {
+		if n.pos != pos {
+			return fmt.Errorf("baton: peer %d registered at %v but believes it is at %v", n.id, pos, n.pos)
+		}
+		if got := nw.nodes[n.id]; got != n {
+			return fmt.Errorf("baton: peer %d at %v is not the registered peer for its ID", n.id, pos)
+		}
+		if !pos.Valid() {
+			return fmt.Errorf("baton: invalid position %v occupied", pos)
+		}
+		if !pos.IsRoot() {
+			if nw.positions[pos.Parent()] == nil {
+				return fmt.Errorf("baton: position %v occupied but its parent position is empty", pos)
+			}
+		}
+	}
+	if nw.root == nil || nw.positions[RootPosition] != nw.root {
+		return fmt.Errorf("baton: root pointer does not match the occupant of the root position")
+	}
+	return nil
+}
+
+func (nw *Network) checkBalanceInvariant() error {
+	if !nw.isBalanced() {
+		return fmt.Errorf("baton: tree is not height-balanced")
+	}
+	return nil
+}
+
+func (nw *Network) checkLinks() error {
+	inOrder := nw.inOrderNodes()
+	for i, n := range inOrder {
+		// Parent / child links against the position map.
+		if n.pos.IsRoot() {
+			if n.parent != nil {
+				return fmt.Errorf("baton: root peer %d has a parent link", n.id)
+			}
+		} else if n.parent != nw.positions[n.pos.Parent()] {
+			return fmt.Errorf("baton: peer %d at %v has a wrong parent link", n.id, n.pos)
+		}
+		if n.leftChild != nw.positions[n.pos.LeftChild()] {
+			return fmt.Errorf("baton: peer %d at %v has a wrong left child link", n.id, n.pos)
+		}
+		if n.rightChild != nw.positions[n.pos.RightChild()] {
+			return fmt.Errorf("baton: peer %d at %v has a wrong right child link", n.id, n.pos)
+		}
+		// Adjacent links against the in-order sequence.
+		var wantLeft, wantRight *Node
+		if i > 0 {
+			wantLeft = inOrder[i-1]
+		}
+		if i < len(inOrder)-1 {
+			wantRight = inOrder[i+1]
+		}
+		if n.leftAdj != wantLeft {
+			return fmt.Errorf("baton: peer %d at %v has a wrong left adjacent link", n.id, n.pos)
+		}
+		if n.rightAdj != wantRight {
+			return fmt.Errorf("baton: peer %d at %v has a wrong right adjacent link", n.id, n.pos)
+		}
+	}
+	return nil
+}
+
+func (nw *Network) checkRoutingTables() error {
+	for _, n := range nw.nodes {
+		for _, side := range []Side{Left, Right} {
+			rt := n.RoutingTable(side)
+			if len(rt) != n.pos.RoutingTableSize() {
+				return fmt.Errorf("baton: peer %d at %v has a %s routing table of size %d, want %d", n.id, n.pos, side, len(rt), n.pos.RoutingTableSize())
+			}
+			for i := range rt {
+				pos, valid := n.pos.Neighbour(side, int64(1)<<uint(i))
+				var want *Node
+				if valid {
+					want = nw.positions[pos]
+				}
+				if rt[i] != want {
+					return fmt.Errorf("baton: peer %d at %v %s routing table entry %d is wrong (have %v, want %v)",
+						n.id, n.pos, side, i, describe(rt[i]), describe(want))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func describe(n *Node) string {
+	if n == nil {
+		return "nil"
+	}
+	return fmt.Sprintf("peer %d at %v", n.id, n.pos)
+}
+
+// checkTheorem2 verifies the link-parent property of Theorem 2: if x links
+// to y in its routing tables, then parent(x) links to parent(y) unless x and
+// y share a parent.
+func (nw *Network) checkTheorem2() error {
+	for _, x := range nw.nodes {
+		if x.pos.IsRoot() {
+			continue
+		}
+		for _, side := range []Side{Left, Right} {
+			for _, y := range x.RoutingTable(side) {
+				if y == nil || y.pos.IsRoot() {
+					continue
+				}
+				if x.pos.Parent() == y.pos.Parent() {
+					continue
+				}
+				px := nw.positions[x.pos.Parent()]
+				py := nw.positions[y.pos.Parent()]
+				if px == nil || py == nil {
+					return fmt.Errorf("baton: theorem 2: parent of %v or %v missing", x.pos, y.pos)
+				}
+				found := false
+				for _, s := range []Side{Left, Right} {
+					for _, entry := range px.RoutingTable(s) {
+						if entry == py {
+							found = true
+						}
+					}
+				}
+				if !found {
+					return fmt.Errorf("baton: theorem 2 violated: %v links to %v but %v does not link to %v",
+						x.pos, y.pos, px.pos, py.pos)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (nw *Network) checkRanges() error {
+	inOrder := nw.inOrderNodes()
+	parts := make([]keyspace.Range, 0, len(inOrder))
+	for _, n := range inOrder {
+		parts = append(parts, n.nodeRange)
+	}
+	if !keyspace.Covers(nw.domain, parts) {
+		return fmt.Errorf("baton: peer ranges do not tile the domain %v: %v", nw.domain, parts)
+	}
+	for _, n := range nw.nodes {
+		bad := false
+		n.data.Ascend(func(it store.Item) bool {
+			if !n.nodeRange.Contains(it.Key) {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad {
+			return fmt.Errorf("baton: peer %d at %v stores items outside its range %v", n.id, n.pos, n.nodeRange)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/stats"
+)
+
+// Join adds a new peer to the network. The new peer contacts the existing
+// peer via (any peer it happens to know) and the JOIN request is forwarded
+// according to Algorithm 1 of the paper until a node that may accept a child
+// is found: a node whose two sideways routing tables are full and that has a
+// free child slot (the Theorem 1 condition, which keeps the tree balanced).
+//
+// The accepting node splits its key range (and the corresponding data) with
+// the new child and the surrounding routing state is updated. Join returns
+// the new peer's ID and the cost of the operation; OpCost.LocateMessages is
+// the Figure 8(a) quantity and OpCost.UpdateMessages the Figure 8(b)
+// quantity.
+func (nw *Network) Join(via PeerID) (PeerID, stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return NoPeer, stats.OpCost{}, err
+	}
+	nw.beginOp(stats.OpJoin)
+	acceptor, side, err := nw.locateJoinNode(start)
+	if err != nil {
+		nw.endOp()
+		return NoPeer, stats.OpCost{}, err
+	}
+	child := nw.acceptChild(acceptor, side)
+	cost := nw.endOp()
+	return child.id, cost, nil
+}
+
+// locateJoinNode runs Algorithm 1 starting at start and returns the node
+// that will accept the new peer together with the free child side to use.
+func (nw *Network) locateJoinNode(start *Node) (*Node, Side, error) {
+	n := start
+	// The initial JOIN message from the new peer to its contact.
+	nw.send(n, stats.MsgJoinRequest, catLocate)
+	limit := nw.hopLimit()
+	visited := make(map[PeerID]int)
+	for hops := 0; hops < limit; hops++ {
+		nw.chargeIfInflight(n)
+		if side, free := n.freeChildSide(); n.alive && free && n.bothRoutingTablesFull() {
+			return n, side, nil
+		}
+		visited[n.id]++
+		next := nw.joinForwardTarget(n, visited)
+		if next == nil {
+			// No outgoing link makes progress (can only happen in tiny or
+			// corrupted networks); fall back to a direct scan, charging one
+			// extra locate message per inspected peer as a pessimistic bound.
+			return nw.joinFallback(n)
+		}
+		nw.send(next, stats.MsgJoinRequest, catLocate)
+		n = next
+	}
+	return nil, Left, fmt.Errorf("locating join node starting at peer %d: %w", start.id, ErrHopLimit)
+}
+
+// joinForwardTarget applies the forwarding rules of Algorithm 1 at node n.
+func (nw *Network) joinForwardTarget(n *Node, visited map[PeerID]int) *Node {
+	// Rule 2: a node with an incomplete routing table forwards the request
+	// to its parent (the parent of a missing neighbour can accept).
+	if !n.bothRoutingTablesFull() {
+		if n.parent != nil && n.parent.alive && visited[n.parent.id] < 2 {
+			return n.parent
+		}
+	}
+	// Rule 3: look for a routing-table neighbour that does not have both
+	// children.
+	var candidate *Node
+	for _, side := range []Side{Left, Right} {
+		for _, m := range n.RoutingTable(side) {
+			if m == nil || !m.alive {
+				continue
+			}
+			if m.hasFreeChildSlot() && visited[m.id] == 0 {
+				candidate = m
+				break
+			}
+		}
+		if candidate != nil {
+			break
+		}
+	}
+	if candidate != nil {
+		return candidate
+	}
+	// Rule 4: forward to one of the adjacent nodes.
+	for _, adj := range []*Node{n.leftAdj, n.rightAdj} {
+		if adj != nil && adj.alive && visited[adj.id] < 2 {
+			return adj
+		}
+	}
+	// Last resort within the protocol's spirit: climb towards the root.
+	if n.parent != nil && n.parent.alive && visited[n.parent.id] < 4 {
+		return n.parent
+	}
+	return nil
+}
+
+// joinFallback deterministically finds any node that can accept a child. It
+// exists so a Join can never fail on a healthy network even if forwarding
+// paints itself into a corner; each inspected node costs one message.
+func (nw *Network) joinFallback(from *Node) (*Node, Side, error) {
+	for _, n := range nw.inOrderNodes() {
+		if !n.alive {
+			continue
+		}
+		if side, free := n.freeChildSide(); free && n.bothRoutingTablesFull() {
+			nw.send(n, stats.MsgJoinRequest, catLocate)
+			return n, side, nil
+		}
+	}
+	// A balanced tree always has a node satisfying Theorem 1's acceptance
+	// condition, so reaching this point means the overlay is corrupted.
+	return nil, Left, fmt.Errorf("join fallback found no acceptor (network size %d): %w", nw.Size(), ErrHopLimit)
+}
+
+// acceptChild creates a new peer as the child of parent on the given side,
+// splits the parent's range and data with it, fixes the adjacent links and
+// builds the routing tables of the new peer, counting every protocol message
+// of Section III-A.
+func (nw *Network) acceptChild(parent *Node, side Side) *Node {
+	childPos := parent.pos.Child(side)
+	child := newNode(nw.allocID(), childPos, parent.nodeRange)
+	nw.nodes[child.id] = child
+	nw.positions[childPos] = child
+
+	// Split the parent's range: the left child receives the lower half, the
+	// right child the upper half, so the in-order ordering of ranges is
+	// preserved. The corresponding data items move with the range.
+	nw.splitRangeWithChild(parent, child, side)
+
+	// Adjacent links (Section III-A): the new child slots into the in-order
+	// chain immediately next to its parent.
+	nw.spliceAdjacent(parent, child, side)
+
+	// Parent / child links.
+	child.parent = parent
+	parent.setChild(side, child)
+
+	// Routing tables: the parent contacts each of its routing-table
+	// neighbours (2*L1 messages); each informs its relevant child about the
+	// new node (2*L2 messages) and those children respond to the new node so
+	// it can fill its own tables (2*L2 messages). The new node also notifies
+	// one adjacent node. We perform the equivalent state changes directly on
+	// the position map and count the messages the protocol would send.
+	nw.buildChildRoutingTables(parent, child)
+
+	return child
+}
+
+// splitRangeWithChild hands half of parent's range and data to child.
+func (nw *Network) splitRangeWithChild(parent, child *Node, side Side) {
+	lower, upper, err := parent.nodeRange.SplitHalf()
+	if err != nil {
+		// The parent's range has become empty (possible after extreme
+		// skew); the child starts with an empty range at the boundary.
+		at := parent.nodeRange.Lower
+		lower = parent.nodeRange
+		upper = parent.nodeRange
+		lower.Upper = at
+		upper.Lower = at
+	}
+	if side == Left {
+		child.nodeRange = lower
+		parent.nodeRange = upper
+	} else {
+		child.nodeRange = upper
+		parent.nodeRange = lower
+	}
+	moved := parent.data.ExtractRange(child.nodeRange)
+	child.data.Absorb(moved)
+	// One message transfers the data items and the range assignment.
+	nw.send(child, stats.MsgTransferData, catData)
+}
+
+// spliceAdjacent inserts child into the in-order chain next to parent.
+func (nw *Network) spliceAdjacent(parent, child *Node, side Side) {
+	if side == Left {
+		prev := parent.leftAdj
+		child.leftAdj = prev
+		child.rightAdj = parent
+		parent.leftAdj = child
+		if prev != nil {
+			prev.rightAdj = child
+			nw.send(prev, stats.MsgUpdateAdjacent, catUpdate)
+		}
+	} else {
+		next := parent.rightAdj
+		child.rightAdj = next
+		child.leftAdj = parent
+		parent.rightAdj = child
+		if next != nil {
+			next.leftAdj = child
+			nw.send(next, stats.MsgUpdateAdjacent, catUpdate)
+		}
+	}
+	// The new node notifies one of its adjacent nodes (the paper counts a
+	// single message from the new node).
+	nw.send(parent, stats.MsgUpdateAdjacent, catUpdate)
+}
+
+// buildChildRoutingTables fills the routing tables of the freshly accepted
+// child and installs the reverse links at its same-level neighbours,
+// counting the messages of the paper's join analysis.
+func (nw *Network) buildChildRoutingTables(parent, child *Node) {
+	// The parent contacts every non-null neighbour in its own tables.
+	for _, side := range []Side{Left, Right} {
+		for _, m := range parent.RoutingTable(side) {
+			if m != nil {
+				nw.send(m, stats.MsgNotifyNeighbour, catUpdate)
+			}
+		}
+	}
+	// Fill the child's tables and the reverse entries. Every filled entry
+	// corresponds to one "inform the relevant child" message and one
+	// response to the new node.
+	child.resizeRoutingTables()
+	for i := range child.leftRT {
+		if q, ok := child.pos.Neighbour(Left, int64(1)<<uint(i)); ok {
+			if m := nw.positions[q]; m != nil {
+				child.leftRT[i] = m
+				nw.setReverseRT(m, child, Right)
+				nw.send(m, stats.MsgNotifyChild, catUpdate)
+				nw.send(child, stats.MsgReply, catUpdate)
+			}
+		}
+	}
+	for i := range child.rightRT {
+		if q, ok := child.pos.Neighbour(Right, int64(1)<<uint(i)); ok {
+			if m := nw.positions[q]; m != nil {
+				child.rightRT[i] = m
+				nw.setReverseRT(m, child, Left)
+				nw.send(m, stats.MsgNotifyChild, catUpdate)
+				nw.send(child, stats.MsgReply, catUpdate)
+			}
+		}
+	}
+}
+
+// setReverseRT installs child into m's routing table on the given side (m
+// gained a new same-level neighbour).
+func (nw *Network) setReverseRT(m, child *Node, side Side) {
+	rt := m.RoutingTable(side)
+	for i := range rt {
+		if q, ok := m.pos.Neighbour(side, int64(1)<<uint(i)); ok && q == child.pos {
+			rt[i] = child
+			return
+		}
+	}
+}

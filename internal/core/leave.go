@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"baton/internal/stats"
+)
+
+// Leave removes the peer with the given ID from the network gracefully
+// (Section III-B of the paper).
+//
+// A leaf whose departure cannot unbalance the tree (no routing-table
+// neighbour has children) transfers its content and range to its parent and
+// leaves directly. Any other peer finds a replacement leaf by forwarding a
+// FINDREPLACEMENT request (Algorithm 2); the replacement vacates its own
+// position and takes over the leaving peer's position, range and content.
+func (nw *Network) Leave(id PeerID) (stats.OpCost, error) {
+	x, err := nw.node(id)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	if nw.Size() == 1 {
+		return stats.OpCost{}, ErrLastPeer
+	}
+	nw.beginOp(stats.OpLeave)
+	if err := nw.depart(x, true); err != nil {
+		nw.endOp()
+		return stats.OpCost{}, err
+	}
+	return nw.endOp(), nil
+}
+
+// depart removes x from the network. withData indicates whether x is still
+// able to hand over its stored items (false for abrupt failures, where the
+// items are lost).
+func (nw *Network) depart(x *Node, withData bool) error {
+	if x.IsLeaf() && !nw.anyNeighbourHasChildren(x) {
+		nw.removeSafeLeaf(x, withData)
+		return nil
+	}
+	replacement, err := nw.findReplacement(x)
+	if err != nil {
+		return err
+	}
+	nw.replace(x, replacement, withData)
+	return nil
+}
+
+// anyNeighbourHasChildren reports whether any node in x's routing tables has
+// at least one child. If none has, x's departure cannot violate Theorem 1.
+func (nw *Network) anyNeighbourHasChildren(x *Node) bool {
+	for _, side := range []Side{Left, Right} {
+		for _, m := range x.RoutingTable(side) {
+			if m != nil && !m.IsLeaf() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// removeSafeLeaf removes a leaf whose departure keeps the tree balanced: its
+// content and range are transferred to its parent, adjacent links are
+// re-spliced and routing-table entries pointing to it are cleared
+// (2*L1 + 2*L2 + 2 messages in the paper's analysis).
+func (nw *Network) removeSafeLeaf(x *Node, withData bool) {
+	parent := x.parent
+	if parent == nil {
+		// x is the root and a leaf: the network would become empty; callers
+		// guard against this (ErrLastPeer), so this indicates a logic error.
+		panic("core: removing the last peer")
+	}
+
+	// Transfer content and range to the parent.
+	merged, err := parent.nodeRange.Union(x.nodeRange)
+	if err != nil {
+		panic(fmt.Sprintf("core: leaf %v range %v not adjacent to parent %v range %v", x.pos, x.nodeRange, parent.pos, parent.nodeRange))
+	}
+	parent.nodeRange = merged
+	if withData {
+		parent.data.Absorb(x.data.ExtractAll())
+	}
+	nw.send(parent, stats.MsgTransferData, catData)
+
+	// LEAVE messages to x's routing-table neighbours so they null their
+	// entries pointing at x.
+	for _, side := range []Side{Left, Right} {
+		for _, m := range x.RoutingTable(side) {
+			if m == nil {
+				continue
+			}
+			nw.clearRTEntry(m, x)
+			nw.send(m, stats.MsgLeaveRequest, catUpdate)
+		}
+	}
+	// The parent notifies its own neighbours of its new content/children.
+	for _, side := range []Side{Left, Right} {
+		for _, m := range parent.RoutingTable(side) {
+			if m != nil {
+				nw.send(m, stats.MsgNotifyNeighbour, catUpdate)
+			}
+		}
+	}
+
+	// Re-splice the adjacent chain around x.
+	if x.IsLeftChildOfParent() {
+		parent.leftAdj = x.leftAdj
+		if x.leftAdj != nil {
+			x.leftAdj.rightAdj = parent
+			nw.send(x.leftAdj, stats.MsgUpdateAdjacent, catUpdate)
+		}
+	} else {
+		parent.rightAdj = x.rightAdj
+		if x.rightAdj != nil {
+			x.rightAdj.leftAdj = parent
+			nw.send(x.rightAdj, stats.MsgUpdateAdjacent, catUpdate)
+		}
+	}
+	nw.send(parent, stats.MsgUpdateAdjacent, catUpdate)
+
+	// Detach from the tree and the registries.
+	if x.IsLeftChildOfParent() {
+		parent.leftChild = nil
+	} else {
+		parent.rightChild = nil
+	}
+	delete(nw.positions, x.pos)
+	delete(nw.nodes, x.id)
+	delete(nw.failed, x.id)
+	delete(nw.inflight, x.id)
+	x.alive = false
+}
+
+// IsLeftChildOfParent reports whether the node occupies its parent's left
+// child position.
+func (n *Node) IsLeftChildOfParent() bool { return n.pos.IsLeftChild() }
+
+// findReplacement runs Algorithm 2: starting from a node near x, the request
+// travels downwards (to a child, or to a child of a routing-table neighbour)
+// until it reaches a leaf that has no children and none of whose neighbours
+// have children. That leaf can vacate its position without unbalancing the
+// tree and will take over x's position.
+func (nw *Network) findReplacement(x *Node) (*Node, error) {
+	// Choose the starting point as the paper prescribes: a leaf node should
+	// start at a child of a routing-table neighbour that has children; a
+	// non-leaf node starts at one of its adjacent nodes (which is a leaf or
+	// as deep as possible).
+	var start *Node
+	if x.IsLeaf() {
+		for _, side := range []Side{Left, Right} {
+			for _, m := range x.RoutingTable(side) {
+				if m == nil || m.IsLeaf() {
+					continue
+				}
+				if m.leftChild != nil {
+					start = m.leftChild
+				} else {
+					start = m.rightChild
+				}
+				break
+			}
+			if start != nil {
+				break
+			}
+		}
+	} else {
+		// Prefer the adjacent node that lies deeper in the tree.
+		la, ra := x.leftAdj, x.rightAdj
+		switch {
+		case la != nil && (ra == nil || la.pos.Level >= ra.pos.Level):
+			start = la
+		case ra != nil:
+			start = ra
+		}
+	}
+	if start == nil {
+		start = x
+	}
+	nw.send(start, stats.MsgFindReplacement, catLocate)
+
+	n := start
+	limit := nw.hopLimit()
+	for hops := 0; hops < limit; hops++ {
+		nw.chargeIfInflight(n)
+		var next *Node
+		switch {
+		case n.leftChild != nil && n.leftChild.alive:
+			next = n.leftChild
+		case n.rightChild != nil && n.rightChild.alive:
+			next = n.rightChild
+		default:
+			next = nw.childOfNeighbourWithChildren(n)
+			if next == nil {
+				if n == x || !n.alive || !n.IsLeaf() {
+					// Degenerate case: the walk ended at the departing peer
+					// itself, at a peer that is down, or at a peer that only
+					// has failed children; pick a safe live leaf
+					// deterministically instead.
+					return nw.replacementFallback(x)
+				}
+				return n, nil
+			}
+		}
+		nw.send(next, stats.MsgFindReplacement, catLocate)
+		n = next
+	}
+	return nil, fmt.Errorf("finding replacement for peer %d: %w", x.id, ErrHopLimit)
+}
+
+// childOfNeighbourWithChildren returns a child of some routing-table
+// neighbour of n that has children, or nil if every neighbour is a leaf.
+func (nw *Network) childOfNeighbourWithChildren(n *Node) *Node {
+	for _, side := range []Side{Left, Right} {
+		for _, m := range n.RoutingTable(side) {
+			if m == nil || m.IsLeaf() {
+				continue
+			}
+			if m.leftChild != nil && m.leftChild.alive {
+				return m.leftChild
+			}
+			if m.rightChild != nil && m.rightChild.alive {
+				return m.rightChild
+			}
+		}
+	}
+	return nil
+}
+
+// replacementFallback scans for the deepest leaf whose removal keeps the
+// tree balanced. It only runs in degenerate configurations where Algorithm 2
+// terminated at the departing node itself.
+func (nw *Network) replacementFallback(x *Node) (*Node, error) {
+	var best *Node
+	for _, n := range nw.nodes {
+		if n == x || !n.alive || !n.IsLeaf() {
+			continue
+		}
+		if !nw.balancedWithChange(nil, []Position{n.pos}) {
+			continue
+		}
+		if best == nil || n.pos.Level > best.pos.Level ||
+			(n.pos.Level == best.pos.Level && n.id < best.id) {
+			best = n
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no replacement leaf available for peer %d: %w", x.id, ErrHopLimit)
+	}
+	nw.send(best, stats.MsgFindReplacement, catLocate)
+	return best, nil
+}
+
+// replace removes x from the network and installs y (a safe leaf found by
+// Algorithm 2) at x's position, range and content. withData indicates
+// whether x can still hand over its items.
+func (nw *Network) replace(x, y *Node, withData bool) {
+	// Stash x's items before anything moves: when x has failed (withData
+	// false) they are lost, and when y happens to be a child of x the safe
+	// departure below would deposit y's items into x's store.
+	xItems := x.data.ExtractAll()
+	if !withData {
+		xItems = nil
+	}
+
+	// y first leaves its own position exactly like a safe leaf departure.
+	nw.removeSafeLeaf(y, true)
+	// Re-register y: removeSafeLeaf removed it from the registries.
+	y.alive = true
+	nw.nodes[y.id] = y
+
+	// y takes over x's position, range and (if available) content.
+	targetPos := x.pos
+	y.pos = targetPos
+	y.nodeRange = x.nodeRange
+	// Recover any items the safe departure deposited at x (when y was a
+	// child of x), then take over x's own items if they are available.
+	y.data.Absorb(x.data.ExtractAll())
+	if len(xItems) > 0 {
+		y.data.Absorb(xItems)
+		nw.send(y, stats.MsgTransferData, catData)
+	}
+
+	// Remove x and install y in the registries.
+	delete(nw.nodes, x.id)
+	delete(nw.failed, x.id)
+	delete(nw.inflight, x.id)
+	x.alive = false
+	nw.positions[targetPos] = y
+
+	// Every node holding a link to x must be pointed at y instead: x's old
+	// parent notifies its neighbours (2*L1 messages), y notifies its new
+	// neighbours (2*L2), its children (2) and its adjacent nodes (2).
+	nw.rebuildAffected([]Position{targetPos})
+	if !targetPos.IsRoot() {
+		if p := nw.positions[targetPos.Parent()]; p != nil {
+			for _, side := range []Side{Left, Right} {
+				for _, m := range p.RoutingTable(side) {
+					if m != nil {
+						nw.send(m, stats.MsgNotifyReplace, catUpdate)
+					}
+				}
+			}
+		}
+	}
+	for _, side := range []Side{Left, Right} {
+		for _, m := range y.RoutingTable(side) {
+			if m != nil {
+				nw.send(m, stats.MsgNotifyReplace, catUpdate)
+			}
+		}
+	}
+	for _, c := range []*Node{y.leftChild, y.rightChild} {
+		if c != nil {
+			nw.send(c, stats.MsgNotifyReplace, catUpdate)
+		}
+	}
+	for _, a := range []*Node{y.leftAdj, y.rightAdj} {
+		if a != nil {
+			nw.send(a, stats.MsgNotifyReplace, catUpdate)
+		}
+	}
+	if nw.root == x {
+		nw.root = y
+	}
+}
+
+// clearRTEntry nulls the routing-table entry of m that points at target.
+func (nw *Network) clearRTEntry(m, target *Node) {
+	for _, side := range []Side{Left, Right} {
+		rt := m.RoutingTable(side)
+		for i := range rt {
+			if rt[i] == target {
+				rt[i] = nil
+			}
+		}
+	}
+}
+
+// Fail marks the peer as abruptly failed (Section III-C). The peer stays in
+// the overlay's structure until RepairFailure is called — exactly the window
+// during which other peers route around it using their sideways and adjacent
+// links (Section III-D). Queries issued while the peer is down still succeed
+// as long as the data they target is not stored on the failed peer.
+func (nw *Network) Fail(id PeerID) error {
+	n, err := nw.node(id)
+	if err != nil {
+		return err
+	}
+	if nw.Size()-len(nw.failed) <= 1 {
+		return ErrLastPeer
+	}
+	n.alive = false
+	nw.failed[id] = n
+	return nil
+}
+
+// FailedPeers returns the IDs of peers that are down and not yet repaired,
+// in ascending ID order so repair sweeps are deterministic.
+func (nw *Network) FailedPeers() []PeerID {
+	out := make([]PeerID, 0, len(nw.failed))
+	for id := range nw.failed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RepairFailure repairs the failure of the given peer: its parent (or, for a
+// failed root, one of its children) regenerates the failed peer's routing
+// state by contacting the children of its own routing-table neighbours and
+// then drives a graceful departure on its behalf. The failed peer's data
+// items are lost (the paper does not replicate data); its key range is taken
+// over by the peer that absorbs or replaces it.
+func (nw *Network) RepairFailure(id PeerID) (stats.OpCost, error) {
+	x, ok := nw.failed[id]
+	if !ok {
+		return stats.OpCost{}, fmt.Errorf("%w: peer %d has not failed", ErrUnknownPeer, id)
+	}
+	nw.beginOp(stats.OpFailure)
+
+	// The coordinating peer is the parent, or a child when the root failed.
+	coordinator := x.parent
+	if coordinator == nil {
+		coordinator = x.leftChild
+		if coordinator == nil {
+			coordinator = x.rightChild
+		}
+	}
+	if coordinator != nil {
+		nw.send(coordinator, stats.MsgFailureRecovery, catLocate)
+		// Regenerate x's routing tables by contacting the children of the
+		// coordinator's routing-table neighbours: one request and one reply
+		// per neighbour.
+		for _, side := range []Side{Left, Right} {
+			for _, m := range coordinator.RoutingTable(side) {
+				if m != nil {
+					nw.send(m, stats.MsgChildInfoRequest, catUpdate)
+					nw.send(coordinator, stats.MsgReply, catUpdate)
+				}
+			}
+		}
+	}
+
+	// Drive the graceful-departure protocol on behalf of x. Its data cannot
+	// be recovered.
+	delete(nw.failed, id)
+	x.alive = true // structurally present for the departure procedure
+	err := nw.depart(x, false)
+	cost := nw.endOp()
+	if err != nil {
+		return cost, fmt.Errorf("repairing failed peer %d: %w", id, err)
+	}
+	return cost, nil
+}

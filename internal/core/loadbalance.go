@@ -1,0 +1,313 @@
+package core
+
+import (
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+)
+
+// LoadBalanceConfig configures the load balancing scheme of Section IV-D.
+type LoadBalanceConfig struct {
+	// OverloadThreshold is the number of stored items above which a peer is
+	// considered overloaded. Zero disables automatic load balancing.
+	OverloadThreshold int
+	// UnderloadFraction defines "lightly loaded": a peer qualifies as a
+	// rejoin candidate when it stores fewer than
+	// UnderloadFraction*OverloadThreshold items. Values <= 0 default to 0.25.
+	UnderloadFraction float64
+	// AdjacentFraction bounds when balancing with an adjacent peer is good
+	// enough: the adjacent peer must hold fewer than
+	// AdjacentFraction*OverloadThreshold items. Values <= 0 default to 0.75.
+	AdjacentFraction float64
+}
+
+// Enabled reports whether automatic load balancing is switched on.
+func (c LoadBalanceConfig) Enabled() bool { return c.OverloadThreshold > 0 }
+
+func (c LoadBalanceConfig) underloadLimit() int {
+	f := c.UnderloadFraction
+	if f <= 0 {
+		f = 0.25
+	}
+	return int(f * float64(c.OverloadThreshold))
+}
+
+func (c LoadBalanceConfig) adjacentLimit() int {
+	f := c.AdjacentFraction
+	if f <= 0 {
+		f = 0.75
+	}
+	return int(f * float64(c.OverloadThreshold))
+}
+
+// LoadBalanceStats summarises the load-balancing activity of the network
+// since creation (the quantities of Figures 8(g) and 8(h)).
+type LoadBalanceStats struct {
+	// Events is the number of load-balancing operations performed.
+	Events int64
+	// Messages is the total number of messages those operations exchanged.
+	Messages int64
+	// ShiftSizes is the distribution of the number of peers involved in each
+	// operation (peers that changed position or exchanged data).
+	ShiftSizes *stats.Histogram
+}
+
+// LoadBalanceStats returns the accumulated load balancing measurements.
+func (nw *Network) LoadBalanceStats() LoadBalanceStats {
+	return LoadBalanceStats{
+		Events:     nw.lbEvents,
+		Messages:   nw.lbMessages,
+		ShiftSizes: nw.lbShiftSizes,
+	}
+}
+
+// TriggerLoadBalance runs the load-balancing procedure for the given peer if
+// it is overloaded, regardless of whether automatic balancing is enabled.
+// It reports whether an operation was performed and its cost.
+func (nw *Network) TriggerLoadBalance(id PeerID) (bool, stats.OpCost, error) {
+	n, err := nw.node(id)
+	if err != nil {
+		return false, stats.OpCost{}, err
+	}
+	if !nw.cfg.LoadBalance.Enabled() || n.data.Len() <= nw.cfg.LoadBalance.OverloadThreshold {
+		return false, stats.OpCost{}, nil
+	}
+	cost := nw.loadBalance(n)
+	return true, cost, nil
+}
+
+// maybeLoadBalance is called after an insert lands on owner; it triggers the
+// load balancing procedure when the owner has become overloaded.
+func (nw *Network) maybeLoadBalance(owner *Node) {
+	if owner.data.Len() <= nw.cfg.LoadBalance.OverloadThreshold {
+		return
+	}
+	nw.loadBalance(owner)
+}
+
+// loadBalance rebalances the load of the overloaded peer x following
+// Section IV-D: a non-leaf peer only balances with its adjacent peers; a
+// leaf peer first tries its adjacent peers and otherwise recruits a lightly
+// loaded leaf found through its routing tables, which vacates its position
+// (handing its range to its own adjacent peer) and re-joins as a child of x,
+// restructuring the tree if the forced join or leave unbalances it.
+func (nw *Network) loadBalance(x *Node) stats.OpCost {
+	nw.beginOp(stats.OpLoadBalance)
+	nodesInvolved := 0
+
+	if !x.IsLeaf() {
+		nodesInvolved = nw.balanceWithBestAdjacent(x)
+	} else {
+		// A leaf first tries its adjacent peers.
+		if adj, side := nw.lighterAdjacent(x); adj != nil && adj.data.Len() <= nw.cfg.LoadBalance.adjacentLimit() {
+			nodesInvolved = nw.balanceWithAdjacent(x, adj, side)
+		} else if light := nw.findLightLeaf(x); light != nil {
+			nodesInvolved = nw.rejoinUnderOverloaded(x, light)
+		} else {
+			// No lightly loaded peer found: fall back to adjacent balancing
+			// even if the adjacent peers are moderately loaded.
+			nodesInvolved = nw.balanceWithBestAdjacent(x)
+		}
+	}
+
+	cost := nw.endOp()
+	cost.NodesInvolved = nodesInvolved
+	nw.lbEvents++
+	nw.lbMessages += int64(cost.Messages)
+	if nodesInvolved > 0 {
+		nw.lbShiftSizes.Add(nodesInvolved)
+	}
+	return cost
+}
+
+// lighterAdjacent returns the adjacent peer of x with the smaller load and
+// which side it is on. Probing each adjacent peer costs a message and a
+// reply.
+func (nw *Network) lighterAdjacent(x *Node) (*Node, Side) {
+	var best *Node
+	var bestSide Side
+	for _, side := range []Side{Left, Right} {
+		a := x.Adjacent(side)
+		if a == nil || !a.alive {
+			continue
+		}
+		nw.send(a, stats.MsgLoadProbe, catOther)
+		nw.send(x, stats.MsgReply, catOther)
+		if best == nil || a.data.Len() < best.data.Len() {
+			best = a
+			bestSide = side
+		}
+	}
+	return best, bestSide
+}
+
+// balanceWithBestAdjacent balances x with its lighter adjacent peer and
+// returns the number of peers involved.
+func (nw *Network) balanceWithBestAdjacent(x *Node) int {
+	adj, side := nw.lighterAdjacent(x)
+	if adj == nil || adj.data.Len() >= x.data.Len() {
+		return 0
+	}
+	return nw.balanceWithAdjacent(x, adj, side)
+}
+
+// balanceWithAdjacent moves items from the overloaded peer x to its adjacent
+// peer a (on the given side of x) by shifting the range boundary between
+// them until their loads are as equal as the key distribution allows.
+func (nw *Network) balanceWithAdjacent(x, a *Node, side Side) int {
+	combined := x.data.Len() + a.data.Len()
+	keep := (combined + 1) / 2
+	if keep >= x.data.Len() {
+		return 0 // nothing to gain
+	}
+	var boundary keyspace.Key
+	if side == Right {
+		// x keeps its lowest `keep` items; everything at or above the
+		// boundary key moves to the right adjacent peer.
+		k, ok := x.data.KeyAtFraction(float64(keep) / float64(x.data.Len()))
+		if !ok || k <= x.nodeRange.Lower {
+			return 0
+		}
+		boundary = k
+		items := x.data.ExtractRange(keyspace.NewRange(boundary, x.nodeRange.Upper))
+		a.data.Absorb(items)
+		a.nodeRange.Lower = boundary
+		x.nodeRange.Upper = boundary
+	} else {
+		// x keeps its highest `keep` items; everything below the boundary
+		// moves to the left adjacent peer.
+		giveAway := x.data.Len() - keep
+		k, ok := x.data.KeyAtFraction(float64(giveAway) / float64(x.data.Len()))
+		if !ok || k >= x.nodeRange.Upper || k <= x.nodeRange.Lower {
+			return 0
+		}
+		boundary = k
+		items := x.data.ExtractRange(keyspace.NewRange(x.nodeRange.Lower, boundary))
+		a.data.Absorb(items)
+		a.nodeRange.Upper = boundary
+		x.nodeRange.Lower = boundary
+	}
+	nw.send(a, stats.MsgTransferData, catData)
+	// Both peers must notify the peers holding links to them of their new
+	// ranges.
+	nw.notifyRangeChange(x)
+	nw.notifyRangeChange(a)
+	return 2
+}
+
+// notifyRangeChange counts the messages needed to refresh the cached range
+// held by every peer that links to n (parent, children, adjacent peers and
+// routing-table neighbours).
+func (nw *Network) notifyRangeChange(n *Node) {
+	targets := []*Node{n.parent, n.leftChild, n.rightChild, n.leftAdj, n.rightAdj}
+	for _, side := range []Side{Left, Right} {
+		targets = append(targets, n.RoutingTable(side)...)
+	}
+	for _, t := range targets {
+		if t != nil {
+			nw.send(t, stats.MsgUpdateRange, catUpdate)
+		}
+	}
+}
+
+// findLightLeaf probes the routing-table neighbours of x (and their
+// children) for a lightly loaded leaf that can be recruited. It returns nil
+// when none qualifies.
+func (nw *Network) findLightLeaf(x *Node) *Node {
+	limit := nw.cfg.LoadBalance.underloadLimit()
+	var best *Node
+	consider := func(c *Node) {
+		if c == nil || c == x || !c.alive || !c.IsLeaf() || c.pos.IsRoot() {
+			return
+		}
+		nw.send(c, stats.MsgLoadProbe, catOther)
+		nw.send(x, stats.MsgReply, catOther)
+		if c.data.Len() >= limit {
+			return
+		}
+		if best == nil || c.data.Len() < best.data.Len() {
+			best = c
+		}
+	}
+	for _, side := range []Side{Left, Right} {
+		for _, m := range x.RoutingTable(side) {
+			if m == nil {
+				continue
+			}
+			consider(m)
+			consider(m.leftChild)
+			consider(m.rightChild)
+		}
+	}
+	return best
+}
+
+// rejoinUnderOverloaded implements the second load-balancing scheme: the
+// lightly loaded leaf hands its range and items to its adjacent peer,
+// vacates its position (restructuring if the departure unbalances the tree)
+// and re-joins as a child of the overloaded peer, taking over half of its
+// range and items (again restructuring if needed). It returns the number of
+// peers that changed position or exchanged data.
+func (nw *Network) rejoinUnderOverloaded(x, light *Node) int {
+	nw.send(light, stats.MsgLoadBalance, catOther)
+
+	// 1. The light peer passes its range and items to an adjacent peer
+	//    (preferring the right adjacent, as in the paper's example).
+	heir := light.rightAdj
+	if heir == nil || !heir.alive {
+		heir = light.leftAdj
+	}
+	if heir == nil {
+		return 0 // cannot vacate: no peer can absorb the range
+	}
+	merged, err := heir.nodeRange.Union(light.nodeRange)
+	if err != nil {
+		// The adjacent peer's range is always contiguous with the light
+		// peer's range; failure indicates corruption.
+		panic("core: adjacent ranges not contiguous during load balancing")
+	}
+	heir.nodeRange = merged
+	heir.data.Absorb(light.data.ExtractAll())
+	nw.send(heir, stats.MsgTransferData, catData)
+	nw.notifyRangeChange(heir)
+
+	// 2. The light peer vacates its position; occupants shift into the gap
+	//    if its removal would unbalance the tree.
+	vacated := light.pos
+	delete(nw.positions, vacated)
+	movedOut := nw.forcedRemoveAt(vacated)
+
+	// 3. The light peer re-joins as a child of the overloaded peer, taking
+	//    half of its range and items.
+	// The overloaded peer is a leaf (this scheme is only used for leaves),
+	// but restructuring in step 2 may have given it a child; the forced
+	// insert below handles an occupied child slot by restructuring again.
+	side, _ := x.freeChildSide()
+	lower, upper, splitErr := x.nodeRange.SplitHalf()
+	if splitErr == nil {
+		if side == Left {
+			light.nodeRange = lower
+			x.nodeRange = upper
+		} else {
+			light.nodeRange = upper
+			x.nodeRange = lower
+		}
+	} else {
+		// Overloaded peer's range is a single key: give the light peer an
+		// empty slice at the boundary.
+		if side == Left {
+			light.nodeRange = keyspace.NewRange(x.nodeRange.Lower, x.nodeRange.Lower)
+		} else {
+			light.nodeRange = keyspace.NewRange(x.nodeRange.Upper, x.nodeRange.Upper)
+		}
+	}
+	light.data.Absorb(x.data.ExtractRange(light.nodeRange))
+	nw.send(light, stats.MsgTransferData, catData)
+
+	movedIn := nw.forcedInsertAt(x, light, side)
+	nw.notifyRangeChange(x)
+	nw.notifyRangeChange(light)
+
+	// Peers involved: the overloaded peer, the light peer, the heir, and
+	// every peer displaced by the two restructurings.
+	return 3 + movedOut + (movedIn - 1)
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+	"baton/internal/workload"
+)
+
+func TestLoadBalanceConfigDefaults(t *testing.T) {
+	var c LoadBalanceConfig
+	if c.Enabled() {
+		t.Fatal("zero config should be disabled")
+	}
+	c = LoadBalanceConfig{OverloadThreshold: 100}
+	if !c.Enabled() {
+		t.Fatal("threshold > 0 should enable")
+	}
+	if c.underloadLimit() != 25 {
+		t.Fatalf("default underload limit = %d, want 25", c.underloadLimit())
+	}
+	if c.adjacentLimit() != 75 {
+		t.Fatalf("default adjacent limit = %d, want 75", c.adjacentLimit())
+	}
+	c.UnderloadFraction = 0.5
+	c.AdjacentFraction = 0.9
+	if c.underloadLimit() != 50 || c.adjacentLimit() != 90 {
+		t.Fatalf("configured limits = %d, %d", c.underloadLimit(), c.adjacentLimit())
+	}
+}
+
+// TestLoadBalanceSkewedInserts drives heavily skewed inserts into a network
+// with automatic load balancing and verifies that (a) every structural
+// invariant still holds, (b) no data is lost, and (c) the load of the
+// hottest peer stays bounded, unlike in the unbalanced case.
+func TestLoadBalanceSkewedInserts(t *testing.T) {
+	const peers = 60
+	const inserts = 3000
+	threshold := 80
+
+	build := func(lb LoadBalanceConfig) *Network {
+		nw := NewNetwork(Config{Seed: 1, LoadBalance: lb})
+		rng := rand.New(rand.NewSource(1))
+		for nw.Size() < peers {
+			ids := nw.PeerIDs()
+			if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return nw
+	}
+
+	gen := workload.NewGenerator(workload.Config{Distribution: workload.Zipf, ZipfTheta: 1.0, Seed: 5})
+	keys := gen.Keys(inserts)
+
+	// Without load balancing the hottest peer absorbs a huge share.
+	plain := build(LoadBalanceConfig{})
+	for _, k := range keys {
+		if _, err := plain.Insert(plain.RandomPeer(), k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plainMax := 0
+	for _, p := range plain.Peers() {
+		if p.DataCount > plainMax {
+			plainMax = p.DataCount
+		}
+	}
+
+	// With load balancing the hottest peer stays near the threshold.
+	balanced := build(LoadBalanceConfig{OverloadThreshold: threshold})
+	for _, k := range keys {
+		if _, err := balanced.Insert(balanced.RandomPeer(), k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := balanced.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := balanced.TotalItems(); got != plain.TotalItems() {
+		t.Fatalf("load balancing lost data: %d items vs %d", got, plain.TotalItems())
+	}
+	lbStats := balanced.LoadBalanceStats()
+	if lbStats.Events == 0 {
+		t.Fatal("skewed inserts should have triggered load balancing")
+	}
+	if lbStats.Messages == 0 {
+		t.Fatal("load balancing should have cost messages")
+	}
+	balancedMax := 0
+	for _, p := range balanced.Peers() {
+		if p.DataCount > balancedMax {
+			balancedMax = p.DataCount
+		}
+	}
+	if balancedMax >= plainMax {
+		t.Fatalf("load balancing did not reduce the hottest peer: %d vs %d", balancedMax, plainMax)
+	}
+	// The hottest peer should be within a small multiple of the threshold.
+	if balancedMax > 4*threshold {
+		t.Fatalf("hottest peer holds %d items, threshold %d", balancedMax, threshold)
+	}
+
+	// All inserted keys must still be findable.
+	missing := 0
+	for _, k := range keys[:500] {
+		_, found, _, err := balanced.SearchExact(balanced.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d keys unreachable after load balancing", missing)
+	}
+}
+
+func TestLoadBalanceShiftHistogram(t *testing.T) {
+	nw := NewNetwork(Config{Seed: 3, LoadBalance: LoadBalanceConfig{OverloadThreshold: 40}})
+	rng := rand.New(rand.NewSource(3))
+	for nw.Size() < 40 {
+		ids := nw.PeerIDs()
+		if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := workload.NewGenerator(workload.Config{Distribution: workload.Zipf, ZipfTheta: 1.0, Seed: 7})
+	for i := 0; i < 2500; i++ {
+		if _, err := nw.Insert(nw.RandomPeer(), gen.NextKey(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%500 == 0 {
+			if err := nw.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i, err)
+			}
+		}
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.LoadBalanceStats()
+	if st.Events == 0 || st.ShiftSizes.Total() == 0 {
+		t.Fatal("expected load balancing activity")
+	}
+	// The distribution of shift sizes must be dominated by small shifts
+	// (the paper finds it "strongly exponential").
+	small := st.ShiftSizes.Count(1) + st.ShiftSizes.Count(2) + st.ShiftSizes.Count(3) + st.ShiftSizes.Count(4)
+	if float64(small) < 0.5*float64(st.ShiftSizes.Total()) {
+		t.Fatalf("small shifts are not the majority: %d of %d", small, st.ShiftSizes.Total())
+	}
+}
+
+func TestTriggerLoadBalanceManually(t *testing.T) {
+	nw := NewNetwork(Config{Seed: 9, LoadBalance: LoadBalanceConfig{OverloadThreshold: 50}})
+	rng := rand.New(rand.NewSource(9))
+	for nw.Size() < 30 {
+		ids := nw.PeerIDs()
+		if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overload one specific peer directly through targeted inserts.
+	target := nw.Peers()[10]
+	for i := 0; i < 200; i++ {
+		k := target.Range.Lower + keyspace.Key(int64(i)%target.Range.Size())
+		owner, _, err := nw.Owner(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nw.nodes[owner.ID]
+		n.data.Put(k, nil) // bypass automatic balancing to build up load
+	}
+	// Find the now-overloaded peer and trigger balancing explicitly.
+	var hot PeerID
+	for _, p := range nw.Peers() {
+		if p.DataCount > 50 {
+			hot = p.ID
+			break
+		}
+	}
+	if hot == NoPeer {
+		t.Skip("no peer exceeded the threshold; range too wide for targeted overload")
+	}
+	did, cost, err := nw.TriggerLoadBalance(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("TriggerLoadBalance should have acted on an overloaded peer")
+	}
+	if cost.Messages == 0 {
+		t.Fatal("load balancing should cost messages")
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Triggering on a peer that is not overloaded is a no-op.
+	cold := nw.Peers()[0].ID
+	for _, p := range nw.Peers() {
+		if p.DataCount == 0 {
+			cold = p.ID
+			break
+		}
+	}
+	did, _, err = nw.TriggerLoadBalance(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did {
+		t.Fatal("TriggerLoadBalance should not act on a peer below the threshold")
+	}
+	// Unknown peers are rejected.
+	if _, _, err := nw.TriggerLoadBalance(PeerID(12345)); err == nil {
+		t.Fatal("TriggerLoadBalance on an unknown peer should error")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// PeerID is the stable physical identity of a peer (the paper's "physical
+// id", an IP address in a deployment). It never changes, while the peer's
+// logical Position may change through replacement or restructuring.
+type PeerID int64
+
+// NoPeer is the zero PeerID, never assigned to a live peer.
+const NoPeer PeerID = 0
+
+// Node is one peer of the overlay together with the state the BATON protocol
+// requires it to keep: its tree position, its key range and local data store,
+// the parent / child / adjacent links and the two sideways routing tables.
+//
+// Node values are owned by a Network and must only be manipulated through
+// Network methods.
+type Node struct {
+	id  PeerID
+	pos Position
+
+	parent     *Node
+	leftChild  *Node
+	rightChild *Node
+	leftAdj    *Node
+	rightAdj   *Node
+
+	// leftRT[i] / rightRT[i] link to the node at the same level whose number
+	// is smaller / greater by 2^i, or nil when that position is unoccupied
+	// ("an entry is still made in the routing table, but marked as null").
+	leftRT  []*Node
+	rightRT []*Node
+
+	nodeRange keyspace.Range
+	data      *store.Store
+
+	alive bool
+
+	// msgsHandled counts every protocol message delivered to this peer; the
+	// per-level access-load figure (8f) aggregates it.
+	msgsHandled int64
+}
+
+func newNode(id PeerID, pos Position, r keyspace.Range) *Node {
+	n := &Node{
+		id:        id,
+		pos:       pos,
+		nodeRange: r,
+		data:      store.New(),
+		alive:     true,
+	}
+	n.resizeRoutingTables()
+	return n
+}
+
+// resizeRoutingTables adjusts the routing table slices to the node's current
+// level, preserving nothing (callers rebuild entries afterwards).
+func (n *Node) resizeRoutingTables() {
+	size := n.pos.RoutingTableSize()
+	n.leftRT = make([]*Node, size)
+	n.rightRT = make([]*Node, size)
+}
+
+// ID returns the peer's stable identity.
+func (n *Node) ID() PeerID { return n.id }
+
+// Position returns the peer's current tree position.
+func (n *Node) Position() Position { return n.pos }
+
+// Level returns the peer's current tree level.
+func (n *Node) Level() int { return n.pos.Level }
+
+// Range returns the key range the peer currently manages.
+func (n *Node) Range() keyspace.Range { return n.nodeRange }
+
+// DataCount returns the number of data items stored at the peer.
+func (n *Node) DataCount() int { return n.data.Len() }
+
+// Alive reports whether the peer is up. Failed peers remain in the Network's
+// registry until their failure has been repaired.
+func (n *Node) Alive() bool { return n.alive }
+
+// MessagesHandled returns the number of protocol messages delivered to the
+// peer since the network was created.
+func (n *Node) MessagesHandled() int64 { return n.msgsHandled }
+
+// IsLeaf reports whether the peer currently has no children.
+func (n *Node) IsLeaf() bool { return n.leftChild == nil && n.rightChild == nil }
+
+// Parent returns the parent peer, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Child returns the child on the given side, or nil.
+func (n *Node) Child(side Side) *Node {
+	if side == Left {
+		return n.leftChild
+	}
+	return n.rightChild
+}
+
+// Adjacent returns the in-order neighbouring peer on the given side, or nil
+// at the ends of the in-order chain.
+func (n *Node) Adjacent(side Side) *Node {
+	if side == Left {
+		return n.leftAdj
+	}
+	return n.rightAdj
+}
+
+// RoutingTable returns the sideways routing table for the given side. The
+// returned slice is the node's live table; callers must not modify it.
+func (n *Node) RoutingTable(side Side) []*Node {
+	if side == Left {
+		return n.leftRT
+	}
+	return n.rightRT
+}
+
+// routingTableFull reports whether every entry of the side's routing table
+// that corresponds to a valid position (within 1..2^level) is non-nil. This
+// is the "Full(RoutingTable)" predicate of Algorithm 1 and Theorem 1.
+func (n *Node) routingTableFull(side Side) bool {
+	rt := n.RoutingTable(side)
+	for i := range rt {
+		if _, ok := n.pos.Neighbour(side, int64(1)<<uint(i)); !ok {
+			continue // position outside the level: entry is always "valid"
+		}
+		if rt[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// bothRoutingTablesFull reports whether both sideways routing tables are
+// full — the Theorem 1 precondition for accepting a child or for a leaf's
+// neighbours when it wants to depart.
+func (n *Node) bothRoutingTablesFull() bool {
+	return n.routingTableFull(Left) && n.routingTableFull(Right)
+}
+
+// hasFreeChildSlot reports whether the node has fewer than two children.
+func (n *Node) hasFreeChildSlot() bool { return n.leftChild == nil || n.rightChild == nil }
+
+// freeChildSide returns a side whose child slot is empty, preferring the
+// left slot, and whether any slot is free.
+func (n *Node) freeChildSide() (Side, bool) {
+	if n.leftChild == nil {
+		return Left, true
+	}
+	if n.rightChild == nil {
+		return Right, true
+	}
+	return Left, false
+}
+
+// setChild sets the child pointer on the given side.
+func (n *Node) setChild(side Side, c *Node) {
+	if side == Left {
+		n.leftChild = c
+	} else {
+		n.rightChild = c
+	}
+}
+
+// setAdjacent sets the adjacent pointer on the given side.
+func (n *Node) setAdjacent(side Side, a *Node) {
+	if side == Left {
+		n.leftAdj = a
+	} else {
+		n.rightAdj = a
+	}
+}
+
+// String renders a short description of the peer for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("peer %d at %s range %s (%d items)", n.id, n.pos, n.nodeRange, n.data.Len())
+}
+
+// NodeInfo is a read-only snapshot of a peer's public state, returned by
+// Network accessors so callers outside the package cannot mutate live
+// protocol state.
+type NodeInfo struct {
+	ID        PeerID
+	Position  Position
+	Range     keyspace.Range
+	DataCount int
+	IsLeaf    bool
+	Alive     bool
+	Messages  int64
+}
+
+// info builds a snapshot of the node.
+func (n *Node) info() NodeInfo {
+	return NodeInfo{
+		ID:        n.id,
+		Position:  n.pos,
+		Range:     n.nodeRange,
+		DataCount: n.data.Len(),
+		IsLeaf:    n.IsLeaf(),
+		Alive:     n.alive,
+		Messages:  n.msgsHandled,
+	}
+}

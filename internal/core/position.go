@@ -1,0 +1,192 @@
+// Package core implements BATON, the balanced tree overlay network of
+// Jagadish, Ooi, Rinard and Vu (VLDB 2005): a binary height-balanced tree in
+// which every peer owns one tree position and a contiguous range of the key
+// space, and keeps links to its parent, children, adjacent (in-order
+// neighbouring) peers and to same-level peers at distances 2^i (the left and
+// right sideways routing tables).
+//
+// The package contains the full protocol described in the paper: node join
+// (Algorithm 1), node departure and replacement (Algorithm 2), abrupt
+// failure recovery, fault-tolerant routing, network restructuring, exact and
+// range search, data insertion/deletion, and the two load-balancing schemes.
+// A Network value simulates an entire overlay in process and counts every
+// message the protocol would exchange, which is the quantity the paper's
+// evaluation measures.
+package core
+
+import "fmt"
+
+// MaxLevel bounds the depth of the tree. The dyadic in-order comparison of
+// positions uses 64-bit arithmetic that is exact up to this depth; a network
+// would need about 2^42 peers to exceed it.
+const MaxLevel = 60
+
+// Position identifies a node's logical place in the binary tree: the root is
+// level 0, and nodes at level L are numbered 1..2^L left to right, whether or
+// not a peer currently occupies them (Section III of the paper).
+type Position struct {
+	Level  int
+	Number int64
+}
+
+// RootPosition is the position of the tree root.
+var RootPosition = Position{Level: 0, Number: 1}
+
+// Valid reports whether the position is well formed.
+func (p Position) Valid() bool {
+	return p.Level >= 0 && p.Level <= MaxLevel && p.Number >= 1 && p.Number <= (int64(1)<<uint(p.Level))
+}
+
+// IsRoot reports whether p is the root position.
+func (p Position) IsRoot() bool { return p.Level == 0 && p.Number == 1 }
+
+// IsLeftChild reports whether p is the left child of its parent. The root is
+// neither a left nor a right child.
+func (p Position) IsLeftChild() bool { return !p.IsRoot() && p.Number%2 == 1 }
+
+// IsRightChild reports whether p is the right child of its parent.
+func (p Position) IsRightChild() bool { return !p.IsRoot() && p.Number%2 == 0 }
+
+// Parent returns the parent position. Calling Parent on the root panics.
+func (p Position) Parent() Position {
+	if p.IsRoot() {
+		panic("core: Parent of root position")
+	}
+	return Position{Level: p.Level - 1, Number: (p.Number + 1) / 2}
+}
+
+// LeftChild returns the position of the left child.
+func (p Position) LeftChild() Position {
+	return Position{Level: p.Level + 1, Number: 2*p.Number - 1}
+}
+
+// RightChild returns the position of the right child.
+func (p Position) RightChild() Position {
+	return Position{Level: p.Level + 1, Number: 2 * p.Number}
+}
+
+// Child returns the left or right child position.
+func (p Position) Child(side Side) Position {
+	if side == Left {
+		return p.LeftChild()
+	}
+	return p.RightChild()
+}
+
+// Sibling returns the position of the other child of p's parent. Calling
+// Sibling on the root panics.
+func (p Position) Sibling() Position {
+	if p.IsRoot() {
+		panic("core: Sibling of root position")
+	}
+	if p.IsLeftChild() {
+		return Position{Level: p.Level, Number: p.Number + 1}
+	}
+	return Position{Level: p.Level, Number: p.Number - 1}
+}
+
+// Neighbour returns the position at the same level whose number differs from
+// p's by dist in the given direction, and whether that position exists
+// (1 <= number <= 2^level).
+func (p Position) Neighbour(side Side, dist int64) (Position, bool) {
+	var n int64
+	if side == Left {
+		n = p.Number - dist
+	} else {
+		n = p.Number + dist
+	}
+	q := Position{Level: p.Level, Number: n}
+	return q, q.Valid()
+}
+
+// RoutingTableSize returns the number of entries in each sideways routing
+// table of a node at this position's level: entry i covers distance 2^i, and
+// the largest useful distance at level L is 2^(L-1), so there are L entries
+// (the root has none).
+func (p Position) RoutingTableSize() int { return p.Level }
+
+// IsAncestorOf reports whether p is a proper ancestor of q.
+func (p Position) IsAncestorOf(q Position) bool {
+	if q.Level <= p.Level {
+		return false
+	}
+	// Walk q up to p's level.
+	n := q.Number
+	for l := q.Level; l > p.Level; l-- {
+		n = (n + 1) / 2
+	}
+	return n == p.Number
+}
+
+// InOrderBefore reports whether p comes strictly before q in the in-order
+// traversal of the (infinite) binary tree. A node at (L, N) has the dyadic
+// in-order coordinate (2N-1) / 2^(L+1); positions are compared by that
+// coordinate. Equal coordinates mean p == q.
+func (p Position) InOrderBefore(q Position) bool {
+	a, b := p.inOrderCoord(), q.inOrderCoord()
+	return a.less(b)
+}
+
+// Compare returns -1, 0 or +1 according to the in-order ordering of the two
+// positions.
+func (p Position) Compare(q Position) int {
+	if p == q {
+		return 0
+	}
+	if p.InOrderBefore(q) {
+		return -1
+	}
+	return 1
+}
+
+// inOrderCoord is the dyadic fraction num / 2^shift identifying the
+// position's place in the in-order traversal.
+type dyadic struct {
+	num   uint64
+	shift uint
+}
+
+func (p Position) inOrderCoord() dyadic {
+	return dyadic{num: uint64(2*p.Number - 1), shift: uint(p.Level + 1)}
+}
+
+func (d dyadic) less(e dyadic) bool {
+	// Compare d.num / 2^d.shift < e.num / 2^e.shift by bringing both to the
+	// larger denominator. Shifts are bounded by MaxLevel+1, and numerators by
+	// 2^(MaxLevel+1), so the products fit in uint64 only if we normalise the
+	// smaller shift up; guard by comparing after aligning.
+	if d.shift >= e.shift {
+		return d.num < e.num<<(d.shift-e.shift)
+	}
+	return d.num<<(e.shift-d.shift) < e.num
+}
+
+// String renders the position as "level:number".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Level, p.Number) }
+
+// Side selects the left or right direction; it is used for children, adjacent
+// links, routing tables and restructuring directions.
+type Side int
+
+const (
+	// Left is the left / lower-key direction.
+	Left Side = iota
+	// Right is the right / higher-key direction.
+	Right
+)
+
+// Opposite returns the other side.
+func (s Side) Opposite() Side {
+	if s == Left {
+		return Right
+	}
+	return Left
+}
+
+// String returns "left" or "right".
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPositionBasics(t *testing.T) {
+	if !RootPosition.IsRoot() || !RootPosition.Valid() {
+		t.Fatal("root position malformed")
+	}
+	p := Position{Level: 3, Number: 5}
+	if !p.Valid() {
+		t.Fatal("3:5 should be valid")
+	}
+	if (Position{Level: 3, Number: 9}).Valid() {
+		t.Fatal("3:9 should be invalid (only 8 positions at level 3)")
+	}
+	if (Position{Level: -1, Number: 1}).Valid() {
+		t.Fatal("negative level invalid")
+	}
+	if (Position{Level: 2, Number: 0}).Valid() {
+		t.Fatal("number 0 invalid")
+	}
+}
+
+func TestPositionFamily(t *testing.T) {
+	p := Position{Level: 2, Number: 3}
+	if got := p.Parent(); got != (Position{Level: 1, Number: 2}) {
+		t.Fatalf("Parent = %v", got)
+	}
+	if got := p.LeftChild(); got != (Position{Level: 3, Number: 5}) {
+		t.Fatalf("LeftChild = %v", got)
+	}
+	if got := p.RightChild(); got != (Position{Level: 3, Number: 6}) {
+		t.Fatalf("RightChild = %v", got)
+	}
+	if p.Child(Left) != p.LeftChild() || p.Child(Right) != p.RightChild() {
+		t.Fatal("Child(side) disagrees with LeftChild/RightChild")
+	}
+	if !p.IsLeftChild() || p.IsRightChild() {
+		t.Fatal("2:3 is a left child")
+	}
+	q := Position{Level: 2, Number: 4}
+	if !q.IsRightChild() || q.IsLeftChild() {
+		t.Fatal("2:4 is a right child")
+	}
+	if p.Sibling() != q || q.Sibling() != p {
+		t.Fatal("siblings wrong")
+	}
+	if RootPosition.IsLeftChild() || RootPosition.IsRightChild() {
+		t.Fatal("root is neither left nor right child")
+	}
+}
+
+func TestPositionParentOfRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Parent of root should panic")
+		}
+	}()
+	RootPosition.Parent()
+}
+
+func TestPositionSiblingOfRootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sibling of root should panic")
+		}
+	}()
+	RootPosition.Sibling()
+}
+
+func TestPositionChildParentRoundTrip(t *testing.T) {
+	f := func(levelRaw uint8, numberRaw uint32) bool {
+		level := int(levelRaw % 20)
+		max := int64(1) << uint(level)
+		number := int64(numberRaw)%max + 1
+		p := Position{Level: level, Number: number}
+		return p.LeftChild().Parent() == p && p.RightChild().Parent() == p &&
+			p.LeftChild().IsLeftChild() && p.RightChild().IsRightChild()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionNeighbour(t *testing.T) {
+	p := Position{Level: 3, Number: 5}
+	if q, ok := p.Neighbour(Left, 4); !ok || q.Number != 1 {
+		t.Fatalf("Neighbour(Left,4) = %v, %v", q, ok)
+	}
+	if _, ok := p.Neighbour(Left, 8); ok {
+		t.Fatal("Neighbour(Left,8) should not exist")
+	}
+	if q, ok := p.Neighbour(Right, 2); !ok || q.Number != 7 {
+		t.Fatalf("Neighbour(Right,2) = %v, %v", q, ok)
+	}
+	if _, ok := p.Neighbour(Right, 4); ok {
+		t.Fatal("Neighbour(Right,4) = 9 is out of range at level 3")
+	}
+	if p.RoutingTableSize() != 3 {
+		t.Fatalf("RoutingTableSize = %d", p.RoutingTableSize())
+	}
+	if RootPosition.RoutingTableSize() != 0 {
+		t.Fatal("root has no routing table entries")
+	}
+}
+
+func TestPositionIsAncestorOf(t *testing.T) {
+	root := RootPosition
+	p := Position{Level: 2, Number: 3}
+	if !root.IsAncestorOf(p) {
+		t.Fatal("root is ancestor of everything")
+	}
+	if p.IsAncestorOf(root) {
+		t.Fatal("descendant is not ancestor")
+	}
+	if p.IsAncestorOf(p) {
+		t.Fatal("a position is not its own proper ancestor")
+	}
+	parent := Position{Level: 1, Number: 2}
+	if !parent.IsAncestorOf(p) {
+		t.Fatal("1:2 is ancestor of 2:3")
+	}
+	other := Position{Level: 1, Number: 1}
+	if other.IsAncestorOf(p) {
+		t.Fatal("1:1 is not an ancestor of 2:3")
+	}
+}
+
+func TestInOrderOrdering(t *testing.T) {
+	// The in-order ordering of a small complete tree is well known:
+	// level 2: 1,2,3,4; level 1: 1,2; level 0: 1
+	// in-order: 2:1, 1:1, 2:2, 0:1, 2:3, 1:2, 2:4
+	want := []Position{
+		{2, 1}, {1, 1}, {2, 2}, {0, 1}, {2, 3}, {1, 2}, {2, 4},
+	}
+	got := append([]Position(nil), want...)
+	// Shuffle then sort by InOrderBefore.
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+	sort.Slice(got, func(i, j int) bool { return got[i].InOrderBefore(got[j]) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-order position %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInOrderCompare(t *testing.T) {
+	a := Position{2, 1}
+	b := Position{1, 1}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare results wrong")
+	}
+}
+
+// Property: the in-order relation is a strict total order consistent with
+// the structural definition (everything in the left subtree of p comes
+// before p, everything in the right subtree comes after).
+func TestInOrderSubtreeProperty(t *testing.T) {
+	f := func(levelRaw uint8, numberRaw uint32, depthRaw uint8) bool {
+		level := int(levelRaw % 15)
+		max := int64(1) << uint(level)
+		number := int64(numberRaw)%max + 1
+		p := Position{Level: level, Number: number}
+		// Walk down a random path in the left subtree and the right subtree.
+		l := p.LeftChild()
+		r := p.RightChild()
+		for d := 0; d < int(depthRaw%5); d++ {
+			if d%2 == 0 {
+				l = l.RightChild()
+				r = r.LeftChild()
+			} else {
+				l = l.LeftChild()
+				r = r.RightChild()
+			}
+		}
+		return l.InOrderBefore(p) && p.InOrderBefore(r) && !p.InOrderBefore(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSide(t *testing.T) {
+	if Left.Opposite() != Right || Right.Opposite() != Left {
+		t.Fatal("Opposite wrong")
+	}
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Fatal("Side names wrong")
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	if (Position{Level: 3, Number: 7}).String() != "3:7" {
+		t.Fatal("Position.String format changed")
+	}
+}

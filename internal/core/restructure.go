@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/stats"
+)
+
+// This file implements network restructuring (Section III-E of the paper):
+// when a join or a departure is forced at a particular place in the tree —
+// which happens during load balancing, where a lightly loaded peer must
+// leave its position and re-join as a child of the overloaded peer — the
+// tree may become unbalanced. Instead of redirecting the join/leave
+// elsewhere, occupants are shifted along the in-order (adjacent) chain, each
+// taking the position of its neighbour, until a spot is found where a
+// position can be created (for a forced join) or destroyed (for a forced
+// leave) without violating the height-balance property. Peers move between
+// positions; data does not move.
+
+// move records one peer changing tree position during restructuring.
+type move struct {
+	node *Node
+	from Position
+	to   Position
+}
+
+// occupiedWith reports whether position p is occupied under the given
+// occupancy overrides.
+func (nw *Network) occupiedWith(p Position, added, removed []Position) bool {
+	for _, q := range removed {
+		if q == p {
+			return false
+		}
+	}
+	for _, q := range added {
+		if q == p {
+			return true
+		}
+	}
+	return nw.positions[p] != nil
+}
+
+// freshSlotBetween returns the unique unoccupied position that falls
+// in-order between the occupied position a and its in-order successor
+// position b: the left child slot of b if it is free, otherwise the right
+// child slot of a (which must then be free).
+func (nw *Network) freshSlotBetween(a, b Position) Position {
+	if nw.positions[b.LeftChild()] == nil {
+		return b.LeftChild()
+	}
+	return a.RightChild()
+}
+
+// planInsertShift plans the occupant moves needed to give newcomerRangePos a
+// place in the in-order chain immediately before the occupant of anchorPos,
+// shifting occupants in the given direction. It returns the planned moves
+// (excluding the newcomer, which always ends up at anchorPos... see
+// applyInsertShift), the fresh position that will be created, and whether a
+// balanced arrangement was found in this direction.
+func (nw *Network) planInsertShift(anchorPos Position, dir Side) ([]move, Position, bool) {
+	var moves []move
+	carryPos := anchorPos // position whose occupant currently needs a new home
+	for steps := 0; steps <= nw.Size()+1; steps++ {
+		carry := nw.positions[carryPos]
+		if carry == nil {
+			return nil, Position{}, false
+		}
+		// Where would carry go if we stopped here? Into the fresh slot
+		// between carryPos and its in-order neighbour in direction dir.
+		var neighbourPos Position
+		var haveNeighbour bool
+		if dir == Right {
+			neighbourPos, haveNeighbour = nw.inOrderSuccessorPos(carryPos)
+		} else {
+			neighbourPos, haveNeighbour = nw.inOrderPredecessorPos(carryPos)
+		}
+		var fresh Position
+		if haveNeighbour {
+			if dir == Right {
+				fresh = nw.freshSlotBetween(carryPos, neighbourPos)
+			} else {
+				fresh = nw.freshSlotBetween(neighbourPos, carryPos)
+			}
+		} else {
+			// carryPos is the end of the chain: the fresh slot is its own
+			// child slot on the outer side.
+			fresh = carryPos.Child(dir)
+			if nw.positions[fresh] != nil {
+				return nil, Position{}, false
+			}
+		}
+		if nw.positions[fresh] == nil && fresh.Valid() && nw.balancedWithChange([]Position{fresh}, nil) {
+			moves = append(moves, move{node: carry, from: carryPos, to: fresh})
+			return moves, fresh, true
+		}
+		if !haveNeighbour {
+			return nil, Position{}, false
+		}
+		// Otherwise carry displaces the neighbour and the neighbour carries
+		// on.
+		moves = append(moves, move{node: carry, from: carryPos, to: neighbourPos})
+		carryPos = neighbourPos
+	}
+	return nil, Position{}, false
+}
+
+// forcedInsertAt places the detached peer newcomer at the given child
+// position of parent. If occupying that position directly keeps the tree
+// balanced the peer is simply installed; otherwise occupants are shifted
+// along the in-order chain (restructuring) so that the newcomer takes the
+// parent's child slot conceptually while the extra occupant is absorbed
+// where balance allows. It returns the number of peers that changed
+// position (the size of the restructuring, Figure 8h).
+//
+// The caller is responsible for having assigned newcomer's range and data
+// and for newcomer being registered in nw.nodes but not in nw.positions.
+func (nw *Network) forcedInsertAt(parent *Node, newcomer *Node, side Side) int {
+	childPos := parent.pos.Child(side)
+	if nw.positions[childPos] == nil && nw.balancedWithChange([]Position{childPos}, nil) {
+		// The easy case: the slot is free and keeps the tree balanced.
+		newcomer.pos = childPos
+		nw.positions[childPos] = newcomer
+		moved := nw.rebuildAffected([]Position{childPos})
+		nw.countRestructureMessages(1 + moved/4)
+		return 1
+	}
+
+	// Restructuring: the newcomer takes over an existing position in the
+	// chain and occupants shift outwards until one of them can be absorbed
+	// into a fresh slot without breaking balance (Section III-E).
+	//
+	// planInsertShift(anchor, Right) puts the newcomer in-order immediately
+	// BEFORE the occupant of anchor (occupants shift right, as in Figure 4);
+	// planInsertShift(anchor, Left) puts it immediately AFTER (occupants
+	// shift left). The direction must preserve the key-range ordering: a
+	// left-child join places the newcomer just before the parent, a
+	// right-child join just after it.
+	var moves []move
+	var anchor Position
+	var ok bool
+	if side == Left {
+		anchor = parent.pos
+		moves, _, ok = nw.planInsertShift(anchor, Right)
+		if !ok {
+			if pred, exists := nw.inOrderPredecessorPos(parent.pos); exists {
+				anchor = pred
+				moves, _, ok = nw.planInsertShift(anchor, Left)
+			}
+		}
+	} else {
+		anchor = parent.pos
+		moves, _, ok = nw.planInsertShift(anchor, Left)
+		if !ok {
+			if succ, exists := nw.inOrderSuccessorPos(parent.pos); exists {
+				anchor = succ
+				moves, _, ok = nw.planInsertShift(anchor, Right)
+			}
+		}
+	}
+	if !ok {
+		// A balanced binary tree always has room for one more node somewhere
+		// along the chain, so this indicates corruption.
+		panic(fmt.Sprintf("core: restructuring failed to place peer %d under %v", newcomer.id, parent.pos))
+	}
+	// The newcomer takes the anchor position; every planned move is applied.
+	nw.applyMoves(append([]move{{node: newcomer, from: Position{}, to: anchor}}, moves...))
+	return len(moves) + 1
+}
+
+// forcedRemoveAt removes the occupant of vacatedPos from the position map by
+// shifting occupants along the in-order chain into the gap until a position
+// whose removal keeps the tree balanced has been vacated. The caller must
+// already have deleted the departing peer from nw.positions (the position is
+// empty) and handled its range and data. It returns the number of peers that
+// changed position.
+func (nw *Network) forcedRemoveAt(vacatedPos Position) int {
+	// If the vacated position itself can simply disappear, nothing to do.
+	if nw.removablePosition(vacatedPos, vacatedPos) {
+		moved := nw.rebuildAffected([]Position{vacatedPos})
+		nw.countRestructureMessages(moved / 4)
+		return 0
+	}
+	moves, ok := nw.planRemoveShift(vacatedPos, Left)
+	if !ok {
+		moves, ok = nw.planRemoveShift(vacatedPos, Right)
+	}
+	if !ok {
+		panic(fmt.Sprintf("core: restructuring failed to absorb the removal of position %v", vacatedPos))
+	}
+	nw.applyMoves(moves)
+	return len(moves)
+}
+
+// removablePosition reports whether position p could be left unoccupied
+// given that vacated is currently unoccupied but will be refilled (unless p
+// == vacated): p must have no occupied children and the tree without p must
+// stay balanced.
+func (nw *Network) removablePosition(p, vacated Position) bool {
+	added := []Position{}
+	if p != vacated {
+		added = append(added, vacated)
+	}
+	removed := []Position{p}
+	if nw.occupiedWith(p.LeftChild(), added, removed) || nw.occupiedWith(p.RightChild(), added, removed) {
+		return false
+	}
+	return nw.balancedWithChange(added, removed)
+}
+
+// planRemoveShift plans the moves that fill vacatedPos by shifting occupants
+// from the given direction (Left shifts the in-order predecessors towards
+// the gap, as in Figure 5 of the paper).
+func (nw *Network) planRemoveShift(vacatedPos Position, dir Side) ([]move, bool) {
+	var moves []move
+	gap := vacatedPos
+	for steps := 0; steps <= nw.Size()+1; steps++ {
+		var candidatePos Position
+		var ok bool
+		if dir == Left {
+			candidatePos, ok = nw.inOrderPredecessorPos(gap)
+		} else {
+			candidatePos, ok = nw.inOrderSuccessorPos(gap)
+		}
+		if !ok {
+			return nil, false
+		}
+		mover := nw.positions[candidatePos]
+		if mover == nil {
+			return nil, false
+		}
+		moves = append(moves, move{node: mover, from: candidatePos, to: gap})
+		gap = candidatePos
+		if nw.removablePosition(gap, vacatedPos) {
+			return moves, true
+		}
+	}
+	return nil, false
+}
+
+// applyMoves applies a planned set of occupant moves: positions are
+// reassigned, links of every affected peer are rebuilt from the position
+// map, and the O(log N)-per-moved-peer routing table update messages are
+// counted.
+func (nw *Network) applyMoves(moves []move) {
+	touched := make([]Position, 0, 2*len(moves))
+	// First clear all source positions (they may be targets of other moves).
+	for _, m := range moves {
+		if m.from.Valid() && nw.positions[m.from] == m.node {
+			delete(nw.positions, m.from)
+		}
+		if m.from.Valid() {
+			touched = append(touched, m.from)
+		}
+	}
+	for _, m := range moves {
+		m.node.pos = m.to
+		nw.positions[m.to] = m.node
+		touched = append(touched, m.to)
+	}
+	nw.rebuildAffected(touched)
+	nw.root = nw.positions[RootPosition]
+	// Each moved peer must rebuild its own links and inform the peers that
+	// link to it: O(log N) messages per move (Section III-E).
+	for _, m := range moves {
+		perNode := m.to.RoutingTableSize() + m.from.RoutingTableSize() + 4
+		nw.countRestructureMessages(perNode)
+	}
+}
+
+// countRestructureMessages counts n restructuring update messages against
+// the current operation and the global metrics.
+func (nw *Network) countRestructureMessages(n int) {
+	for i := 0; i < n; i++ {
+		nw.send(nil, stats.MsgRestructure, catUpdate)
+	}
+}

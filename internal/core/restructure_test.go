@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+)
+
+// forceImbalancedJoin grows a network shaped so that a forced join at a
+// specific peer must trigger restructuring, then performs it via the load
+// balancing path and checks the invariants.
+func TestForcedInsertTriggersRestructuring(t *testing.T) {
+	// Build a left-heavy situation: a complete tree of 7 peers, then make
+	// one specific leaf accept a forced child twice so the subtree under it
+	// grows deeper than its siblings would normally allow.
+	nw := buildNetwork(t, 7, 1)
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick the leftmost leaf and force two children under it, which a plain
+	// join would never do (Theorem 1 forbids it as soon as level 3 exists
+	// only there).
+	leftmost := nw.inOrderNodes()[0]
+	for i := 0; i < 2; i++ {
+		side, free := leftmost.freeChildSide()
+		if !free {
+			t.Fatalf("leftmost leaf unexpectedly has two children")
+		}
+		child := newNode(nw.allocID(), Position{}, keyspace.Range{})
+		lower, upper, err := leftmost.nodeRange.SplitHalf()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if side == Left {
+			child.nodeRange = lower
+			leftmost.nodeRange = upper
+		} else {
+			child.nodeRange = upper
+			leftmost.nodeRange = lower
+		}
+		nw.nodes[child.id] = child
+		nw.beginOp("test_forced_insert")
+		moved := nw.forcedInsertAt(leftmost, child, side)
+		nw.endOp()
+		if moved < 1 {
+			t.Fatalf("forced insert reported %d nodes involved", moved)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("after forced insert %d: %v", i, err)
+		}
+	}
+	if nw.Size() != 9 {
+		t.Fatalf("size = %d, want 9", nw.Size())
+	}
+}
+
+// TestForcedRemoveTriggersRestructuring removes a shallow leaf whose absence
+// would unbalance the tree and verifies that occupants shift to fill the gap.
+func TestForcedRemoveRestoresBalance(t *testing.T) {
+	// Grow to 12 peers: levels 0..2 full (7 peers) plus 5 peers at level 3.
+	nw := buildNetwork(t, 12, 2)
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Find a level-2 leaf (a peer at level 2 with no children). Removing it
+	// outright would violate balance because level 3 is partially filled
+	// under other level-2 peers.
+	var victim *Node
+	for _, n := range nw.nodes {
+		if n.pos.Level == 2 && n.IsLeaf() {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no level-2 leaf in this configuration")
+	}
+	// Detach it the way the load balancer does: give its range and data to
+	// an adjacent peer, then force-remove its position.
+	heir := victim.rightAdj
+	if heir == nil {
+		heir = victim.leftAdj
+	}
+	merged, err := heir.nodeRange.Union(victim.nodeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heir.nodeRange = merged
+	heir.data.Absorb(victim.data.ExtractAll())
+	delete(nw.positions, victim.pos)
+	delete(nw.nodes, victim.id)
+	nw.beginOp("test_forced_remove")
+	nw.forcedRemoveAt(victim.pos)
+	nw.endOp()
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("after forced removal: %v", err)
+	}
+	if nw.Size() != 11 {
+		t.Fatalf("size = %d, want 11", nw.Size())
+	}
+}
+
+// TestRestructureManyRandomForcedOps hammers forced inserts and removes at
+// random places and checks the invariants after every operation. This is the
+// main property test for the restructuring machinery of Section III-E.
+func TestRestructureManyRandomForcedOps(t *testing.T) {
+	nw := buildNetwork(t, 30, 5)
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 150; step++ {
+		if rng.Float64() < 0.55 || nw.Size() < 10 {
+			// Forced insert under a random peer with a free child slot.
+			var target *Node
+			for _, n := range nw.inOrderNodes() {
+				if n.hasFreeChildSlot() && rng.Float64() < 0.3 {
+					target = n
+					break
+				}
+			}
+			if target == nil {
+				for _, n := range nw.inOrderNodes() {
+					if n.hasFreeChildSlot() {
+						target = n
+						break
+					}
+				}
+			}
+			side, _ := target.freeChildSide()
+			child := newNode(nw.allocID(), Position{}, keyspace.Range{})
+			lower, upper, err := target.nodeRange.SplitHalf()
+			if err != nil {
+				// Range of a single key: give the child an empty range at
+				// the boundary.
+				boundary := target.nodeRange.Lower
+				if side == Right {
+					boundary = target.nodeRange.Upper
+				}
+				child.nodeRange = keyspace.NewRange(boundary, boundary)
+			} else if side == Left {
+				child.nodeRange = lower
+				target.nodeRange = upper
+			} else {
+				child.nodeRange = upper
+				target.nodeRange = lower
+			}
+			nw.nodes[child.id] = child
+			nw.beginOp("forced_insert")
+			nw.forcedInsertAt(target, child, side)
+			nw.endOp()
+		} else {
+			// Forced removal of a random leaf.
+			var victim *Node
+			for _, n := range nw.inOrderNodes() {
+				if n.IsLeaf() && !n.pos.IsRoot() && rng.Float64() < 0.3 {
+					victim = n
+					break
+				}
+			}
+			if victim == nil {
+				continue
+			}
+			heir := victim.rightAdj
+			if heir == nil {
+				heir = victim.leftAdj
+			}
+			merged, err := heir.nodeRange.Union(victim.nodeRange)
+			if err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+			heir.nodeRange = merged
+			heir.data.Absorb(victim.data.ExtractAll())
+			delete(nw.positions, victim.pos)
+			delete(nw.nodes, victim.id)
+			nw.beginOp("forced_remove")
+			nw.forcedRemoveAt(victim.pos)
+			nw.endOp()
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+	"baton/internal/store"
+)
+
+// SearchExact looks up the value stored under key, starting from the peer
+// with ID via (the peer that issues the query). It implements the
+// search_exact algorithm of Section IV-A: the query is forwarded through the
+// sideways routing tables (halving the remaining distance at every hop, like
+// Chord but on a line), dropping to a child or an adjacent node when no
+// routing-table entry can make progress.
+//
+// It returns the value (if the key is stored anywhere), whether it was
+// found, and the cost of the operation.
+func (nw *Network) SearchExact(via PeerID, key keyspace.Key) ([]byte, bool, stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return nil, false, stats.OpCost{}, err
+	}
+	nw.beginOp(stats.OpSearchExact)
+	owner, rerr := nw.routeToKey(start, key)
+	if rerr != nil {
+		cost := nw.endOp()
+		return nil, false, cost, rerr
+	}
+	if !owner.alive {
+		// The responsible peer is down and has not been repaired yet: the
+		// item is unavailable (the paper does not replicate data).
+		cost := nw.endOp()
+		return nil, false, cost, nil
+	}
+	value, found := owner.data.Get(key)
+	cost := nw.endOp()
+	return value, found, cost, nil
+}
+
+// Owner returns the peer currently responsible for key, routing from via.
+func (nw *Network) Owner(via PeerID, key keyspace.Key) (NodeInfo, stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return NodeInfo{}, stats.OpCost{}, err
+	}
+	nw.beginOp(stats.OpSearchExact)
+	owner, rerr := nw.routeToKey(start, key)
+	cost := nw.endOp()
+	if rerr != nil {
+		return NodeInfo{}, cost, rerr
+	}
+	return owner.info(), cost, nil
+}
+
+// routeToKey forwards a request from start to the peer whose range contains
+// key, counting one message per hop. Failed peers on the path are routed
+// around at the cost of one extra message per avoided peer (Section III-D).
+func (nw *Network) routeToKey(start *Node, key keyspace.Key) (*Node, error) {
+	n := start
+	limit := nw.hopLimit() + 4*len(nw.failed)
+	visited := map[PeerID]bool{start.id: true}
+	for hops := 0; hops < limit; hops++ {
+		nw.chargeIfInflight(n)
+		if nw.ownsKey(n, key) {
+			return n, nil
+		}
+		next := nw.nextHop(n, key, visited)
+		if next == nil {
+			return nil, fmt.Errorf("routing key %d from peer %d: no route at %v: %w", key, start.id, n.pos, ErrHopLimit)
+		}
+		visited[next.id] = true
+		n = next
+	}
+	return nil, fmt.Errorf("routing key %d from peer %d: %w", key, start.id, ErrHopLimit)
+}
+
+// ownsKey reports whether n is responsible for key. The leftmost peer is
+// responsible for every key below the domain and the rightmost peer for
+// every key above it, mirroring the paper's range-expansion rule for the
+// extreme nodes.
+func (nw *Network) ownsKey(n *Node, key keyspace.Key) bool {
+	if n.nodeRange.Contains(key) {
+		return true
+	}
+	if key < n.nodeRange.Lower && n.leftAdj == nil {
+		return true
+	}
+	if key >= n.nodeRange.Upper && n.rightAdj == nil {
+		return true
+	}
+	return false
+}
+
+// nextHop selects the next peer on the path towards key from n, applying the
+// search_exact forwarding rules and skipping failed peers. Every attempted
+// hop costs one message; an attempt that hits a failed peer costs one extra
+// message and the next candidate is tried (fault-tolerant routing,
+// Section III-D). Peers already visited by this request are avoided unless
+// no other alternative remains.
+func (nw *Network) nextHop(n *Node, key keyspace.Key, visited map[PeerID]bool) *Node {
+	primary, fallback := nw.hopCandidates(n, key)
+	try := func(candidates []*Node, allowVisited bool) *Node {
+		for _, candidate := range candidates {
+			if candidate == nil {
+				continue
+			}
+			if !allowVisited && visited[candidate.id] {
+				continue
+			}
+			nw.send(candidate, stats.MsgSearchExact, catLocate)
+			if candidate.nodeRange.Contains(key) {
+				// The responsible peer has been located; routing stops here
+				// even if that peer is down (the caller then reports the data
+				// as unavailable rather than wandering).
+				return candidate
+			}
+			if !candidate.alive {
+				// The sender discovers the address is unreachable and falls
+				// back to the next alternative.
+				nw.send(n, stats.MsgRedirect, catExtra)
+				continue
+			}
+			return candidate
+		}
+		return nil
+	}
+	if next := try(primary, false); next != nil {
+		return next
+	}
+	if next := try(fallback, false); next != nil {
+		return next
+	}
+	// Everything unvisited is down: retrace through an already visited peer
+	// rather than give up (it may have other alternatives).
+	return try(append(primary, fallback...), true)
+}
+
+// hopCandidates returns the forwarding candidates at n for key. The primary
+// list follows the search_exact algorithm (best first); the fallback list
+// contains every other link the peer holds and is only used to route around
+// failures.
+func (nw *Network) hopCandidates(n *Node, key keyspace.Key) (primary, fallback []*Node) {
+	towardRight := key >= n.nodeRange.Upper
+	if towardRight {
+		// Farthest right routing-table entry whose lower bound does not
+		// exceed the key, then nearer ones, then the right child, then the
+		// right adjacent node.
+		rt := n.RoutingTable(Right)
+		for i := len(rt) - 1; i >= 0; i-- {
+			m := rt[i]
+			if m != nil && m.nodeRange.Lower <= key {
+				primary = append(primary, m)
+			}
+		}
+		primary = append(primary, n.rightChild, n.rightAdj)
+		// Fault-tolerance fallbacks: the parent, any other right-table
+		// entry (overshooting is recoverable), then links towards the left.
+		fallback = append(fallback, n.parent)
+		for i := len(rt) - 1; i >= 0; i-- {
+			if m := rt[i]; m != nil && m.nodeRange.Lower > key {
+				fallback = append(fallback, m)
+			}
+		}
+		fallback = append(fallback, n.leftChild, n.leftAdj)
+		fallback = append(fallback, n.RoutingTable(Left)...)
+	} else {
+		rt := n.RoutingTable(Left)
+		for i := len(rt) - 1; i >= 0; i-- {
+			m := rt[i]
+			if m != nil && m.nodeRange.Upper > key {
+				primary = append(primary, m)
+			}
+		}
+		primary = append(primary, n.leftChild, n.leftAdj)
+		fallback = append(fallback, n.parent)
+		for i := len(rt) - 1; i >= 0; i-- {
+			if m := rt[i]; m != nil && m.nodeRange.Upper <= key {
+				fallback = append(fallback, m)
+			}
+		}
+		fallback = append(fallback, n.rightChild, n.rightAdj)
+		fallback = append(fallback, n.RoutingTable(Right)...)
+	}
+	return primary, fallback
+}
+
+// RangeResult is the answer to a range query: the matching items and the
+// peers that contributed them.
+type RangeResult struct {
+	Items []store.Item
+	// Peers lists the IDs of the peers whose ranges intersected the query,
+	// in key order.
+	Peers []PeerID
+}
+
+// SearchRange answers a range query issued at peer via (Section IV-B): the
+// query is routed to the first peer whose range intersects the query range
+// (O(log N) messages) and then travels along adjacent links until the whole
+// query range is covered (O(1) messages per additional peer).
+func (nw *Network) SearchRange(via PeerID, r keyspace.Range) (RangeResult, stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return RangeResult{}, stats.OpCost{}, err
+	}
+	if r.IsEmpty() {
+		return RangeResult{}, stats.OpCost{}, nil
+	}
+	nw.beginOp(stats.OpSearchRange)
+	first, rerr := nw.routeToKey(start, r.Lower)
+	if rerr != nil {
+		cost := nw.endOp()
+		return RangeResult{}, cost, rerr
+	}
+	var res RangeResult
+	n := first
+	limit := nw.Size() + 4
+	for steps := 0; n != nil && steps < limit; steps++ {
+		if n.nodeRange.Lower >= r.Upper {
+			break
+		}
+		if n.alive && n.nodeRange.Intersects(r) {
+			res.Items = append(res.Items, n.data.Scan(r)...)
+			res.Peers = append(res.Peers, n.id)
+			// The contributing peer returns its partial answer.
+			nw.send(start, stats.MsgReply, catOther)
+		}
+		next := n.rightAdj
+		if next != nil {
+			nw.send(next, stats.MsgSearchRange, catLocate)
+			if !next.alive {
+				// Route around the failed peer through the position map (in
+				// a deployment: via the failed peer's parent and its child),
+				// paying one extra message.
+				nw.send(n, stats.MsgRedirect, catExtra)
+				if succ, ok := nw.inOrderSuccessorPos(next.pos); ok {
+					next = nw.positions[succ]
+				} else {
+					next = nil
+				}
+			}
+		}
+		n = next
+	}
+	cost := nw.endOp()
+	return res, cost, nil
+}
+
+// Insert stores value under key, issuing the request at peer via. The
+// request is routed with the exact-match algorithm to the responsible peer
+// (Section IV-C). If automatic load balancing is configured and the insert
+// overloads the responsible peer, a load-balancing operation is triggered
+// and accounted separately (its cost is reported by LoadBalanceStats, not in
+// the returned OpCost, mirroring how the paper reports Figures 8(c) and
+// 8(g)).
+func (nw *Network) Insert(via PeerID, key keyspace.Key, value []byte) (stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	nw.beginOp(stats.OpInsert)
+	owner, rerr := nw.routeToKey(start, key)
+	if rerr != nil {
+		cost := nw.endOp()
+		return cost, rerr
+	}
+	if !owner.alive {
+		cost := nw.endOp()
+		return cost, fmt.Errorf("inserting key %d: responsible peer %d: %w", key, owner.id, ErrPeerDown)
+	}
+	nw.expandExtremeRange(owner, key)
+	owner.data.Put(key, value)
+	cost := nw.endOp()
+
+	if nw.cfg.LoadBalance.Enabled() {
+		nw.maybeLoadBalance(owner)
+	}
+	return cost, nil
+}
+
+// Delete removes the value stored under key, issuing the request at peer
+// via. It reports whether the key existed.
+func (nw *Network) Delete(via PeerID, key keyspace.Key) (bool, stats.OpCost, error) {
+	start, err := nw.node(via)
+	if err != nil {
+		return false, stats.OpCost{}, err
+	}
+	nw.beginOp(stats.OpDelete)
+	owner, rerr := nw.routeToKey(start, key)
+	if rerr != nil {
+		cost := nw.endOp()
+		return false, cost, rerr
+	}
+	if !owner.alive {
+		cost := nw.endOp()
+		return false, cost, nil
+	}
+	existed := owner.data.Delete(key)
+	cost := nw.endOp()
+	return existed, cost, nil
+}
+
+// expandExtremeRange grows the range of the leftmost or rightmost peer when
+// an inserted key falls outside the current domain, notifying the peers that
+// hold links to it (an extra O(log N) messages, as in Section IV-C).
+func (nw *Network) expandExtremeRange(owner *Node, key keyspace.Key) {
+	expanded := false
+	if key < owner.nodeRange.Lower && owner.leftAdj == nil {
+		owner.nodeRange.Lower = key
+		nw.domain.Lower = key
+		expanded = true
+	}
+	if key >= owner.nodeRange.Upper && owner.rightAdj == nil {
+		owner.nodeRange.Upper = key + 1
+		nw.domain.Upper = key + 1
+		expanded = true
+	}
+	if !expanded {
+		return
+	}
+	for _, side := range []Side{Left, Right} {
+		for _, m := range owner.RoutingTable(side) {
+			if m != nil {
+				nw.send(m, stats.MsgExpandRange, catUpdate)
+			}
+		}
+	}
+	if owner.parent != nil {
+		nw.send(owner.parent, stats.MsgExpandRange, catUpdate)
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+)
+
+// populate inserts n random keys into the network and returns them.
+func populate(t testing.TB, nw *Network, n int, seed int64) []keyspace.Key {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]keyspace.Key, 0, n)
+	for i := 0; i < n; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte(fmt.Sprint(k))); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func TestInsertAndSearchExact(t *testing.T) {
+	nw := buildNetwork(t, 60, 5)
+	keys := populate(t, nw, 400, 5)
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		v, found, cost, err := nw.SearchExact(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatalf("search %d: %v", k, err)
+		}
+		if !found {
+			t.Fatalf("key %d not found", k)
+		}
+		if string(v) != fmt.Sprint(k) {
+			t.Fatalf("key %d value = %q", k, v)
+		}
+		if cost.Messages > 4*nw.Height() {
+			t.Fatalf("search for %d used %d messages, height is %d", k, cost.Messages, nw.Height())
+		}
+	}
+	// A key that was never inserted is not found but routing still succeeds.
+	_, found, _, err := nw.SearchExact(nw.RandomPeer(), keyspace.DomainMax-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = found // may or may not collide with an inserted key; just must not error
+}
+
+func TestSearchCostLogarithmic(t *testing.T) {
+	nw := buildNetwork(t, 250, 9)
+	populate(t, nw, 500, 9)
+	rng := rand.New(rand.NewSource(99))
+	var acc stats.Accumulator
+	for i := 0; i < 200; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		_, _, cost, err := nw.SearchExact(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.AddInt(cost.Messages)
+	}
+	// Height of a 250-peer balanced tree is at most ~12; average search cost
+	// must stay in that ballpark.
+	if acc.Mean() > float64(2*nw.Height()) {
+		t.Fatalf("average exact-search cost %.1f too high (height %d)", acc.Mean(), nw.Height())
+	}
+}
+
+func TestOwnerRouting(t *testing.T) {
+	nw := buildNetwork(t, 45, 13)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		owner, _, err := nw.Owner(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !owner.Range.Contains(k) {
+			t.Fatalf("owner of %d has range %v", k, owner.Range)
+		}
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	nw := buildNetwork(t, 80, 21)
+	keys := populate(t, nw, 1000, 21)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		lo := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		width := keyspace.Key(rng.Int63n(int64(keyspace.DomainMax) / 10))
+		hi := lo + width
+		if hi > keyspace.DomainMax {
+			hi = keyspace.DomainMax
+		}
+		r := keyspace.NewRange(lo, hi)
+		res, cost, err := nw.SearchRange(nw.RandomPeer(), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify against the flat model.
+		want := map[keyspace.Key]bool{}
+		for _, k := range keys {
+			if r.Contains(k) {
+				want[k] = true
+			}
+		}
+		got := map[keyspace.Key]bool{}
+		for _, it := range res.Items {
+			if !r.Contains(it.Key) {
+				t.Fatalf("range result %d outside query %v", it.Key, r)
+			}
+			got[it.Key] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("range %v: got %d distinct keys, want %d", r, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("range %v missing key %d", r, k)
+			}
+		}
+		// Cost must be O(log N + X): the locate phase plus one or two
+		// messages per contributing peer.
+		bound := 2*nw.Height() + 3*len(res.Peers) + 4
+		if cost.Messages > bound {
+			t.Fatalf("range query cost %d exceeds bound %d (peers %d)", cost.Messages, bound, len(res.Peers))
+		}
+	}
+	// An empty query range returns nothing and costs nothing.
+	res, cost, err := nw.SearchRange(nw.RandomPeer(), keyspace.NewRange(5, 5))
+	if err != nil || len(res.Items) != 0 || cost.Messages != 0 {
+		t.Fatalf("empty range query: %v items, %d messages, err %v", len(res.Items), cost.Messages, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	nw := buildNetwork(t, 30, 25)
+	keys := populate(t, nw, 200, 25)
+	// Delete every other key.
+	for i, k := range keys {
+		if i%2 != 0 {
+			continue
+		}
+		existed, _, err := nw.Delete(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !existed {
+			t.Fatalf("delete of existing key %d reported absence", k)
+		}
+	}
+	for i, k := range keys {
+		_, found, _, err := nw.SearchExact(nw.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := i%2 == 1
+		// Duplicate keys across the workload can make a deleted key still
+		// present if it also appears at an odd index; skip that rare case.
+		if found != want && !containsDup(keys, k) {
+			t.Fatalf("after deletes, key %d found=%v want=%v", k, found, want)
+		}
+	}
+	// Deleting a missing key reports absence without error.
+	existed, _, err := nw.Delete(nw.RandomPeer(), keyspace.DomainMax-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = existed
+}
+
+func containsDup(keys []keyspace.Key, k keyspace.Key) bool {
+	count := 0
+	for _, x := range keys {
+		if x == k {
+			count++
+		}
+	}
+	return count > 1
+}
+
+func TestInsertOutsideDomainExpandsExtremes(t *testing.T) {
+	nw := buildNetwork(t, 20, 29)
+	low := keyspace.Key(-500)
+	high := keyspace.Key(2_000_000_000)
+	if _, err := nw.Insert(nw.RandomPeer(), low, []byte("low")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Insert(nw.RandomPeer(), high, []byte("high")); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Domain().Lower != low || nw.Domain().Upper != high+1 {
+		t.Fatalf("domain not expanded: %v", nw.Domain())
+	}
+	for _, k := range []keyspace.Key{low, high} {
+		_, found, _, err := nw.SearchExact(nw.RandomPeer(), k)
+		if err != nil || !found {
+			t.Fatalf("expanded key %d: found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+func TestOperationsViaDownPeerFail(t *testing.T) {
+	nw := buildNetwork(t, 20, 33)
+	ids := nw.PeerIDs()
+	var victim PeerID
+	for _, id := range ids {
+		if id != nw.Root().ID {
+			victim = id
+			break
+		}
+	}
+	if err := nw.Fail(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := nw.SearchExact(victim, 42); err == nil {
+		t.Fatal("search via a failed peer should error")
+	}
+	if _, err := nw.Insert(victim, 42, nil); err == nil {
+		t.Fatal("insert via a failed peer should error")
+	}
+	if _, _, err := nw.Join(victim); err == nil {
+		t.Fatal("join via a failed peer should error")
+	}
+}
+
+func TestSearchDuringFailureRoutesAround(t *testing.T) {
+	nw := buildNetwork(t, 120, 37)
+	keys := populate(t, nw, 600, 37)
+	rng := rand.New(rand.NewSource(37))
+
+	// Fail 10 random peers (but not the root, to keep the scenario simple)
+	// and remember which keys they held.
+	failedKeys := map[keyspace.Key]bool{}
+	failedCount := 0
+	for failedCount < 10 {
+		ids := nw.PeerIDs()
+		id := ids[rng.Intn(len(ids))]
+		if id == nw.Root().ID {
+			continue
+		}
+		n := nw.nodes[id]
+		if !n.alive {
+			continue
+		}
+		for _, it := range n.data.Items() {
+			failedKeys[it.Key] = true
+		}
+		if err := nw.Fail(id); err != nil {
+			t.Fatal(err)
+		}
+		failedCount++
+	}
+
+	// Every key stored on a live peer must still be reachable from any live
+	// starting peer, despite the failures.
+	reachable := 0
+	for _, k := range keys {
+		if failedKeys[k] {
+			continue
+		}
+		via := nw.RandomPeer()
+		for !nw.nodes[via].alive {
+			via = nw.RandomPeer()
+		}
+		_, found, _, err := nw.SearchExact(via, k)
+		if err != nil {
+			t.Fatalf("search %d with failures: %v", k, err)
+		}
+		if !found {
+			t.Fatalf("key %d on a live peer not found while routing around failures", k)
+		}
+		reachable++
+	}
+	if reachable == 0 {
+		t.Fatal("test vacuous: no keys on live peers")
+	}
+
+	// Repair all failures; invariants must hold afterwards.
+	for _, id := range nw.FailedPeers() {
+		if _, err := nw.RepairFailure(id); err != nil {
+			t.Fatalf("repair %d: %v", id, err)
+		}
+	}
+	if len(nw.FailedPeers()) != 0 {
+		t.Fatal("failures not cleared after repair")
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairFailureUnknownPeer(t *testing.T) {
+	nw := buildNetwork(t, 10, 41)
+	if _, err := nw.RepairFailure(PeerID(9999)); err == nil {
+		t.Fatal("repairing a peer that has not failed should error")
+	}
+}
+
+func TestFailLastPeerFails(t *testing.T) {
+	nw := NewNetwork(Config{})
+	if err := nw.Fail(nw.Root().ID); err != ErrLastPeer {
+		t.Fatalf("failing the only peer should be rejected, got %v", err)
+	}
+}

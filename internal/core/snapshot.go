@@ -1,0 +1,61 @@
+package core
+
+import (
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// PeerSnapshot is a full copy of one peer's protocol state: its identity,
+// range, stored items, and the identities of every peer it links to. It is
+// the hand-off format between the message-counting simulator and the live
+// goroutine-per-peer cluster in package p2p.
+type PeerSnapshot struct {
+	ID            PeerID
+	Position      Position
+	Range         keyspace.Range
+	Items         []store.Item
+	Parent        PeerID
+	LeftChild     PeerID
+	RightChild    PeerID
+	LeftAdjacent  PeerID
+	RightAdjacent PeerID
+	LeftRouting   []PeerID
+	RightRouting  []PeerID
+}
+
+// Snapshot exports the state of every live peer of the network. Failed peers
+// that have not been repaired are skipped (their links are likewise absent
+// from the snapshots that referenced them).
+func Snapshot(nw *Network) []PeerSnapshot {
+	idOf := func(n *Node) PeerID {
+		if n == nil || !n.alive {
+			return NoPeer
+		}
+		return n.id
+	}
+	out := make([]PeerSnapshot, 0, len(nw.nodes))
+	for _, n := range nw.inOrderNodes() {
+		if !n.alive {
+			continue
+		}
+		ps := PeerSnapshot{
+			ID:            n.id,
+			Position:      n.pos,
+			Range:         n.nodeRange,
+			Items:         n.data.Items(),
+			Parent:        idOf(n.parent),
+			LeftChild:     idOf(n.leftChild),
+			RightChild:    idOf(n.rightChild),
+			LeftAdjacent:  idOf(n.leftAdj),
+			RightAdjacent: idOf(n.rightAdj),
+		}
+		for _, m := range n.leftRT {
+			ps.LeftRouting = append(ps.LeftRouting, idOf(m))
+		}
+		for _, m := range n.rightRT {
+			ps.RightRouting = append(ps.RightRouting, idOf(m))
+		}
+		out = append(out, ps)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"baton/internal/stats"
+)
+
+// tinyOptions keeps the figure drivers fast enough for unit tests.
+func tinyOptions() Options {
+	return Options{
+		Sizes:                []int{60, 120},
+		DataPerNode:          10,
+		Queries:              40,
+		Churn:                20,
+		Runs:                 1,
+		RangeSelectivity:     0.001,
+		LoadBalanceThreshold: 40,
+		Seed:                 1,
+	}
+}
+
+func TestOptionsNormalised(t *testing.T) {
+	o := Options{}.normalised()
+	if len(o.Sizes) == 0 || o.DataPerNode == 0 || o.Queries == 0 || o.Runs == 0 {
+		t.Fatalf("normalised options still have zero fields: %+v", o)
+	}
+	if Default().DataPerNode != 1000 || len(Default().Sizes) != 10 {
+		t.Fatal("Default options should match the paper's scale")
+	}
+	if Quick().DataPerNode >= Default().DataPerNode {
+		t.Fatal("Quick options should be smaller than Default")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("9z", tinyOptions()); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestFigures(t *testing.T) {
+	ids := Figures()
+	if len(ids) != 9 {
+		t.Fatalf("expected 9 figures, got %d", len(ids))
+	}
+}
+
+func TestFigureAJoinLeaveCosts(t *testing.T) {
+	r := FigureA(tinyOptions())
+	if r.ID != "8a" || len(r.Series) != 5 {
+		t.Fatalf("unexpected result shape: %+v", r)
+	}
+	b := seriesByLabel(t, r, "baton join")
+	c := seriesByLabel(t, r, "chord join")
+	ml := seriesByLabel(t, r, "multiway leave")
+	for i := range b.Points {
+		if b.Points[i].Y <= 0 {
+			t.Fatal("baton join cost should be positive")
+		}
+		if c.Points[i].Y <= b.Points[i].Y {
+			t.Fatalf("at N=%v chord join location (%v) should exceed baton (%v)", b.Points[i].X, c.Points[i].Y, b.Points[i].Y)
+		}
+		if ml.Points[i].Y <= b.Points[i].Y {
+			t.Fatalf("multiway leave (%v) should exceed baton join (%v)", ml.Points[i].Y, b.Points[i].Y)
+		}
+	}
+	if !strings.Contains(r.Table(), "baton join") {
+		t.Fatal("table rendering lost the series labels")
+	}
+}
+
+func TestFigureBUpdateCosts(t *testing.T) {
+	r := FigureB(tinyOptions())
+	baton := seriesByLabel(t, r, "baton")
+	chordS := seriesByLabel(t, r, "chord")
+	for i := range baton.Points {
+		if chordS.Points[i].Y <= baton.Points[i].Y {
+			t.Fatalf("at N=%v chord update cost (%v) should exceed baton (%v)",
+				baton.Points[i].X, chordS.Points[i].Y, baton.Points[i].Y)
+		}
+	}
+}
+
+func TestFigureCInsertDelete(t *testing.T) {
+	r := FigureC(tinyOptions())
+	ins := seriesByLabel(t, r, "baton insert")
+	mw := seriesByLabel(t, r, "multiway insert")
+	for i := range ins.Points {
+		if ins.Points[i].Y <= 0 || ins.Points[i].Y > 30 {
+			t.Fatalf("baton insert cost %v out of the logarithmic ballpark", ins.Points[i].Y)
+		}
+		if mw.Points[i].Y <= ins.Points[i].Y {
+			t.Fatalf("multiway insert (%v) should exceed baton (%v)", mw.Points[i].Y, ins.Points[i].Y)
+		}
+	}
+}
+
+func TestFigureDExactMatch(t *testing.T) {
+	r := FigureD(tinyOptions())
+	baton := seriesByLabel(t, r, "baton")
+	mw := seriesByLabel(t, r, "multiway")
+	for i := range baton.Points {
+		if baton.Points[i].Y <= 0 || baton.Points[i].Y > 30 {
+			t.Fatalf("baton exact-match cost %v out of range", baton.Points[i].Y)
+		}
+		if mw.Points[i].Y <= baton.Points[i].Y {
+			t.Fatalf("multiway search (%v) should exceed baton (%v)", mw.Points[i].Y, baton.Points[i].Y)
+		}
+	}
+}
+
+func TestFigureERange(t *testing.T) {
+	r := FigureE(tinyOptions())
+	baton := seriesByLabel(t, r, "baton")
+	for _, p := range baton.Points {
+		if p.Y <= 0 {
+			t.Fatal("range query cost should be positive")
+		}
+	}
+}
+
+func TestFigureFAccessLoad(t *testing.T) {
+	r := FigureF(tinyOptions())
+	if len(r.Series) != 2 {
+		t.Fatalf("expected insert and search series, got %d", len(r.Series))
+	}
+	search := seriesByLabel(t, r, "search load/peer")
+	if len(search.Points) < 3 {
+		t.Fatalf("expected load at several levels, got %d", len(search.Points))
+	}
+	// The root (level 0) must not dominate: its per-peer search load should
+	// not exceed a small multiple of the per-peer load at the deepest level.
+	root := search.Points[0].Y
+	deepest := search.Points[len(search.Points)-1].Y
+	if deepest > 0 && root > 5*deepest {
+		t.Fatalf("root search load %v dominates deepest level %v", root, deepest)
+	}
+}
+
+func TestFigureGLoadBalancing(t *testing.T) {
+	opt := tinyOptions()
+	opt.DataPerNode = 40
+	r := FigureG(opt)
+	uniform := seriesByLabel(t, r, "uniform data")
+	skewed := seriesByLabel(t, r, "zipf(1.0) data")
+	// Cumulative messages must be non-decreasing and skewed must end at or
+	// above uniform.
+	for i := 1; i < len(skewed.Points); i++ {
+		if skewed.Points[i].Y < skewed.Points[i-1].Y {
+			t.Fatal("cumulative load balancing messages must be non-decreasing")
+		}
+	}
+	last := len(uniform.Points) - 1
+	if skewed.Points[last].Y < uniform.Points[last].Y {
+		t.Fatalf("skewed data should require at least as much load balancing (%v) as uniform (%v)",
+			skewed.Points[last].Y, uniform.Points[last].Y)
+	}
+	if skewed.Points[last].Y == 0 {
+		t.Fatal("skewed insertions should trigger load balancing")
+	}
+}
+
+func TestFigureHShiftDistribution(t *testing.T) {
+	opt := tinyOptions()
+	opt.DataPerNode = 40
+	r := FigureH(opt)
+	fraction := seriesByLabel(t, r, "fraction")
+	if len(fraction.Points) == 0 {
+		t.Fatal("no load balancing operations recorded")
+	}
+	// The mass must be concentrated at small shift sizes.
+	small := 0.0
+	for _, p := range fraction.Points {
+		if p.X <= 4 {
+			small += p.Y
+		}
+	}
+	if small < 0.5 {
+		t.Fatalf("small shifts account for only %.2f of operations", small)
+	}
+}
+
+func TestFigureINetworkDynamics(t *testing.T) {
+	r := FigureI(tinyOptions())
+	extra := seriesByLabel(t, r, "extra messages/op")
+	if len(extra.Points) < 3 {
+		t.Fatal("expected several batch sizes")
+	}
+	// Larger concurrent batches must not reduce the redirect overhead:
+	// compare the first and last points.
+	first := extra.Points[0].Y
+	last := extra.Points[len(extra.Points)-1].Y
+	if last < first {
+		t.Fatalf("extra messages should grow with concurrency: first %v, last %v", first, last)
+	}
+	if last == 0 {
+		t.Fatal("a large concurrent batch should cause some redirects")
+	}
+}
+
+func seriesByLabel(t *testing.T, r Result, label string) stats.Series {
+	t.Helper()
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found in figure %s", label, r.ID)
+	return stats.Series{}
+}

@@ -1,0 +1,187 @@
+// Package keyspace defines the one-dimensional key domain that BATON
+// partitions across peers, together with the half-open range arithmetic the
+// overlay relies on (splitting a range when a child joins, merging when a
+// peer leaves, intersecting with a query range, and shifting a boundary
+// during load balancing).
+//
+// The paper evaluates on integer keys drawn from [1, 10^9); Key is an int64
+// so the same code handles any signed integer domain.
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Key is a point in the one-dimensional key space managed by the overlay.
+type Key int64
+
+// Default domain used by the paper's evaluation: keys in [1, 10^9).
+const (
+	DomainMin Key = 1
+	DomainMax Key = 1_000_000_000
+)
+
+// ErrEmptyRange is returned by operations that require a non-empty range.
+var ErrEmptyRange = errors.New("keyspace: empty range")
+
+// Range is a half-open interval [Lower, Upper) of the key space.
+// A Range with Lower == Upper is empty.
+type Range struct {
+	Lower Key
+	Upper Key
+}
+
+// NewRange returns the half-open range [lower, upper). It panics if
+// lower > upper because such a range is never meaningful in the overlay and
+// indicates a programming error.
+func NewRange(lower, upper Key) Range {
+	if lower > upper {
+		panic(fmt.Sprintf("keyspace: inverted range [%d, %d)", lower, upper))
+	}
+	return Range{Lower: lower, Upper: upper}
+}
+
+// FullDomain returns the default key domain of the paper, [1, 10^9).
+func FullDomain() Range { return Range{Lower: DomainMin, Upper: DomainMax} }
+
+// IsEmpty reports whether the range contains no keys.
+func (r Range) IsEmpty() bool { return r.Lower >= r.Upper }
+
+// Size returns the number of keys contained in the range.
+func (r Range) Size() int64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return int64(r.Upper - r.Lower)
+}
+
+// Contains reports whether k lies inside the half-open range.
+func (r Range) Contains(k Key) bool { return k >= r.Lower && k < r.Upper }
+
+// ContainsRange reports whether other lies entirely inside r.
+func (r Range) ContainsRange(other Range) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	return other.Lower >= r.Lower && other.Upper <= r.Upper
+}
+
+// Intersects reports whether the two ranges share at least one key.
+func (r Range) Intersects(other Range) bool {
+	return r.Lower < other.Upper && other.Lower < r.Upper
+}
+
+// Intersection returns the overlap of the two ranges. The result may be
+// empty.
+func (r Range) Intersection(other Range) Range {
+	lo := r.Lower
+	if other.Lower > lo {
+		lo = other.Lower
+	}
+	hi := r.Upper
+	if other.Upper < hi {
+		hi = other.Upper
+	}
+	if lo > hi {
+		return Range{Lower: lo, Upper: lo}
+	}
+	return Range{Lower: lo, Upper: hi}
+}
+
+// SplitAt cuts the range into [Lower, at) and [at, Upper). It returns an
+// error if at lies outside the range boundaries.
+func (r Range) SplitAt(at Key) (left, right Range, err error) {
+	if at < r.Lower || at > r.Upper {
+		return Range{}, Range{}, fmt.Errorf("keyspace: split point %d outside range %v", at, r)
+	}
+	return Range{r.Lower, at}, Range{at, r.Upper}, nil
+}
+
+// SplitHalf splits the range in two halves, returning the lower and upper
+// half. When a BATON node accepts a child it hands half of its range to the
+// child. The lower half receives the extra key when the size is odd.
+func (r Range) SplitHalf() (lower, upper Range, err error) {
+	if r.IsEmpty() {
+		return Range{}, Range{}, ErrEmptyRange
+	}
+	mid := r.Lower + Key((r.Size()+1)/2)
+	return Range{r.Lower, mid}, Range{mid, r.Upper}, nil
+}
+
+// Adjacent reports whether other starts exactly where r ends or vice versa.
+func (r Range) Adjacent(other Range) bool {
+	return r.Upper == other.Lower || other.Upper == r.Lower
+}
+
+// Union merges two ranges that are adjacent or overlapping. It returns an
+// error if the ranges are disjoint and non-adjacent, because the result would
+// not be a contiguous interval.
+func (r Range) Union(other Range) (Range, error) {
+	if r.IsEmpty() {
+		return other, nil
+	}
+	if other.IsEmpty() {
+		return r, nil
+	}
+	if !r.Intersects(other) && !r.Adjacent(other) {
+		return Range{}, fmt.Errorf("keyspace: union of disjoint ranges %v and %v", r, other)
+	}
+	lo := r.Lower
+	if other.Lower < lo {
+		lo = other.Lower
+	}
+	hi := r.Upper
+	if other.Upper > hi {
+		hi = other.Upper
+	}
+	return Range{lo, hi}, nil
+}
+
+// Clamp returns k restricted to the closed interval [Lower, Upper-1]. Clamp
+// on an empty range returns Lower.
+func (r Range) Clamp(k Key) Key {
+	if k < r.Lower {
+		return r.Lower
+	}
+	if !r.IsEmpty() && k >= r.Upper {
+		return r.Upper - 1
+	}
+	return k
+}
+
+// String renders the range in the half-open interval notation used in the
+// paper's figures.
+func (r Range) String() string {
+	return fmt.Sprintf("[%d, %d)", r.Lower, r.Upper)
+}
+
+// Covers reports whether the ordered, non-overlapping ranges in parts exactly
+// tile r, in order, with no gaps. It is used by the overlay's invariant
+// checker to verify that the in-order traversal of peers partitions the key
+// space.
+func Covers(r Range, parts []Range) bool {
+	if r.IsEmpty() {
+		return len(parts) == 0 || allEmpty(parts)
+	}
+	next := r.Lower
+	for _, p := range parts {
+		if p.IsEmpty() {
+			continue
+		}
+		if p.Lower != next {
+			return false
+		}
+		next = p.Upper
+	}
+	return next == r.Upper
+}
+
+func allEmpty(parts []Range) bool {
+	for _, p := range parts {
+		if !p.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}

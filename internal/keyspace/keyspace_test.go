@@ -1,0 +1,289 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRangePanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("NewRange(10, 5) did not panic")
+		}
+	}()
+	NewRange(10, 5)
+}
+
+func TestRangeContains(t *testing.T) {
+	r := NewRange(10, 20)
+	cases := []struct {
+		k    Key
+		want bool
+	}{
+		{9, false}, {10, true}, {15, true}, {19, true}, {20, false}, {25, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.k); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRangeSizeAndEmpty(t *testing.T) {
+	if got := NewRange(5, 5).Size(); got != 0 {
+		t.Errorf("empty range size = %d, want 0", got)
+	}
+	if !NewRange(5, 5).IsEmpty() {
+		t.Errorf("range [5,5) should be empty")
+	}
+	if got := NewRange(3, 10).Size(); got != 7 {
+		t.Errorf("size = %d, want 7", got)
+	}
+	if NewRange(3, 10).IsEmpty() {
+		t.Errorf("range [3,10) should not be empty")
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := NewRange(0, 10)
+	cases := []struct {
+		b    Range
+		want bool
+	}{
+		{NewRange(10, 20), false},
+		{NewRange(9, 20), true},
+		{NewRange(-5, 0), false},
+		{NewRange(-5, 1), true},
+		{NewRange(3, 4), true},
+		{NewRange(0, 10), true},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := NewRange(0, 10)
+	b := NewRange(5, 15)
+	got := a.Intersection(b)
+	if got.Lower != 5 || got.Upper != 10 {
+		t.Errorf("Intersection = %v, want [5,10)", got)
+	}
+	if !a.Intersection(NewRange(20, 30)).IsEmpty() {
+		t.Errorf("Intersection of disjoint ranges should be empty")
+	}
+}
+
+func TestSplitAt(t *testing.T) {
+	r := NewRange(0, 100)
+	l, rt, err := r.SplitAt(40)
+	if err != nil {
+		t.Fatalf("SplitAt: %v", err)
+	}
+	if l != NewRange(0, 40) || rt != NewRange(40, 100) {
+		t.Errorf("SplitAt(40) = %v, %v", l, rt)
+	}
+	if _, _, err := r.SplitAt(101); err == nil {
+		t.Errorf("SplitAt outside range should fail")
+	}
+	if _, _, err := r.SplitAt(-1); err == nil {
+		t.Errorf("SplitAt outside range should fail")
+	}
+	// Splitting at the boundaries yields one empty side.
+	l, rt, err = r.SplitAt(0)
+	if err != nil || !l.IsEmpty() || rt != r {
+		t.Errorf("SplitAt(0) = %v, %v, %v", l, rt, err)
+	}
+}
+
+func TestSplitHalf(t *testing.T) {
+	r := NewRange(0, 10)
+	lo, hi, err := r.SplitHalf()
+	if err != nil {
+		t.Fatalf("SplitHalf: %v", err)
+	}
+	if lo != NewRange(0, 5) || hi != NewRange(5, 10) {
+		t.Errorf("SplitHalf = %v, %v", lo, hi)
+	}
+	// Odd-sized range: lower half gets the extra key.
+	lo, hi, _ = NewRange(0, 11).SplitHalf()
+	if lo.Size() != 6 || hi.Size() != 5 {
+		t.Errorf("odd SplitHalf sizes = %d, %d, want 6, 5", lo.Size(), hi.Size())
+	}
+	if _, _, err := NewRange(7, 7).SplitHalf(); err == nil {
+		t.Errorf("SplitHalf of empty range should fail")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewRange(0, 10)
+	b := NewRange(10, 20)
+	u, err := a.Union(b)
+	if err != nil || u != NewRange(0, 20) {
+		t.Errorf("Union adjacent = %v, %v", u, err)
+	}
+	u, err = b.Union(a)
+	if err != nil || u != NewRange(0, 20) {
+		t.Errorf("Union adjacent reversed = %v, %v", u, err)
+	}
+	if _, err := a.Union(NewRange(15, 20)); err == nil {
+		t.Errorf("Union of disjoint ranges should fail")
+	}
+	u, err = a.Union(NewRange(5, 20))
+	if err != nil || u != NewRange(0, 20) {
+		t.Errorf("Union overlapping = %v, %v", u, err)
+	}
+	u, err = a.Union(NewRange(4, 4))
+	if err != nil || u != a {
+		t.Errorf("Union with empty = %v, %v", u, err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := NewRange(10, 20)
+	if r.Clamp(5) != 10 {
+		t.Errorf("Clamp below")
+	}
+	if r.Clamp(25) != 19 {
+		t.Errorf("Clamp above")
+	}
+	if r.Clamp(15) != 15 {
+		t.Errorf("Clamp inside")
+	}
+}
+
+func TestCovers(t *testing.T) {
+	r := NewRange(0, 100)
+	ok := Covers(r, []Range{NewRange(0, 30), NewRange(30, 60), NewRange(60, 100)})
+	if !ok {
+		t.Errorf("contiguous tiling should cover")
+	}
+	if Covers(r, []Range{NewRange(0, 30), NewRange(40, 100)}) {
+		t.Errorf("gap should not cover")
+	}
+	if Covers(r, []Range{NewRange(0, 30), NewRange(30, 90)}) {
+		t.Errorf("short tiling should not cover")
+	}
+	if !Covers(r, []Range{NewRange(0, 30), NewRange(30, 30), NewRange(30, 100)}) {
+		t.Errorf("empty segments should be ignored")
+	}
+	if !Covers(NewRange(5, 5), nil) {
+		t.Errorf("empty range covered by nothing")
+	}
+}
+
+func TestContainsRange(t *testing.T) {
+	r := NewRange(0, 100)
+	if !r.ContainsRange(NewRange(10, 20)) {
+		t.Errorf("inner range should be contained")
+	}
+	if !r.ContainsRange(r) {
+		t.Errorf("range contains itself")
+	}
+	if r.ContainsRange(NewRange(50, 101)) {
+		t.Errorf("overflowing range should not be contained")
+	}
+	if !r.ContainsRange(NewRange(200, 200)) {
+		t.Errorf("empty range is contained anywhere")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	if !NewRange(0, 5).Adjacent(NewRange(5, 9)) {
+		t.Errorf("touching ranges are adjacent")
+	}
+	if NewRange(0, 5).Adjacent(NewRange(6, 9)) {
+		t.Errorf("ranges with a gap are not adjacent")
+	}
+}
+
+// Property: splitting a range at any point inside it and re-uniting yields
+// the original range, and the parts tile the original.
+func TestSplitUnionRoundTrip(t *testing.T) {
+	f := func(a, b int64, frac uint8) bool {
+		lo, hi := a%1_000_000, b%1_000_000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := NewRange(Key(lo), Key(hi))
+		if r.IsEmpty() {
+			return true
+		}
+		at := r.Lower + Key(int64(frac)%r.Size())
+		l, rt, err := r.SplitAt(at)
+		if err != nil {
+			return false
+		}
+		if !Covers(r, []Range{l, rt}) {
+			return false
+		}
+		u, err := l.Union(rt)
+		return err == nil && u == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SplitHalf produces two non-overlapping halves whose sizes differ
+// by at most one and which tile the original range.
+func TestSplitHalfProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		lo, hi := a%1_000_000, b%1_000_000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := NewRange(Key(lo), Key(hi))
+		if r.IsEmpty() {
+			return true
+		}
+		l, u, err := r.SplitHalf()
+		if err != nil {
+			return false
+		}
+		diff := l.Size() - u.Size()
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1 && Covers(r, []Range{l, u}) && !l.Intersects(u)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersection is commutative and its result is contained in both
+// operands.
+func TestIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		a := randomRange(rng)
+		b := randomRange(rng)
+		ab := a.Intersection(b)
+		ba := b.Intersection(a)
+		if ab.IsEmpty() != ba.IsEmpty() {
+			t.Fatalf("intersection emptiness not symmetric: %v vs %v", ab, ba)
+		}
+		if !ab.IsEmpty() && ab != ba {
+			t.Fatalf("intersection not commutative: %v vs %v", ab, ba)
+		}
+		if !ab.IsEmpty() && (!a.ContainsRange(ab) || !b.ContainsRange(ab)) {
+			t.Fatalf("intersection %v not contained in %v and %v", ab, a, b)
+		}
+		if a.Intersects(b) != !ab.IsEmpty() {
+			t.Fatalf("Intersects disagrees with Intersection for %v, %v", a, b)
+		}
+	}
+}
+
+func randomRange(rng *rand.Rand) Range {
+	lo := rng.Int63n(1000)
+	hi := lo + rng.Int63n(1000)
+	return NewRange(Key(lo), Key(hi))
+}

@@ -1,0 +1,215 @@
+package multiway
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baton/internal/keyspace"
+)
+
+func buildTree(t testing.TB, n int, seed int64) *Tree {
+	t.Helper()
+	tr := NewTree(Config{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	for tr.Size() < n {
+		ids := tr.PeerIDs()
+		if _, _, err := tr.Join(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatalf("join at size %d: %v", tr.Size(), err)
+		}
+	}
+	return tr
+}
+
+func TestNewTree(t *testing.T) {
+	tr := NewTree(Config{})
+	if tr.Size() != 1 || tr.Depth() != 1 {
+		t.Fatalf("size=%d depth=%d", tr.Size(), tr.Depth())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinGrowsTree(t *testing.T) {
+	for _, size := range []int{2, 10, 50, 150} {
+		tr := buildTree(t, size, int64(size))
+		if tr.Size() != size {
+			t.Fatalf("size = %d", tr.Size())
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+	}
+}
+
+func TestJoinUnknownPeer(t *testing.T) {
+	tr := NewTree(Config{})
+	if _, _, err := tr.Join(PeerID(404)); err == nil {
+		t.Fatal("join via unknown peer should error")
+	}
+}
+
+func TestInsertSearchExact(t *testing.T) {
+	tr := buildTree(t, 60, 3)
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]keyspace.Key, 0, 400)
+	for i := 0; i < 400; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		keys = append(keys, k)
+		if _, err := tr.Insert(tr.RandomPeer(), k, []byte(fmt.Sprint(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.ItemCount() == 0 {
+		t.Fatal("no items stored")
+	}
+	for _, k := range keys {
+		v, found, cost, err := tr.SearchExact(tr.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || string(v) != fmt.Sprint(k) {
+			t.Fatalf("key %d: found=%v value=%q", k, found, v)
+		}
+		if cost.Messages == 0 {
+			// A query issued at the owner itself legitimately costs nothing.
+			continue
+		}
+	}
+}
+
+func TestSearchRange(t *testing.T) {
+	tr := buildTree(t, 40, 5)
+	rng := rand.New(rand.NewSource(5))
+	inserted := make([]keyspace.Key, 0, 500)
+	for i := 0; i < 500; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		inserted = append(inserted, k)
+		if _, err := tr.Insert(tr.RandomPeer(), k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := keyspace.NewRange(100_000_000, 400_000_000)
+	want := 0
+	for _, k := range inserted {
+		if r.Contains(k) {
+			want++
+		}
+	}
+	got, cost, err := tr.SearchRange(tr.RandomPeer(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("range query matched %d keys, want %d", got, want)
+	}
+	if cost.Messages == 0 {
+		t.Fatal("range query over a third of the domain should cost messages")
+	}
+	if n, _, err := tr.SearchRange(tr.RandomPeer(), keyspace.NewRange(7, 7)); err != nil || n != 0 {
+		t.Fatalf("empty range query: %d, %v", n, err)
+	}
+}
+
+func TestLeave(t *testing.T) {
+	tr := buildTree(t, 50, 7)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]keyspace.Key, 0, 200)
+	for i := 0; i < 200; i++ {
+		k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+		keys = append(keys, k)
+		if _, err := tr.Insert(tr.RandomPeer(), k, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		ids := tr.PeerIDs()
+		if _, err := tr.Leave(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after leave %d: %v", i, err)
+		}
+	}
+	if tr.Size() != 20 {
+		t.Fatalf("size = %d, want 20", tr.Size())
+	}
+	// No data may be lost.
+	if tr.ItemCount() < 190 { // duplicates collapse, allow a small margin
+		t.Fatalf("items after departures = %d", tr.ItemCount())
+	}
+	found := 0
+	for _, k := range keys {
+		_, ok, _, err := tr.SearchExact(tr.RandomPeer(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			found++
+		}
+	}
+	if found != len(keys) {
+		t.Fatalf("only %d of %d keys still reachable", found, len(keys))
+	}
+}
+
+func TestLeaveLastPeer(t *testing.T) {
+	tr := NewTree(Config{})
+	if _, err := tr.Leave(tr.PeerIDs()[0]); err != ErrLastPeer {
+		t.Fatalf("expected ErrLastPeer, got %v", err)
+	}
+	if _, err := tr.Leave(PeerID(500)); err == nil {
+		t.Fatal("leave of unknown peer should error")
+	}
+}
+
+func TestLeaveOfInnerNodeContactsChildren(t *testing.T) {
+	tr := buildTree(t, 30, 9)
+	// The root certainly has children; leaving it must cost messages
+	// proportional to the children contacted.
+	rootID := tr.root.id
+	kids := len(tr.root.children)
+	cost, err := tr.Leave(rootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.LocateMessages < 2*kids {
+		t.Fatalf("inner-node departure cost %d locate messages for %d children", cost.LocateMessages, kids)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewDeepensTree(t *testing.T) {
+	// Joins pushed down from a single hot peer produce a deep tree, the
+	// weakness the BATON paper calls out.
+	tr := NewTree(Config{Fanout: 2, Seed: 11})
+	hot := tr.PeerIDs()[0]
+	for i := 0; i < 40; i++ {
+		if _, _, err := tr.Join(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	balancedDepth := 7 // ceil(log2(41)) + 1
+	if tr.Depth() <= balancedDepth {
+		t.Fatalf("hot-spot joins should deepen the tree beyond %d, got %d", balancedDepth, tr.Depth())
+	}
+}
+
+func TestOperationsViaUnknownPeer(t *testing.T) {
+	tr := buildTree(t, 5, 13)
+	if _, err := tr.Insert(PeerID(99), 1, nil); err == nil {
+		t.Fatal("insert via unknown peer should error")
+	}
+	if _, _, _, err := tr.SearchExact(PeerID(99), 1); err == nil {
+		t.Fatal("search via unknown peer should error")
+	}
+	if _, _, err := tr.SearchRange(PeerID(99), keyspace.NewRange(1, 2)); err == nil {
+		t.Fatal("range search via unknown peer should error")
+	}
+}

@@ -1,0 +1,435 @@
+// Package p2p runs a BATON overlay as a set of live, concurrently executing
+// peers: every peer is a goroutine with an inbox, requests travel between
+// peers as messages, and clients issue queries against any peer they know.
+//
+// The message-counting simulator in internal/core is what reproduces the
+// paper's figures (operations there are serialised, exactly like the
+// authors' simulator). This package is the deployment-shaped counterpart:
+// it takes a snapshot of a core.Network — positions, ranges, links and data —
+// and animates it, so that many exact-match, insert and range requests can
+// be in flight at the same time, and so that peers can be killed while
+// traffic is running to exercise the fault-tolerant routing of Section III-D
+// under real concurrency. The goroutine-per-peer design is the natural Go
+// rendering of "each node in the tree is maintained by a peer".
+//
+// Membership changes (join/leave/restructuring) are not re-implemented here;
+// they are structural operations that the paper's protocol serialises around
+// the affected peers anyway, and the simulator already covers them. A
+// cluster is created from a core.Network at a point in time and serves data
+// traffic from then on.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// Errors returned by cluster operations.
+var (
+	// ErrStopped is returned when the cluster has been shut down.
+	ErrStopped = errors.New("p2p: cluster stopped")
+	// ErrUnknownPeer is returned when a request names a peer that does not
+	// exist in the cluster.
+	ErrUnknownPeer = errors.New("p2p: unknown peer")
+	// ErrUnreachable is returned when a request cannot make progress because
+	// every useful link points at dead peers.
+	ErrUnreachable = errors.New("p2p: no route to the responsible peer")
+	// ErrOwnerDown is returned when the peer responsible for a key is dead.
+	ErrOwnerDown = errors.New("p2p: responsible peer is down")
+)
+
+// kind enumerates request kinds.
+type kind int
+
+const (
+	kindGet kind = iota
+	kindPut
+	kindDelete
+	kindRange
+)
+
+// request is one message travelling through the overlay. Replies are
+// delivered on the embedded channel so a client blocks only on its own
+// request.
+type request struct {
+	kind  kind
+	key   keyspace.Key
+	value []byte
+	rng   keyspace.Range
+	hops  int
+	acc   []store.Item // accumulated range results
+	// visited records the peers this request has already passed through so
+	// fail-over never loops; only one copy of the request is in flight at a
+	// time, so the map is never accessed concurrently.
+	visited map[core.PeerID]bool
+	reply   chan response
+}
+
+// response is the terminal answer to a request.
+type response struct {
+	value []byte
+	found bool
+	items []store.Item
+	hops  int
+	err   error
+}
+
+// link is the information a peer keeps about another peer: enough to decide
+// where to forward a request (the paper's links carry the target's range).
+type link struct {
+	id    core.PeerID
+	lower keyspace.Key
+	upper keyspace.Key
+}
+
+// peer is one live peer: a goroutine draining an inbox.
+type peer struct {
+	id    core.PeerID
+	rng   keyspace.Range
+	data  *store.Store
+	inbox chan request
+
+	parent   *link
+	children [2]*link
+	adjacent [2]*link
+	rt       [2][]*link // sideways routing tables, [Left|Right]
+
+	alive atomic.Bool
+}
+
+// Cluster is a set of live peers animating a BATON overlay.
+type Cluster struct {
+	peers   map[core.PeerID]*peer
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	msgs    atomic.Int64
+	hopCap  int
+}
+
+// NewCluster builds a live cluster from a snapshot of the given simulated
+// network: every peer's position, range, links and stored items are copied
+// and a goroutine is started per peer.
+func NewCluster(nw *core.Network) *Cluster {
+	c := &Cluster{peers: make(map[core.PeerID]*peer)}
+	snapshot := core.Snapshot(nw)
+	for _, ps := range snapshot {
+		p := &peer{
+			id:    ps.ID,
+			rng:   ps.Range,
+			data:  store.New(),
+			inbox: make(chan request, 128),
+		}
+		p.data.Absorb(ps.Items)
+		p.alive.Store(true)
+		c.peers[p.id] = p
+	}
+	// Wire the links after all peers exist.
+	toLink := func(id core.PeerID) *link {
+		if id == core.NoPeer {
+			return nil
+		}
+		t, ok := c.peers[id]
+		if !ok {
+			return nil
+		}
+		return &link{id: id, lower: t.rng.Lower, upper: t.rng.Upper}
+	}
+	for _, ps := range snapshot {
+		p := c.peers[ps.ID]
+		p.parent = toLink(ps.Parent)
+		p.children[0] = toLink(ps.LeftChild)
+		p.children[1] = toLink(ps.RightChild)
+		p.adjacent[0] = toLink(ps.LeftAdjacent)
+		p.adjacent[1] = toLink(ps.RightAdjacent)
+		for _, id := range ps.LeftRouting {
+			p.rt[0] = append(p.rt[0], toLink(id))
+		}
+		for _, id := range ps.RightRouting {
+			p.rt[1] = append(p.rt[1], toLink(id))
+		}
+	}
+	c.hopCap = 8 * (len(snapshot) + 4)
+	for _, p := range c.peers {
+		c.wg.Add(1)
+		go c.serve(p)
+	}
+	return c
+}
+
+// Size returns the number of peers in the cluster (dead or alive).
+func (c *Cluster) Size() int { return len(c.peers) }
+
+// Messages returns the total number of peer-to-peer messages delivered.
+func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+
+// PeerIDs returns all peer IDs.
+func (c *Cluster) PeerIDs() []core.PeerID {
+	out := make([]core.PeerID, 0, len(c.peers))
+	for id := range c.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Kill stops the given peer: its goroutine keeps draining the inbox (so
+// senders never block) but every request delivered to it fails over to an
+// alternative path at the sender, exactly like an unreachable address.
+func (c *Cluster) Kill(id core.PeerID) error {
+	p, ok := c.peers[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	p.alive.Store(false)
+	return nil
+}
+
+// Alive reports whether the given peer is up.
+func (c *Cluster) Alive(id core.PeerID) bool {
+	p, ok := c.peers[id]
+	return ok && p.alive.Load()
+}
+
+// Stop shuts the cluster down and waits for every peer goroutine to exit.
+func (c *Cluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	for _, p := range c.peers {
+		close(p.inbox)
+	}
+	c.wg.Wait()
+}
+
+// send delivers a request to the peer with the given ID. It reports false
+// when the target is dead or the cluster is stopped.
+func (c *Cluster) send(to core.PeerID, req request) bool {
+	if c.stopped.Load() {
+		return false
+	}
+	p, ok := c.peers[to]
+	if !ok || !p.alive.Load() {
+		return false
+	}
+	c.msgs.Add(1)
+	p.inbox <- req
+	return true
+}
+
+// Get looks up key starting at peer via.
+func (c *Cluster) Get(via core.PeerID, key keyspace.Key) ([]byte, bool, int, error) {
+	resp, err := c.issue(via, request{kind: kindGet, key: key})
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return resp.value, resp.found, resp.hops, resp.err
+}
+
+// Put stores value under key starting at peer via.
+func (c *Cluster) Put(via core.PeerID, key keyspace.Key, value []byte) (int, error) {
+	resp, err := c.issue(via, request{kind: kindPut, key: key, value: value})
+	if err != nil {
+		return 0, err
+	}
+	return resp.hops, resp.err
+}
+
+// Delete removes key starting at peer via, reporting whether it existed.
+func (c *Cluster) Delete(via core.PeerID, key keyspace.Key) (bool, int, error) {
+	resp, err := c.issue(via, request{kind: kindDelete, key: key})
+	if err != nil {
+		return false, 0, err
+	}
+	return resp.found, resp.hops, resp.err
+}
+
+// Range returns every stored item with a key in r, starting at peer via.
+func (c *Cluster) Range(via core.PeerID, r keyspace.Range) ([]store.Item, int, error) {
+	resp, err := c.issue(via, request{kind: kindRange, key: r.Lower, rng: r})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.items, resp.hops, resp.err
+}
+
+func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
+	if c.stopped.Load() {
+		return response{}, ErrStopped
+	}
+	if _, ok := c.peers[via]; !ok {
+		return response{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
+	}
+	req.reply = make(chan response, 1)
+	if !c.send(via, req) {
+		return response{}, fmt.Errorf("%w: %d", ErrOwnerDown, via)
+	}
+	return <-req.reply, nil
+}
+
+// serve is the peer goroutine: it drains the inbox and handles or forwards
+// each request.
+func (c *Cluster) serve(p *peer) {
+	defer c.wg.Done()
+	for req := range p.inbox {
+		if !p.alive.Load() {
+			// A dead peer never answers; the sender has already failed over.
+			continue
+		}
+		c.handle(p, req)
+	}
+}
+
+func (c *Cluster) handle(p *peer, req request) {
+	req.hops++
+	if req.hops > c.hopCap {
+		req.reply <- response{hops: req.hops, err: ErrUnreachable}
+		return
+	}
+	if req.kind == kindRange {
+		c.handleRange(p, req)
+		return
+	}
+	if p.rng.Contains(req.key) || c.ownsExtreme(p, req.key) {
+		switch req.kind {
+		case kindGet:
+			v, ok := p.data.Get(req.key)
+			req.reply <- response{value: v, found: ok, hops: req.hops}
+		case kindPut:
+			p.data.Put(req.key, req.value)
+			req.reply <- response{hops: req.hops}
+		case kindDelete:
+			ok := p.data.Delete(req.key)
+			req.reply <- response{found: ok, hops: req.hops}
+		}
+		return
+	}
+	c.forward(p, req)
+}
+
+// ownsExtreme mirrors the simulator's rule that the leftmost and rightmost
+// peers are responsible for keys outside the domain.
+func (c *Cluster) ownsExtreme(p *peer, key keyspace.Key) bool {
+	if key < p.rng.Lower && p.adjacent[0] == nil {
+		return true
+	}
+	if key >= p.rng.Upper && p.adjacent[1] == nil {
+		return true
+	}
+	return false
+}
+
+// forward applies the search_exact forwarding rule and fails over across the
+// candidate list when targets are dead, avoiding peers the request has
+// already visited unless no other alternative remains.
+func (c *Cluster) forward(p *peer, req request) {
+	if req.visited == nil {
+		req.visited = make(map[core.PeerID]bool)
+	}
+	req.visited[p.id] = true
+	cands := c.candidates(p, req.key)
+	// If the peer responsible for the key is among the candidates but is
+	// down, the data is unavailable: answer immediately instead of wandering
+	// (the simulator applies the same rule).
+	for _, cand := range cands {
+		if cand != nil && cand.lower <= req.key && req.key < cand.upper && !c.Alive(cand.id) {
+			req.reply <- response{hops: req.hops, err: ErrOwnerDown}
+			return
+		}
+	}
+	for _, cand := range cands {
+		if cand == nil || req.visited[cand.id] {
+			continue
+		}
+		if c.send(cand.id, req) {
+			return
+		}
+	}
+	for _, cand := range cands {
+		if cand == nil {
+			continue
+		}
+		if c.send(cand.id, req) {
+			return
+		}
+	}
+	req.reply <- response{hops: req.hops, err: ErrUnreachable}
+}
+
+// candidates lists forwarding targets for key at p, best first: the farthest
+// non-overshooting routing-table entry, then the child, adjacent and parent
+// links, then the remaining links as fault-tolerance fallbacks.
+func (c *Cluster) candidates(p *peer, key keyspace.Key) []*link {
+	var out []*link
+	if key >= p.rng.Upper {
+		rt := p.rt[1]
+		for i := len(rt) - 1; i >= 0; i-- {
+			if rt[i] != nil && rt[i].lower <= key {
+				out = append(out, rt[i])
+			}
+		}
+		out = append(out, p.children[1], p.adjacent[1], p.parent, p.children[0], p.adjacent[0])
+		for i := len(rt) - 1; i >= 0; i-- {
+			if rt[i] != nil && rt[i].lower > key {
+				out = append(out, rt[i])
+			}
+		}
+	} else {
+		rt := p.rt[0]
+		for i := len(rt) - 1; i >= 0; i-- {
+			if rt[i] != nil && rt[i].upper > key {
+				out = append(out, rt[i])
+			}
+		}
+		out = append(out, p.children[0], p.adjacent[0], p.parent, p.children[1], p.adjacent[1])
+		for i := len(rt) - 1; i >= 0; i-- {
+			if rt[i] != nil && rt[i].upper <= key {
+				out = append(out, rt[i])
+			}
+		}
+	}
+	return out
+}
+
+// handleRange implements the two phases of a range query (Section IV-B):
+// the request is first routed like an exact query towards the range's lower
+// bound; once a peer responsible for it is reached, the request walks the
+// right-adjacent chain collecting partial answers until the range is
+// exhausted, and the accumulated items are returned to the client.
+func (c *Cluster) handleRange(p *peer, req request) {
+	r := req.rng
+	owns := p.rng.Contains(r.Lower) || c.ownsExtreme(p, r.Lower)
+	if !owns {
+		// Phase 1: still locating the peer responsible for the range's lower
+		// bound (req.key == r.Lower). Stopping at any merely-intersecting
+		// peer would skip the beginning of the range.
+		c.forward(p, req)
+		return
+	}
+	// Phase 2: collect locally and continue rightwards.
+	if p.rng.Intersects(r) {
+		req.acc = append(req.acc, p.data.Scan(r)...)
+	}
+	next := p.adjacent[1]
+	if next == nil || next.lower >= r.Upper {
+		req.reply <- response{items: req.acc, hops: req.hops}
+		return
+	}
+	// Trim the still-uncovered part of the range so the next peer (whose
+	// range starts exactly where this one ends) recognises itself as
+	// responsible and keeps walking the chain instead of routing back.
+	if p.rng.Upper > req.rng.Lower {
+		req.rng.Lower = p.rng.Upper
+		req.key = req.rng.Lower
+	}
+	if c.send(next.id, req) {
+		return
+	}
+	// The right adjacent peer is dead: answer with what has been collected
+	// so far (a deployment would route around through the parent and repair).
+	req.reply <- response{items: req.acc, hops: req.hops, err: ErrOwnerDown}
+}

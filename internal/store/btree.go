@@ -1,0 +1,463 @@
+// Package store implements the local storage engine held by every peer in
+// the overlay: an in-memory B+-tree keyed by keyspace.Key with ordered
+// iteration, range scans, and the bulk split/merge operations the BATON
+// protocol needs when a peer hands half of its content to a joining child or
+// absorbs the content of a departing neighbour.
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"baton/internal/keyspace"
+)
+
+// DefaultDegree is the default minimum degree of the B+-tree. Every node
+// except the root holds between DefaultDegree-1 and 2*DefaultDegree-1 keys.
+const DefaultDegree = 16
+
+// Item is a single key/value pair stored at a peer.
+type Item struct {
+	Key   keyspace.Key
+	Value []byte
+}
+
+// Store is an ordered key/value store backed by a B+-tree. The zero value is
+// not usable; call New.
+//
+// Store is not safe for concurrent use; the owning peer serialises access.
+type Store struct {
+	degree int
+	root   *node
+	size   int
+}
+
+// node is a B+-tree node. Leaf nodes carry values and are linked through
+// next; internal nodes carry child pointers and separator keys.
+type node struct {
+	leaf     bool
+	keys     []keyspace.Key
+	values   [][]byte // leaf only, parallel to keys
+	children []*node  // internal only, len(children) == len(keys)+1
+	next     *node    // leaf only: right sibling for range scans
+}
+
+// New returns an empty store with the default B+-tree degree.
+func New() *Store { return NewWithDegree(DefaultDegree) }
+
+// NewWithDegree returns an empty store whose B+-tree has the given minimum
+// degree (must be at least 2).
+func NewWithDegree(degree int) *Store {
+	if degree < 2 {
+		panic(fmt.Sprintf("store: degree %d < 2", degree))
+	}
+	return &Store{degree: degree, root: &node{leaf: true}}
+}
+
+// Len returns the number of items in the store.
+func (s *Store) Len() int { return s.size }
+
+// maxKeys is the maximum number of keys a node may hold.
+func (s *Store) maxKeys() int { return 2*s.degree - 1 }
+
+// Put inserts or replaces the value for key. It reports whether the key was
+// newly inserted (true) or replaced (false).
+func (s *Store) Put(key keyspace.Key, value []byte) bool {
+	if s.root == nil {
+		s.root = &node{leaf: true}
+	}
+	if len(s.root.keys) >= s.maxKeys() {
+		old := s.root
+		s.root = &node{children: []*node{old}}
+		s.splitChild(s.root, 0)
+	}
+	inserted := s.insertNonFull(s.root, key, value)
+	if inserted {
+		s.size++
+	}
+	return inserted
+}
+
+func (s *Store) insertNonFull(n *node, key keyspace.Key, value []byte) bool {
+	for {
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+			if i < len(n.keys) && n.keys[i] == key {
+				n.values[i] = value
+				return false
+			}
+			n.keys = append(n.keys, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.values = append(n.values, nil)
+			copy(n.values[i+1:], n.values[i:])
+			n.values[i] = value
+			return true
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		if len(n.children[i].keys) >= s.maxKeys() {
+			s.splitChild(n, i)
+			if key >= n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// splitChild splits the i-th child of parent, which must be full.
+func (s *Store) splitChild(parent *node, i int) {
+	child := parent.children[i]
+	mid := len(child.keys) / 2
+	var sep keyspace.Key
+	right := &node{leaf: child.leaf}
+	if child.leaf {
+		// B+-tree leaf split: the separator is copied up, not moved.
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.values = append(right.values, child.values[mid:]...)
+		child.keys = child.keys[:mid:mid]
+		child.values = child.values[:mid:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid:mid]
+		child.children = child.children[:mid+1 : mid+1]
+	}
+	parent.keys = append(parent.keys, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	parent.keys[i] = sep
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+// Get returns the value stored under key and whether it exists.
+func (s *Store) Get(key keyspace.Key) ([]byte, bool) {
+	n := s.root
+	for n != nil {
+		if n.leaf {
+			i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+			if i < len(n.keys) && n.keys[i] == key {
+				return n.values[i], true
+			}
+			return nil, false
+		}
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n = n.children[i]
+	}
+	return nil, false
+}
+
+// Contains reports whether key is present.
+func (s *Store) Contains(key keyspace.Key) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// Delete removes key from the store and reports whether it was present.
+//
+// Deletion uses lazy structural maintenance: the key is removed from its
+// leaf, and the tree is rebuilt when it becomes grossly underfull. This keeps
+// the implementation compact while preserving O(log n) amortised behaviour
+// for the workloads the overlay generates (deletes are far rarer than
+// lookups).
+func (s *Store) Delete(key keyspace.Key) bool {
+	n := s.root
+	for n != nil && !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n = n.children[i]
+	}
+	if n == nil {
+		return false
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	if i >= len(n.keys) || n.keys[i] != key {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.values = append(n.values[:i], n.values[i+1:]...)
+	s.size--
+	// Rebuild if the tree has become sparse: more than 4 leaves on average
+	// emptier than a quarter full.
+	if s.size > 0 && s.leafCount() > 4 && s.size < s.leafCount()*(s.degree/2) {
+		s.rebuild()
+	} else if s.size == 0 {
+		s.root = &node{leaf: true}
+	}
+	return true
+}
+
+func (s *Store) leafCount() int {
+	n := s.root
+	for n != nil && !n.leaf {
+		n = n.children[0]
+	}
+	count := 0
+	for n != nil {
+		count++
+		n = n.next
+	}
+	return count
+}
+
+// rebuild recreates the tree by bulk-loading all current items.
+func (s *Store) rebuild() {
+	items := s.Items()
+	fresh := NewWithDegree(s.degree)
+	for _, it := range items {
+		fresh.Put(it.Key, it.Value)
+	}
+	s.root = fresh.root
+	s.size = fresh.size
+}
+
+// Min returns the smallest key in the store.
+func (s *Store) Min() (keyspace.Key, bool) {
+	n := s.root
+	if n == nil || s.size == 0 {
+		return 0, false
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		if len(n.keys) > 0 {
+			return n.keys[0], true
+		}
+		n = n.next
+	}
+	return 0, false
+}
+
+// Max returns the largest key in the store.
+func (s *Store) Max() (keyspace.Key, bool) {
+	if s.size == 0 {
+		return 0, false
+	}
+	n := s.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	// The rightmost leaf cannot be empty unless the whole tree is empty,
+	// but lazy deletion may leave empty leaves elsewhere; walk back via a
+	// full scan only in that unlikely case.
+	if len(n.keys) > 0 {
+		return n.keys[len(n.keys)-1], true
+	}
+	var last keyspace.Key
+	found := false
+	s.Ascend(func(it Item) bool {
+		last = it.Key
+		found = true
+		return true
+	})
+	return last, found
+}
+
+// Ascend calls fn for every item in ascending key order until fn returns
+// false.
+func (s *Store) Ascend(fn func(Item) bool) {
+	n := s.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for i := range n.keys {
+			if !fn(Item{Key: n.keys[i], Value: n.values[i]}) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// AscendRange calls fn for every item with key in [r.Lower, r.Upper) in
+// ascending order until fn returns false.
+func (s *Store) AscendRange(r keyspace.Range, fn func(Item) bool) {
+	if r.IsEmpty() || s.size == 0 {
+		return
+	}
+	// Descend to the leaf that would contain r.Lower.
+	n := s.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > r.Lower })
+		n = n.children[i]
+	}
+	for n != nil {
+		for i := range n.keys {
+			k := n.keys[i]
+			if k < r.Lower {
+				continue
+			}
+			if k >= r.Upper {
+				return
+			}
+			if !fn(Item{Key: k, Value: n.values[i]}) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Scan returns all items with keys in r, in ascending order.
+func (s *Store) Scan(r keyspace.Range) []Item {
+	var out []Item
+	s.AscendRange(r, func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// CountRange returns the number of items with keys in r.
+func (s *Store) CountRange(r keyspace.Range) int {
+	count := 0
+	s.AscendRange(r, func(Item) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// Items returns every item in ascending key order.
+func (s *Store) Items() []Item {
+	out := make([]Item, 0, s.size)
+	s.Ascend(func(it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Keys returns every key in ascending order.
+func (s *Store) Keys() []keyspace.Key {
+	out := make([]keyspace.Key, 0, s.size)
+	s.Ascend(func(it Item) bool {
+		out = append(out, it.Key)
+		return true
+	})
+	return out
+}
+
+// ExtractRange removes all items with keys in r from the store and returns
+// them in ascending order. BATON uses this when a peer hands part of its
+// content to another peer (child split, load-balancing boundary shift, or
+// departure).
+func (s *Store) ExtractRange(r keyspace.Range) []Item {
+	moved := s.Scan(r)
+	for _, it := range moved {
+		s.Delete(it.Key)
+	}
+	return moved
+}
+
+// ExtractAll removes and returns every item in the store.
+func (s *Store) ExtractAll() []Item {
+	items := s.Items()
+	s.Clear()
+	return items
+}
+
+// Absorb inserts every item into the store (used when a peer takes over the
+// content of another peer). Existing keys are overwritten.
+func (s *Store) Absorb(items []Item) {
+	for _, it := range items {
+		s.Put(it.Key, it.Value)
+	}
+}
+
+// Clear removes every item.
+func (s *Store) Clear() {
+	s.root = &node{leaf: true}
+	s.size = 0
+}
+
+// KeyAtFraction returns the key located at the given fraction (0..1) of the
+// store's items in key order. It is used by load balancing to find the
+// boundary that splits the local content into a given proportion. The second
+// return value is false when the store is empty.
+func (s *Store) KeyAtFraction(frac float64) (keyspace.Key, bool) {
+	if s.size == 0 {
+		return 0, false
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	target := int(frac * float64(s.size))
+	if target >= s.size {
+		target = s.size - 1
+	}
+	var result keyspace.Key
+	idx := 0
+	found := false
+	s.Ascend(func(it Item) bool {
+		if idx == target {
+			result = it.Key
+			found = true
+			return false
+		}
+		idx++
+		return true
+	})
+	return result, found
+}
+
+// checkInvariants verifies structural invariants of the B+-tree and panics
+// with a descriptive message when one is violated. It is exported to tests
+// through export_test.go.
+func (s *Store) checkInvariants() error {
+	if s.root == nil {
+		return fmt.Errorf("store: nil root")
+	}
+	// Keys strictly ascending across the whole tree.
+	var prev keyspace.Key
+	first := true
+	count := 0
+	var err error
+	s.Ascend(func(it Item) bool {
+		if !first && it.Key <= prev {
+			err = fmt.Errorf("store: keys out of order: %d after %d", it.Key, prev)
+			return false
+		}
+		prev = it.Key
+		first = false
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if count != s.size {
+		return fmt.Errorf("store: size %d but iterated %d items", s.size, count)
+	}
+	return s.checkNode(s.root)
+}
+
+func (s *Store) checkNode(n *node) error {
+	if n.leaf {
+		if len(n.keys) != len(n.values) {
+			return fmt.Errorf("store: leaf has %d keys but %d values", len(n.keys), len(n.values))
+		}
+		return nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return fmt.Errorf("store: internal node has %d keys but %d children", len(n.keys), len(n.children))
+	}
+	for _, c := range n.children {
+		if err := s.checkNode(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"baton/internal/keyspace"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	if s.Len() != 0 {
+		t.Fatalf("new store not empty")
+	}
+	if !s.Put(10, []byte("a")) {
+		t.Fatalf("first Put should insert")
+	}
+	if s.Put(10, []byte("b")) {
+		t.Fatalf("second Put of same key should replace, not insert")
+	}
+	v, ok := s.Get(10)
+	if !ok || string(v) != "b" {
+		t.Fatalf("Get(10) = %q, %v", v, ok)
+	}
+	if _, ok := s.Get(11); ok {
+		t.Fatalf("Get of missing key should report absence")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestPutManyAscendOrder(t *testing.T) {
+	s := NewWithDegree(3)
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		s.Put(keyspace.Key(k), []byte(fmt.Sprint(k)))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	keys := s.Keys()
+	if len(keys) != n {
+		t.Fatalf("Keys returned %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != keyspace.Key(i) {
+			t.Fatalf("keys[%d] = %d, want %d", i, k, i)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewWithDegree(2)
+	for i := 0; i < 200; i++ {
+		s.Put(keyspace.Key(i), nil)
+	}
+	for i := 0; i < 200; i += 2 {
+		if !s.Delete(keyspace.Key(i)) {
+			t.Fatalf("Delete(%d) should succeed", i)
+		}
+	}
+	if s.Delete(0) {
+		t.Fatalf("double delete should fail")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	for i := 0; i < 200; i++ {
+		_, ok := s.Get(keyspace.Key(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the rest.
+	for i := 1; i < 200; i += 2 {
+		if !s.Delete(keyspace.Key(i)) {
+			t.Fatalf("Delete(%d) should succeed", i)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store should be empty, Len = %d", s.Len())
+	}
+	if _, ok := s.Min(); ok {
+		t.Fatalf("Min on empty store should report absence")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New()
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min of empty store")
+	}
+	if _, ok := s.Max(); ok {
+		t.Fatal("Max of empty store")
+	}
+	for _, k := range []keyspace.Key{50, 10, 90, 30, 70} {
+		s.Put(k, nil)
+	}
+	if mn, _ := s.Min(); mn != 10 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := s.Max(); mx != 90 {
+		t.Fatalf("Max = %d", mx)
+	}
+	s.Delete(90)
+	if mx, _ := s.Max(); mx != 70 {
+		t.Fatalf("Max after delete = %d", mx)
+	}
+}
+
+func TestScanAndCountRange(t *testing.T) {
+	s := NewWithDegree(3)
+	for i := 0; i < 100; i++ {
+		s.Put(keyspace.Key(i*10), nil)
+	}
+	items := s.Scan(keyspace.NewRange(95, 250))
+	wantKeys := []keyspace.Key{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200, 210, 220, 230, 240}
+	if len(items) != len(wantKeys) {
+		t.Fatalf("Scan returned %d items, want %d", len(items), len(wantKeys))
+	}
+	for i, it := range items {
+		if it.Key != wantKeys[i] {
+			t.Fatalf("item %d key = %d, want %d", i, it.Key, wantKeys[i])
+		}
+	}
+	if got := s.CountRange(keyspace.NewRange(95, 250)); got != len(wantKeys) {
+		t.Fatalf("CountRange = %d, want %d", got, len(wantKeys))
+	}
+	if got := s.CountRange(keyspace.NewRange(2000, 3000)); got != 0 {
+		t.Fatalf("CountRange outside domain = %d", got)
+	}
+	if got := len(s.Scan(keyspace.NewRange(5, 5))); got != 0 {
+		t.Fatalf("Scan of empty range = %d items", got)
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Put(keyspace.Key(i), nil)
+	}
+	visited := 0
+	s.AscendRange(keyspace.NewRange(0, 50), func(Item) bool {
+		visited++
+		return visited < 7
+	})
+	if visited != 7 {
+		t.Fatalf("early stop visited %d items, want 7", visited)
+	}
+	visited = 0
+	s.Ascend(func(Item) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("Ascend early stop visited %d", visited)
+	}
+}
+
+func TestExtractRange(t *testing.T) {
+	s := New()
+	for i := 0; i < 100; i++ {
+		s.Put(keyspace.Key(i), []byte{byte(i)})
+	}
+	moved := s.ExtractRange(keyspace.NewRange(50, 100))
+	if len(moved) != 50 {
+		t.Fatalf("ExtractRange moved %d items, want 50", len(moved))
+	}
+	if s.Len() != 50 {
+		t.Fatalf("remaining Len = %d, want 50", s.Len())
+	}
+	for _, it := range moved {
+		if it.Key < 50 {
+			t.Fatalf("moved item %d should not have been extracted", it.Key)
+		}
+		if s.Contains(it.Key) {
+			t.Fatalf("extracted item %d still present", it.Key)
+		}
+	}
+	other := New()
+	other.Absorb(moved)
+	if other.Len() != 50 {
+		t.Fatalf("Absorb gave Len %d", other.Len())
+	}
+	if v, ok := other.Get(77); !ok || v[0] != 77 {
+		t.Fatalf("absorbed value lost")
+	}
+}
+
+func TestExtractAllAndClear(t *testing.T) {
+	s := New()
+	for i := 0; i < 20; i++ {
+		s.Put(keyspace.Key(i), nil)
+	}
+	items := s.ExtractAll()
+	if len(items) != 20 || s.Len() != 0 {
+		t.Fatalf("ExtractAll: %d items, %d remaining", len(items), s.Len())
+	}
+	s.Put(1, nil)
+	s.Clear()
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatalf("Clear did not empty the store")
+	}
+}
+
+func TestKeyAtFraction(t *testing.T) {
+	s := New()
+	if _, ok := s.KeyAtFraction(0.5); ok {
+		t.Fatal("KeyAtFraction on empty store")
+	}
+	for i := 0; i < 100; i++ {
+		s.Put(keyspace.Key(i), nil)
+	}
+	if k, _ := s.KeyAtFraction(0); k != 0 {
+		t.Fatalf("KeyAtFraction(0) = %d", k)
+	}
+	if k, _ := s.KeyAtFraction(0.5); k != 50 {
+		t.Fatalf("KeyAtFraction(0.5) = %d", k)
+	}
+	if k, _ := s.KeyAtFraction(1); k != 99 {
+		t.Fatalf("KeyAtFraction(1) = %d", k)
+	}
+	if k, _ := s.KeyAtFraction(-3); k != 0 {
+		t.Fatalf("KeyAtFraction(-3) = %d", k)
+	}
+	if k, _ := s.KeyAtFraction(7); k != 99 {
+		t.Fatalf("KeyAtFraction(7) = %d", k)
+	}
+}
+
+func TestNewWithDegreePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWithDegree(1) should panic")
+		}
+	}()
+	NewWithDegree(1)
+}
+
+// Property-based test: the store behaves exactly like a map[Key][]byte under
+// a random sequence of Put/Delete/Get operations, and iteration order is
+// always sorted.
+func TestStoreMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		s := NewWithDegree(2 + rng.Intn(6))
+		model := map[keyspace.Key][]byte{}
+		for op := 0; op < 2000; op++ {
+			k := keyspace.Key(rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := []byte{byte(op)}
+				s.Put(k, v)
+				model[k] = v
+			case 2:
+				gotDeleted := s.Delete(k)
+				_, existed := model[k]
+				if gotDeleted != existed {
+					t.Fatalf("trial %d op %d: Delete(%d) = %v, model says %v", trial, op, k, gotDeleted, existed)
+				}
+				delete(model, k)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("trial %d: Len %d vs model %d", trial, s.Len(), len(model))
+		}
+		for k, v := range model {
+			got, ok := s.Get(k)
+			if !ok || string(got) != string(v) {
+				t.Fatalf("trial %d: Get(%d) mismatch", trial, k)
+			}
+		}
+		keys := s.Keys()
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("trial %d: keys not strictly ascending", trial)
+			}
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// Property: scanning any range returns exactly the model's keys in that
+// range.
+func TestScanMatchesModelProperty(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		model := map[keyspace.Key]bool{}
+		for i := 0; i < 500; i++ {
+			k := keyspace.Key(rng.Intn(1000))
+			s.Put(k, nil)
+			model[k] = true
+		}
+		lo, hi := keyspace.Key(loRaw%1000), keyspace.Key(hiRaw%1000)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		r := keyspace.NewRange(lo, hi)
+		got := s.Scan(r)
+		want := 0
+		for k := range model {
+			if r.Contains(k) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for _, it := range got {
+			if !r.Contains(it.Key) || !model[it.Key] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStorePut(b *testing.B) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(keyspace.Key(rng.Int63n(1<<40)), nil)
+	}
+}
+
+func BenchmarkStoreGet(b *testing.B) {
+	s := New()
+	for i := 0; i < 100000; i++ {
+		s.Put(keyspace.Key(i), nil)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Get(keyspace.Key(rng.Intn(100000)))
+	}
+}

@@ -1,0 +1,4 @@
+package store
+
+// CheckInvariants exposes the internal structural checker to tests.
+func (s *Store) CheckInvariants() error { return s.checkInvariants() }

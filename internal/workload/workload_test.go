@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"baton/internal/keyspace"
+)
+
+func TestUniformGeneratorInDomain(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1})
+	if g.Domain() != keyspace.FullDomain() {
+		t.Fatalf("default domain = %v", g.Domain())
+	}
+	for i := 0; i < 10000; i++ {
+		k := g.NextKey()
+		if !g.Domain().Contains(k) {
+			t.Fatalf("key %d outside domain", k)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := NewGenerator(Config{Seed: 42})
+	b := NewGenerator(Config{Seed: 42})
+	for i := 0; i < 100; i++ {
+		if a.NextKey() != b.NextKey() {
+			t.Fatal("same seed should produce same sequence")
+		}
+	}
+	c := NewGenerator(Config{Seed: 43})
+	same := true
+	a2 := NewGenerator(Config{Seed: 42})
+	for i := 0; i < 100; i++ {
+		if a2.NextKey() != c.NextKey() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different sequences")
+	}
+}
+
+func TestUniformSpread(t *testing.T) {
+	g := NewGenerator(Config{Seed: 3, Domain: keyspace.NewRange(0, 1000)})
+	buckets := make([]int, 10)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := g.NextKey()
+		buckets[int(k)/100]++
+	}
+	for i, c := range buckets {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Fatalf("uniform bucket %d has fraction %f, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	dom := keyspace.NewRange(0, 1_000_000)
+	g := NewGenerator(Config{Seed: 5, Distribution: Zipf, ZipfTheta: 1.0, ZipfRanks: 1000, Domain: dom})
+	const n = 50000
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		k := g.NextKey()
+		if !dom.Contains(k) {
+			t.Fatalf("zipf key %d outside domain", k)
+		}
+		buckets[int(k)/100000]++
+	}
+	// Zipf(1.0) over ranks mapped monotonically to the domain: the first
+	// bucket must receive far more keys than the last.
+	if buckets[0] < 5*buckets[9]+1 {
+		t.Fatalf("zipf distribution not skewed: first bucket %d, last bucket %d", buckets[0], buckets[9])
+	}
+	// And the total mass in the first two buckets should be a majority.
+	if buckets[0]+buckets[1] < n/2 {
+		t.Fatalf("zipf head too light: %d of %d", buckets[0]+buckets[1], n)
+	}
+}
+
+func TestZipfDefaults(t *testing.T) {
+	g := NewGenerator(Config{Distribution: Zipf, Seed: 1})
+	if g.zipf == nil {
+		t.Fatal("zipf sampler not initialised")
+	}
+	if g.zipf.n != 100_000 {
+		t.Fatalf("default ranks = %d", g.zipf.n)
+	}
+	for i := 0; i < 1000; i++ {
+		if !g.Domain().Contains(g.NextKey()) {
+			t.Fatal("key outside domain")
+		}
+	}
+}
+
+func TestKeysBatch(t *testing.T) {
+	g := NewGenerator(Config{Seed: 9})
+	ks := g.Keys(257)
+	if len(ks) != 257 {
+		t.Fatalf("Keys returned %d keys", len(ks))
+	}
+}
+
+func TestExactQueryHitRate(t *testing.T) {
+	g := NewGenerator(Config{Seed: 11, Domain: keyspace.NewRange(0, 1 << 40)})
+	existing := []keyspace.Key{1, 2, 3, 4, 5}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q := g.ExactQuery(existing, 0.8)
+		if q <= 5 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.8) > 0.05 {
+		t.Fatalf("hit rate = %f, want ~0.8", frac)
+	}
+	// With no existing keys, queries always come from the distribution.
+	q := g.ExactQuery(nil, 1.0)
+	if !g.Domain().Contains(q) {
+		t.Fatal("query outside domain")
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	dom := keyspace.NewRange(0, 1_000_000)
+	g := NewGenerator(Config{Seed: 13, Domain: dom})
+	for i := 0; i < 1000; i++ {
+		r := g.RangeQuery(0.01)
+		if r.IsEmpty() {
+			t.Fatal("range query empty")
+		}
+		if !dom.ContainsRange(r) {
+			t.Fatalf("range query %v escapes domain", r)
+		}
+		if r.Size() != 10000 {
+			t.Fatalf("range width = %d, want 10000", r.Size())
+		}
+	}
+	// Degenerate selectivities are clamped.
+	if r := g.RangeQuery(0); r.Size() < 1 {
+		t.Fatal("zero selectivity should still produce a non-empty range")
+	}
+	if r := g.RangeQuery(5); r.Size() != dom.Size() {
+		t.Fatalf("selectivity > 1 should cover the domain, got %v", r)
+	}
+}
+
+func TestZipfSamplerDistribution(t *testing.T) {
+	z := newZipfSampler(1.0, 100)
+	rng := NewGenerator(Config{Seed: 17}).rng
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.sample(rng)]++
+	}
+	// Rank 0 should be roughly theta-proportionally more frequent than rank 9:
+	// p(0)/p(9) = 10 for theta=1.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 5 || ratio > 20 {
+		t.Fatalf("zipf rank ratio = %f, want ~10", ratio)
+	}
+}
+
+func TestChurnSequence(t *testing.T) {
+	cfg := ChurnConfig{Events: 1000, JoinFraction: 0.6, FailFraction: 0.5, Seed: 21}
+	events := ChurnSequence(cfg)
+	if len(events) != 1000 {
+		t.Fatalf("generated %d events", len(events))
+	}
+	joins, leaves, fails := 0, 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventJoin:
+			joins++
+		case EventLeave:
+			leaves++
+		case EventFail:
+			fails++
+		}
+	}
+	if math.Abs(float64(joins)/1000-0.6) > 0.06 {
+		t.Fatalf("join fraction = %d/1000, want ~0.6", joins)
+	}
+	if leaves == 0 || fails == 0 {
+		t.Fatalf("expected both leaves (%d) and failures (%d)", leaves, fails)
+	}
+	// Deterministic for the same seed.
+	again := ChurnSequence(cfg)
+	for i := range events {
+		if events[i] != again[i] {
+			t.Fatal("churn sequence not deterministic")
+		}
+	}
+}
+
+func TestChurnEventKindString(t *testing.T) {
+	if EventJoin.String() != "join" || EventLeave.String() != "leave" || EventFail.String() != "fail" {
+		t.Fatal("ChurnEventKind names wrong")
+	}
+	if ChurnEventKind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
