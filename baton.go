@@ -26,6 +26,7 @@ package baton
 import (
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/p2p"
 	"baton/internal/stats"
 	"baton/internal/store"
 )
@@ -91,4 +92,37 @@ var (
 	ErrPeerDown = core.ErrPeerDown
 	// ErrLastPeer is returned when the only remaining peer tries to leave.
 	ErrLastPeer = core.ErrLastPeer
+)
+
+// Cluster is a live, concurrently executing deployment of a BATON overlay:
+// one goroutine per peer, requests as messages, and fault-tolerant routing
+// around killed peers. Every method is safe for concurrent use and never
+// blocks indefinitely — see the package documentation of internal/p2p for
+// the full concurrency contract. Beyond single-key Get/Put/Delete and the
+// two range modes (parallel fan-out via Range, sequential chain walk via
+// RangeSerial), the cluster offers batched BulkGet/BulkPut/BulkDelete that
+// group keys by responsible peer and pipeline one message per peer.
+type Cluster = p2p.Cluster
+
+// BulkResult is the per-key outcome of a bulk operation on a Cluster.
+type BulkResult = p2p.BulkResult
+
+// NewCluster animates a snapshot of the simulated network as a live
+// cluster: every peer becomes a goroutine serving its share of the data.
+// Call Stop when done.
+//
+//	cluster := baton.NewCluster(nw)
+//	defer cluster.Stop()
+//	items, _, err := cluster.Range(cluster.PeerIDs()[0], baton.NewRange(100, 5000))
+func NewCluster(nw *Network) *Cluster { return p2p.NewCluster(nw) }
+
+// Errors re-exported from the live cluster implementation.
+var (
+	// ErrClusterStopped is returned by cluster operations after Stop.
+	ErrClusterStopped = p2p.ErrStopped
+	// ErrOwnerDown is returned when the peer responsible for a key is dead.
+	ErrOwnerDown = p2p.ErrOwnerDown
+	// ErrUnreachable is returned when routing cannot reach the responsible
+	// peer because every useful link points at dead peers.
+	ErrUnreachable = p2p.ErrUnreachable
 )

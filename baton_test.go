@@ -79,3 +79,71 @@ func TestPublicAPILoadBalancing(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicAPILiveCluster exercises the re-exported live cluster: animate
+// the network, run single-key and bulk operations, both range modes, and
+// shut down cleanly.
+func TestPublicAPILiveCluster(t *testing.T) {
+	nw := baton.NewNetwork(baton.Config{Seed: 43})
+	for nw.Size() < 40 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		k := baton.Key(1 + i*4_999_999)
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster := baton.NewCluster(nw)
+	defer cluster.Stop()
+	via := cluster.PeerIDs()[0]
+
+	if _, err := cluster.Put(via, 123, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, _, err := cluster.Get(via, 123)
+	if err != nil || !found || string(v) != "x" {
+		t.Fatalf("cluster round trip: %q %v %v", v, found, err)
+	}
+
+	items := []baton.Item{{Key: 1_000, Value: []byte("a")}, {Key: 900_000_000, Value: []byte("b")}}
+	res, err := cluster.BulkPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("bulk put: %+v", r)
+		}
+	}
+	got, err := cluster.BulkGet([]baton.Key{1_000, 900_000_000})
+	if err != nil || !got[0].Found || !got[1].Found {
+		t.Fatalf("bulk get: %+v %v", got, err)
+	}
+	if string(got[0].Value) != "a" || string(got[1].Value) != "b" {
+		t.Fatalf("bulk get values: %q %q", got[0].Value, got[1].Value)
+	}
+	if _, err := cluster.BulkDelete([]baton.Key{1_000}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := baton.NewRange(1, 500_000_000)
+	par, _, err := cluster.Range(via, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, _, err := cluster.RangeSerial(via, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(ser) {
+		t.Fatalf("parallel range returned %d items, serial %d", len(par), len(ser))
+	}
+
+	cluster.Stop()
+	if _, _, _, err := cluster.Get(via, 123); err != baton.ErrClusterStopped {
+		t.Fatalf("after stop: %v, want ErrClusterStopped", err)
+	}
+}

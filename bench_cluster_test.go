@@ -1,0 +1,173 @@
+// Live-cluster benchmarks: where bench_test.go regenerates the paper's
+// message-count figures from the serialised simulator, this file measures
+// the wall-clock behaviour of the concurrent goroutine-per-peer cluster —
+// the parallel range fan-out against the sequential adjacent-chain walk,
+// batched bulk operations against routed singleton operations, and the
+// closed-loop throughput driver. Run with:
+//
+//	go test -bench=Cluster -benchmem .
+package baton_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"baton/internal/keyspace"
+	"baton/internal/p2p"
+	"baton/internal/store"
+	"baton/internal/workload"
+	"baton/internal/workload/driver"
+)
+
+// clusterCache lazily builds and shares one loaded 256-peer live cluster;
+// building (joins + inserts through the simulator) would otherwise dominate
+// any single benchmark's runtime.
+type clusterCache struct {
+	sync.Once
+	c    *p2p.Cluster
+	keys []keyspace.Key
+}
+
+func (cc *clusterCache) get() (*p2p.Cluster, []keyspace.Key) {
+	cc.Do(func() {
+		c, keys, err := driver.BuildCluster(benchPeers, benchItems, 1)
+		if err != nil {
+			panic(err)
+		}
+		cc.c = c
+		cc.keys = keys
+	})
+	return cc.c, cc.keys
+}
+
+// The write-heavy benchmarks (puts, bulk puts, the mixed driver) share one
+// cluster they are free to grow; the range benchmarks use a separate one
+// that nothing mutates, so the serial-vs-parallel comparison always scans
+// exactly benchItems items regardless of benchmark order or -count.
+var (
+	benchWriteCluster clusterCache
+	benchRangeCluster clusterCache
+)
+
+const (
+	benchPeers = 256
+	benchItems = 20_000
+)
+
+// benchRanges returns deterministic query ranges spanning ≥ 32 of the 256
+// peers (selectivity 0.15 of the domain ≈ 38 peers).
+func benchRanges(n int) []keyspace.Range {
+	gen := workload.NewGenerator(workload.Config{Seed: 3})
+	out := make([]keyspace.Range, n)
+	for i := range out {
+		out[i] = gen.RangeQuery(0.15)
+	}
+	return out
+}
+
+// BenchmarkClusterRangeSerial walks wide range queries through the
+// sequential adjacent-chain protocol of Section IV-B: latency is linear in
+// the number of peers covering the range.
+func BenchmarkClusterRangeSerial(b *testing.B) {
+	c, _ := benchRangeCluster.get()
+	ids := c.PeerIDs()
+	ranges := benchRanges(64)
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		_, h, err := c.RangeSerial(ids[i%len(ids)], ranges[i%len(ranges)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h > hops {
+			hops = h
+		}
+	}
+	b.ReportMetric(float64(hops), "max-chain-hops")
+}
+
+// BenchmarkClusterRangeParallel answers the same wide queries with the
+// parallel fan-out: the critical path shrinks to the scatter depth, which
+// is what the max-chain-hops metric shows against the serial benchmark.
+func BenchmarkClusterRangeParallel(b *testing.B) {
+	c, _ := benchRangeCluster.get()
+	ids := c.PeerIDs()
+	ranges := benchRanges(64)
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		_, h, err := c.Range(ids[i%len(ids)], ranges[i%len(ranges)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h > hops {
+			hops = h
+		}
+	}
+	b.ReportMetric(float64(hops), "max-chain-hops")
+}
+
+// BenchmarkClusterPutRouted stores a batch of 64 keys one routed request at
+// a time — the baseline BulkPut amortises.
+func BenchmarkClusterPutRouted(b *testing.B) {
+	c, _ := benchWriteCluster.get()
+	ids := c.PeerIDs()
+	rng := rand.New(rand.NewSource(5))
+	value := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			k := keyspace.Key(1 + rng.Int63n(999_999_998))
+			if _, err := c.Put(ids[j%len(ids)], k, value); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterBulkPut stores the same sized batch through BulkPut: one
+// pipelined message per responsible peer instead of one routed walk per key.
+func BenchmarkClusterBulkPut(b *testing.B) {
+	c, _ := benchWriteCluster.get()
+	rng := rand.New(rand.NewSource(6))
+	batch := make([]store.Item, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = store.Item{Key: keyspace.Key(1 + rng.Int63n(999_999_998)), Value: []byte("v")}
+		}
+		res, err := c.BulkPut(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterThroughput runs the closed-loop driver (16 clients, mixed
+// 70/20/10 get/put/range workload) and reports ops/sec and tail latency as
+// benchmark metrics.
+func BenchmarkClusterThroughput(b *testing.B) {
+	c, keys := benchWriteCluster.get()
+	b.ResetTimer()
+	var rep driver.Report
+	for i := 0; i < b.N; i++ {
+		rep = driver.Run(c, driver.Config{
+			Clients:          16,
+			Ops:              4_000,
+			GetFraction:      0.7,
+			PutFraction:      0.2,
+			RangeFraction:    0.1,
+			RangeSelectivity: 0.01,
+			Keys:             keys,
+			Seed:             int64(i),
+		})
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/sec")
+	b.ReportMetric(rep.Latency[driver.OpAll].Percentile(0.99), "p99-µs")
+}

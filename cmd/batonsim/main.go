@@ -1,6 +1,11 @@
-// Command batonsim reproduces the evaluation of the BATON paper. It runs the
-// experiment behind each panel of Figure 8 and prints the resulting series
-// as aligned text tables (one row per x value, one column per plotted line).
+// Command batonsim reproduces the evaluation of the BATON paper and drives
+// the live cluster. In the default figures mode it runs the experiment
+// behind each panel of Figure 8 and prints the resulting series as aligned
+// text tables (one row per x value, one column per plotted line). The
+// throughput mode runs the closed-loop concurrent workload driver against a
+// live goroutine-per-peer cluster and reports ops/sec plus latency
+// percentiles; the rangecmp mode benchmarks the parallel range fan-out
+// against the sequential adjacent-chain walk.
 //
 // Usage:
 //
@@ -9,6 +14,8 @@
 //	batonsim -full            # paper-scale parameters (1,000–10,000 peers)
 //	batonsim -sizes 500,1000  # custom network sizes
 //	batonsim -list            # list the reproducible figures
+//	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10
+//	batonsim -mode rangecmp -peers 256 -selectivity 0.15
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 func main() {
 	var (
+		mode    = flag.String("mode", "figures", "figures, throughput or rangecmp")
 		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
 		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
 		list    = flag.Bool("list", false, "list reproducible figures and exit")
@@ -32,8 +40,40 @@ func main() {
 		runs    = flag.Int("runs", 0, "independent repetitions to average (0 = default)")
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("v", false, "print the notes recorded for each figure")
+
+		// Live-cluster flags (throughput and rangecmp modes).
+		peers       = flag.Int("peers", 256, "live cluster size")
+		items       = flag.Int("items", 20_000, "items pre-loaded into the cluster")
+		clients     = flag.Int("clients", 32, "concurrent client goroutines")
+		ops         = flag.Int("ops", 20_000, "total operations across all clients")
+		getFrac     = flag.Float64("get", 0.7, "fraction of get operations")
+		putFrac     = flag.Float64("put", 0.2, "fraction of put operations")
+		delFrac     = flag.Float64("del", 0, "fraction of delete operations")
+		rangeFrac   = flag.Float64("range", 0.1, "fraction of range operations")
+		selectivity = flag.Float64("selectivity", 0.01, "range query selectivity (fraction of the domain)")
+		kill        = flag.Int("kill", 0, "peers to kill while the workload runs")
+		serialRange = flag.Bool("serialrange", false, "use the sequential chain walk for range queries")
+		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
+		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
 	)
 	flag.Parse()
+
+	switch *mode {
+	case "figures":
+	case "throughput":
+		runThroughput(throughputOptions{
+			peers: *peers, items: *items, clients: *clients, ops: *ops,
+			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
+			selectivity: *selectivity, kill: *kill, serialRange: *serialRange,
+			bulkSize: *bulkSize, seed: *seed,
+		})
+		return
+	case "rangecmp":
+		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
+		return
+	default:
+		fatal(fmt.Errorf("unknown mode %q (want figures, throughput or rangecmp)", *mode))
+	}
 
 	if *list {
 		for _, id := range experiments.Figures() {

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/stats"
+	"baton/internal/workload"
+	"baton/internal/workload/driver"
+)
+
+type throughputOptions struct {
+	peers, items, clients, ops           int
+	getFrac, putFrac, delFrac, rangeFrac float64
+	selectivity                          float64
+	kill, bulkSize                       int
+	serialRange                          bool
+	seed                                 int64
+}
+
+// runThroughput is the batonsim throughput mode: it drives the live cluster
+// with the closed-loop concurrent workload and prints ops/sec and latency
+// percentiles.
+func runThroughput(o throughputOptions) {
+	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
+	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+
+	rep := driver.Run(cluster, driver.Config{
+		Clients:          o.clients,
+		Ops:              o.ops,
+		GetFraction:      o.getFrac,
+		PutFraction:      o.putFrac,
+		DeleteFraction:   o.delFrac,
+		RangeFraction:    o.rangeFrac,
+		RangeSelectivity: o.selectivity,
+		SerialRange:      o.serialRange,
+		BulkSize:         o.bulkSize,
+		Keys:             keys,
+		KillPeers:        o.kill,
+		Seed:             o.seed,
+	})
+	rangeMode := "parallel fan-out"
+	if o.serialRange {
+		rangeMode = "serial chain walk"
+	}
+	fmt.Printf("throughput run (range mode: %s)\n", rangeMode)
+	fmt.Print(rep.String())
+	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())
+}
+
+// runRangeCompare benchmarks the two range modes against each other on the
+// same live cluster and prints per-query latency plus the speedup.
+func runRangeCompare(peers, items, queries int, selectivity float64, seed int64) {
+	fmt.Printf("building live cluster: %d peers, %d items ...\n", peers, items)
+	cluster, _, err := driver.BuildCluster(peers, items, seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+	ids := cluster.PeerIDs()
+	if queries <= 0 {
+		queries = 200
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: seed + 2})
+	ranges := make([]keyspace.Range, queries)
+	for i := range ranges {
+		ranges[i] = gen.RangeQuery(selectivity)
+	}
+	// Pair the comparison: both modes answer the same (via, range) sequence
+	// so routing distance cannot differ between them.
+	rng := rand.New(rand.NewSource(seed + 3))
+	vias := make([]core.PeerID, len(ranges))
+	for i := range vias {
+		vias[i] = ids[rng.Intn(len(ids))]
+	}
+
+	// Warm both code paths (scheduler, allocator, caches) before measuring
+	// so the first mode measured doesn't absorb the cold-start cost and skew
+	// the printed speedup.
+	for i := 0; i < 16 && i < len(ranges); i++ {
+		cluster.RangeSerial(vias[i], ranges[i])
+		cluster.Range(vias[i], ranges[i])
+	}
+
+	measure := func(serial bool) (*stats.Latency, int) {
+		lat := &stats.Latency{}
+		maxHops := 0
+		for i, r := range ranges {
+			via := vias[i]
+			t0 := time.Now()
+			var hops int
+			var err error
+			if serial {
+				_, hops, err = cluster.RangeSerial(via, r)
+			} else {
+				_, hops, err = cluster.Range(via, r)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			lat.Add(float64(time.Since(t0).Microseconds()))
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+		return lat, maxHops
+	}
+
+	serialLat, serialHops := measure(true)
+	parLat, parHops := measure(false)
+	fmt.Printf("%d range queries, selectivity %.3f (≈%.0f peers per range)\n",
+		queries, selectivity, selectivity*float64(peers))
+	fmt.Printf("%-18s %10s %10s %10s %10s\n", "mode", "mean µs", "p50 µs", "p99 µs", "max hops")
+	fmt.Printf("%-18s %10.0f %10.0f %10.0f %10d\n", "serial chain", serialLat.Mean(), serialLat.Percentile(0.5), serialLat.Percentile(0.99), serialHops)
+	fmt.Printf("%-18s %10.0f %10.0f %10.0f %10d\n", "parallel fan-out", parLat.Mean(), parLat.Percentile(0.5), parLat.Percentile(0.99), parHops)
+	if m := parLat.Mean(); m > 0 {
+		fmt.Printf("speedup: %.2fx (mean latency)\n", serialLat.Mean()/m)
+	}
+}

@@ -1,0 +1,3 @@
+module baton
+
+go 1.24

@@ -1,0 +1,149 @@
+package p2p
+
+import (
+	"sort"
+
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// BulkResult is the per-key outcome of a bulk operation. Results are
+// returned in the order of the input keys. Err is ErrOwnerDown when the
+// peer responsible for the key was dead, nil otherwise.
+type BulkResult struct {
+	Key   keyspace.Key
+	Value []byte // BulkGet only
+	Found bool   // BulkGet: key present; BulkDelete: key existed
+	Err   error
+}
+
+// BulkGet looks up many keys at once. Keys are grouped by responsible peer
+// and one batched message is pipelined per peer, so a batch of k keys costs
+// one round trip per covering peer instead of k full routed lookups.
+func (c *Cluster) BulkGet(keys []keyspace.Key) ([]BulkResult, error) {
+	items := make([]store.Item, len(keys))
+	for i, k := range keys {
+		items[i] = store.Item{Key: k}
+	}
+	return c.bulk(kindBulkGet, items)
+}
+
+// BulkPut stores many items at once, grouped and pipelined by responsible
+// peer like BulkGet.
+func (c *Cluster) BulkPut(items []store.Item) ([]BulkResult, error) {
+	return c.bulk(kindBulkPut, items)
+}
+
+// BulkDelete removes many keys at once, grouped and pipelined by
+// responsible peer like BulkGet; each result's Found reports whether the
+// key existed.
+func (c *Cluster) BulkDelete(keys []keyspace.Key) ([]BulkResult, error) {
+	items := make([]store.Item, len(keys))
+	for i, k := range keys {
+		items[i] = store.Item{Key: k}
+	}
+	return c.bulk(kindBulkDelete, items)
+}
+
+// ownerOf returns the peer responsible for key: the peer whose range
+// contains it, or the extreme peers for keys outside the domain (the same
+// rule ownsExtreme applies during routing). The ring is immutable after
+// NewCluster, so the lookup is a plain binary search.
+func (c *Cluster) ownerOf(key keyspace.Key) *peer {
+	n := len(c.ring)
+	if n == 0 {
+		return nil
+	}
+	if key < c.ring[0].rng.Lower {
+		return c.ring[0]
+	}
+	i := sort.Search(n, func(i int) bool { return c.ring[i].rng.Lower > key })
+	return c.ring[i-1]
+}
+
+// bulk groups the items by responsible peer, sends one batched request per
+// peer, and gathers the per-key results back into input order. The batches
+// are all in flight at once (pipelined); the only whole-call error is
+// ErrStopped. Per-key failures — the owner was dead when the batch was sent
+// or died with the batch queued — surface as ErrOwnerDown on the affected
+// results.
+func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	out := make([]BulkResult, len(items))
+	type batch struct {
+		p       *peer
+		items   []store.Item
+		indices []int
+		reply   chan response
+	}
+	batches := make(map[*peer]*batch)
+	order := make([]*batch, 0)
+	for i, it := range items {
+		p := c.ownerOf(it.Key)
+		if p == nil {
+			out[i] = BulkResult{Key: it.Key, Err: ErrUnknownPeer}
+			continue
+		}
+		b := batches[p]
+		if b == nil {
+			b = &batch{p: p, reply: make(chan response, 1)}
+			batches[p] = b
+			order = append(order, b)
+		}
+		b.items = append(b.items, it)
+		b.indices = append(b.indices, i)
+	}
+	// Scatter every batch before gathering any reply so the per-peer work
+	// overlaps.
+	for _, b := range order {
+		req := request{kind: k, bulk: b.items, reply: b.reply}
+		if !c.send(b.p.id, req) {
+			if c.stopped.Load() {
+				// The send failed because the cluster is stopping, not
+				// because the owner died — don't mislabel healthy peers.
+				return nil, ErrStopped
+			}
+			b.reply <- response{err: ErrOwnerDown}
+		}
+	}
+	for _, b := range order {
+		var resp response
+		select {
+		case resp = <-b.reply:
+		case <-c.done:
+			return nil, ErrStopped
+		}
+		for j, idx := range b.indices {
+			if resp.err != nil {
+				out[idx] = BulkResult{Key: b.items[j].Key, Err: resp.err}
+				continue
+			}
+			out[idx] = resp.results[j]
+		}
+	}
+	return out, nil
+}
+
+// handleBulk applies a batched operation locally. Every key in the batch is
+// owned by this peer (the client grouped them with the same range table the
+// router uses), so no forwarding is ever needed: the whole batch costs the
+// one message that delivered it.
+func (c *Cluster) handleBulk(p *peer, req request) {
+	results := make([]BulkResult, len(req.bulk))
+	for i, it := range req.bulk {
+		switch req.kind {
+		case kindBulkGet:
+			v, ok := p.data.Get(it.Key)
+			results[i] = BulkResult{Key: it.Key, Value: v, Found: ok}
+		case kindBulkPut:
+			p.data.Put(it.Key, it.Value)
+			results[i] = BulkResult{Key: it.Key, Found: true}
+		case kindBulkDelete:
+			ok := p.data.Delete(it.Key)
+			results[i] = BulkResult{Key: it.Key, Found: ok}
+		}
+	}
+	req.reply <- response{results: results, hops: req.hops}
+}

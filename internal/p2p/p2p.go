@@ -17,11 +17,37 @@
 // the affected peers anyway, and the simulator already covers them. A
 // cluster is created from a core.Network at a point in time and serves data
 // traffic from then on.
+//
+// # Concurrency contract
+//
+// Every exported method of Cluster is safe for concurrent use by any number
+// of goroutines. A peer's stored data is touched only by that peer's own
+// goroutine, so request handling needs no per-item locking. Calls never
+// block indefinitely:
+//
+//   - A request addressed to (or queued at) a peer that has been killed
+//     fails with ErrOwnerDown instead of hanging.
+//   - Stop may be called at any time, including with requests in flight;
+//     in-flight calls complete or return ErrStopped, and shutdown never
+//     panics. Peers are never signalled by closing their inboxes — shutdown
+//     is broadcast on a separate done channel precisely so that concurrent
+//     senders cannot hit a closed channel.
+//
+// Range queries come in two flavours: RangeSerial walks the right-adjacent
+// chain one peer at a time exactly as Section IV-B describes, while Range
+// (the default) scatters the uncovered remainder of the query across the
+// chain and the sideways routing tables in parallel and gathers the partial
+// answers in a per-query collector, turning O(peers-covered) sequential
+// hops into a logarithmic-depth fan-out. Bulk operations (BulkGet, BulkPut,
+// BulkDelete) group keys by responsible peer and pipeline one batched
+// message per peer, amortising routing hops across the whole batch.
 package p2p
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -52,6 +78,10 @@ const (
 	kindPut
 	kindDelete
 	kindRange
+	kindRangeScatter
+	kindBulkGet
+	kindBulkPut
+	kindBulkDelete
 )
 
 // request is one message travelling through the overlay. Replies are
@@ -63,7 +93,17 @@ type request struct {
 	value []byte
 	rng   keyspace.Range
 	hops  int
-	acc   []store.Item // accumulated range results
+	acc   []store.Item // accumulated range results (serial walk)
+	// par marks a kindRange request that should fan out in parallel once
+	// phase-1 routing reaches the peer owning the range's lower bound.
+	par bool
+	// coll is the shared gather state of a parallel range query; set on
+	// kindRangeScatter sub-requests (which carry no reply channel of their
+	// own — the collector answers the client when the last branch finishes).
+	coll *collector
+	// bulk carries the keys/items of a batched operation, all owned by the
+	// addressed peer.
+	bulk []store.Item
 	// visited records the peers this request has already passed through so
 	// fail-over never loops; only one copy of the request is in flight at a
 	// time, so the map is never accessed concurrently.
@@ -73,11 +113,12 @@ type request struct {
 
 // response is the terminal answer to a request.
 type response struct {
-	value []byte
-	found bool
-	items []store.Item
-	hops  int
-	err   error
+	value   []byte
+	found   bool
+	items   []store.Item
+	results []BulkResult
+	hops    int
+	err     error
 }
 
 // link is the information a peer keeps about another peer: enough to decide
@@ -105,8 +146,14 @@ type peer struct {
 
 // Cluster is a set of live peers animating a BATON overlay.
 type Cluster struct {
-	peers   map[core.PeerID]*peer
+	peers map[core.PeerID]*peer
+	// ring lists the peers in key order; it is the client-side routing cache
+	// the bulk operations use to address the responsible peer directly (the
+	// ranges are fixed for the life of the cluster, so the cache never goes
+	// stale).
+	ring    []*peer
 	wg      sync.WaitGroup
+	done    chan struct{}
 	stopped atomic.Bool
 	msgs    atomic.Int64
 	hopCap  int
@@ -116,19 +163,24 @@ type Cluster struct {
 // network: every peer's position, range, links and stored items are copied
 // and a goroutine is started per peer.
 func NewCluster(nw *core.Network) *Cluster {
-	c := &Cluster{peers: make(map[core.PeerID]*peer)}
+	c := &Cluster{
+		peers: make(map[core.PeerID]*peer),
+		done:  make(chan struct{}),
+	}
 	snapshot := core.Snapshot(nw)
 	for _, ps := range snapshot {
 		p := &peer{
 			id:    ps.ID,
 			rng:   ps.Range,
 			data:  store.New(),
-			inbox: make(chan request, 128),
+			inbox: make(chan request, 256),
 		}
 		p.data.Absorb(ps.Items)
 		p.alive.Store(true)
 		c.peers[p.id] = p
+		c.ring = append(c.ring, p)
 	}
+	sort.Slice(c.ring, func(i, j int) bool { return c.ring[i].rng.Lower < c.ring[j].rng.Lower })
 	// Wire the links after all peers exist.
 	toLink := func(id core.PeerID) *link {
 		if id == core.NoPeer {
@@ -178,7 +230,8 @@ func (c *Cluster) PeerIDs() []core.PeerID {
 }
 
 // Kill stops the given peer: its goroutine keeps draining the inbox (so
-// senders never block) but every request delivered to it fails over to an
+// senders never block) but answers every queued or future request with
+// ErrOwnerDown, and every new request addressed to it fails over to an
 // alternative path at the sender, exactly like an unreachable address.
 func (c *Cluster) Kill(id core.PeerID) error {
 	p, ok := c.peers[id]
@@ -196,18 +249,28 @@ func (c *Cluster) Alive(id core.PeerID) bool {
 }
 
 // Stop shuts the cluster down and waits for every peer goroutine to exit.
+// It is safe to call concurrently with in-flight requests (they complete or
+// return ErrStopped) and is idempotent. Inboxes are never closed — shutdown
+// is broadcast on c.done — so a concurrent send can never panic.
 func (c *Cluster) Stop() {
 	if c.stopped.Swap(true) {
 		return
 	}
-	for _, p := range c.peers {
-		close(p.inbox)
-	}
+	close(c.done)
 	c.wg.Wait()
 }
 
 // send delivers a request to the peer with the given ID. It reports false
-// when the target is dead or the cluster is stopped.
+// when the target is dead or the cluster is stopped. A full inbox never
+// blocks the caller: the delivery is completed by a detached goroutine, so
+// a peer goroutine can never block on another peer's inbox — a cycle of
+// such sends is the classic message-system deadlock, and avoiding it is
+// what keeps the "calls never block indefinitely" contract true under any
+// client count. Detached deliveries abort at Stop (their clients observe
+// ErrStopped via issue's done select). The transient goroutines are
+// bounded by the number of in-flight messages — each client contributes at
+// most one routed request or one scatter sub-request per covering peer —
+// and every one retires as soon as its target inbox drains.
 func (c *Cluster) send(to core.PeerID, req request) bool {
 	if c.stopped.Load() {
 		return false
@@ -216,8 +279,18 @@ func (c *Cluster) send(to core.PeerID, req request) bool {
 	if !ok || !p.alive.Load() {
 		return false
 	}
-	c.msgs.Add(1)
-	p.inbox <- req
+	select {
+	case p.inbox <- req:
+		c.msgs.Add(1)
+	default:
+		go func() {
+			select {
+			case p.inbox <- req:
+				c.msgs.Add(1)
+			case <-c.done:
+			}
+		}()
+	}
 	return true
 }
 
@@ -249,7 +322,24 @@ func (c *Cluster) Delete(via core.PeerID, key keyspace.Key) (bool, int, error) {
 }
 
 // Range returns every stored item with a key in r, starting at peer via.
+// The query is routed to the peer owning r.Lower (phase 1) and from there
+// fans out over the covering peers in parallel; the reported hop count is
+// the longest message chain of the fan-out, i.e. the latency-determining
+// path. Items are returned in key order. A dead peer inside the range
+// yields the partial result together with ErrOwnerDown.
 func (c *Cluster) Range(via core.PeerID, r keyspace.Range) ([]store.Item, int, error) {
+	resp, err := c.issue(via, request{kind: kindRange, key: r.Lower, rng: r, par: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.items, resp.hops, resp.err
+}
+
+// RangeSerial answers the range query by walking the right-adjacent chain
+// one peer at a time, exactly as Section IV-B of the paper describes. It is
+// kept as the baseline the parallel fan-out is benchmarked against; its
+// latency grows linearly with the number of peers covering the range.
+func (c *Cluster) RangeSerial(via core.PeerID, r keyspace.Range) ([]store.Item, int, error) {
 	resp, err := c.issue(via, request{kind: kindRange, key: r.Lower, rng: r})
 	if err != nil {
 		return nil, 0, err
@@ -257,6 +347,9 @@ func (c *Cluster) Range(via core.PeerID, r keyspace.Range) ([]store.Item, int, e
 	return resp.items, resp.hops, resp.err
 }
 
+// issue sends the request into the overlay via the given peer and waits for
+// the answer. The wait also watches the cluster's done channel so a client
+// can never block across Stop.
 func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	if c.stopped.Load() {
 		return response{}, ErrStopped
@@ -266,32 +359,68 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	}
 	req.reply = make(chan response, 1)
 	if !c.send(via, req) {
+		if c.stopped.Load() {
+			return response{}, ErrStopped
+		}
 		return response{}, fmt.Errorf("%w: %d", ErrOwnerDown, via)
 	}
-	return <-req.reply, nil
+	select {
+	case resp := <-req.reply:
+		return resp, nil
+	case <-c.done:
+		return response{}, ErrStopped
+	}
 }
 
 // serve is the peer goroutine: it drains the inbox and handles or forwards
-// each request.
+// each request. A killed peer keeps draining so senders never block, but
+// refuses every request with ErrOwnerDown — a request already queued when
+// the peer died must still be answered or its client would hang forever.
 func (c *Cluster) serve(p *peer) {
 	defer c.wg.Done()
-	for req := range p.inbox {
-		if !p.alive.Load() {
-			// A dead peer never answers; the sender has already failed over.
-			continue
+	for {
+		select {
+		case <-c.done:
+			return
+		case req := <-p.inbox:
+			if !p.alive.Load() {
+				c.refuse(req, ErrOwnerDown)
+				continue
+			}
+			c.handle(p, req)
 		}
-		c.handle(p, req)
 	}
+}
+
+// refuse terminates a request with the given error, whichever completion
+// path it uses: scatter sub-requests report into their collector, everything
+// else answers on its reply channel.
+func (c *Cluster) refuse(req request, err error) {
+	if req.coll != nil {
+		req.coll.finish(req.rng.Lower, nil, req.hops, err)
+		return
+	}
+	// A serial range walk carries everything collected so far in req.acc;
+	// the client is promised the partial answer alongside the error, so it
+	// must not be dropped here.
+	req.reply <- response{items: req.acc, hops: req.hops, err: err}
 }
 
 func (c *Cluster) handle(p *peer, req request) {
 	req.hops++
 	if req.hops > c.hopCap {
-		req.reply <- response{hops: req.hops, err: ErrUnreachable}
+		c.refuse(req, ErrUnreachable)
 		return
 	}
-	if req.kind == kindRange {
+	switch req.kind {
+	case kindRange:
 		c.handleRange(p, req)
+		return
+	case kindRangeScatter:
+		c.scatterAt(p, req.rng, req.hops, req.coll)
+		return
+	case kindBulkGet, kindBulkPut, kindBulkDelete:
+		c.handleBulk(p, req)
 		return
 	}
 	if p.rng.Contains(req.key) || c.ownsExtreme(p, req.key) {
@@ -337,7 +466,7 @@ func (c *Cluster) forward(p *peer, req request) {
 	// (the simulator applies the same rule).
 	for _, cand := range cands {
 		if cand != nil && cand.lower <= req.key && req.key < cand.upper && !c.Alive(cand.id) {
-			req.reply <- response{hops: req.hops, err: ErrOwnerDown}
+			c.refuse(req, ErrOwnerDown)
 			return
 		}
 	}
@@ -349,15 +478,24 @@ func (c *Cluster) forward(p *peer, req request) {
 			return
 		}
 	}
+	// Every unvisited candidate is dead: back out of the dead region through
+	// an already-visited peer, chosen at random. A deterministic choice here
+	// can bounce the request around the same closed orbit until the hop cap
+	// even though a detour exists; randomising the escape makes the walk
+	// ergodic, so with the generous hop cap the request finds any alive
+	// route that exists.
+	alive := cands[:0]
 	for _, cand := range cands {
-		if cand == nil {
-			continue
+		if cand != nil && c.Alive(cand.id) {
+			alive = append(alive, cand)
 		}
-		if c.send(cand.id, req) {
+	}
+	for _, i := range rand.Perm(len(alive)) {
+		if c.send(alive[i].id, req) {
 			return
 		}
 	}
-	req.reply <- response{hops: req.hops, err: ErrUnreachable}
+	c.refuse(req, ErrUnreachable)
 }
 
 // candidates lists forwarding targets for key at p, best first: the farthest
@@ -397,9 +535,9 @@ func (c *Cluster) candidates(p *peer, key keyspace.Key) []*link {
 
 // handleRange implements the two phases of a range query (Section IV-B):
 // the request is first routed like an exact query towards the range's lower
-// bound; once a peer responsible for it is reached, the request walks the
-// right-adjacent chain collecting partial answers until the range is
-// exhausted, and the accumulated items are returned to the client.
+// bound; once a peer responsible for it is reached, the range is answered
+// either by the serial adjacent-chain walk below or by the parallel fan-out
+// in range_fanout.go, depending on req.par.
 func (c *Cluster) handleRange(p *peer, req request) {
 	r := req.rng
 	owns := p.rng.Contains(r.Lower) || c.ownsExtreme(p, r.Lower)
@@ -410,7 +548,14 @@ func (c *Cluster) handleRange(p *peer, req request) {
 		c.forward(p, req)
 		return
 	}
-	// Phase 2: collect locally and continue rightwards.
+	if req.par {
+		// Phase 2, parallel: become the fan-out coordinator.
+		coll := &collector{reply: req.reply}
+		coll.grow(1)
+		c.scatterAt(p, r, req.hops, coll)
+		return
+	}
+	// Phase 2, serial: collect locally and continue rightwards.
 	if p.rng.Intersects(r) {
 		req.acc = append(req.acc, p.data.Scan(r)...)
 	}

@@ -193,14 +193,29 @@ func TestClusterRoutesAroundKilledPeers(t *testing.T) {
 			}
 		}
 	}
+	// Failures can partition the alive link graph (e.g. a leaf whose parent,
+	// adjacents and routing entries all died is fully cut off), and no
+	// routing protocol can cross a partition. The property the overlay does
+	// guarantee — and the one this test asserts — is that every query whose
+	// via and owner sit in the same alive component succeeds; across a
+	// partition it must fail fast with an error rather than hang.
+	component := aliveComponent(c, killed)
 	checked := 0
 	for _, k := range keys {
 		if onDeadPeer(k) {
 			continue
 		}
-		_, found, _, err := c.Get(liveVia(), k)
+		via := liveVia()
+		owner := c.ownerOf(k)
+		_, found, _, err := c.Get(via, k)
+		if component[via] != component[owner.id] {
+			if err == nil {
+				t.Fatalf("get %d crossed a partition (via %d, owner %d)", k, via, owner.id)
+			}
+			continue
+		}
 		if err != nil {
-			t.Fatalf("get %d with failures: %v", k, err)
+			t.Fatalf("get %d with failures (via %d and owner %d connected): %v", k, via, owner.id, err)
 		}
 		if !found {
 			t.Fatalf("key %d on a live peer not found while routing around failures", k)
@@ -241,4 +256,40 @@ func TestClusterUnknownPeer(t *testing.T) {
 	if err := c.Kill(core.PeerID(9999)); err == nil {
 		t.Fatal("killing an unknown peer should error")
 	}
+}
+
+// aliveComponent labels each alive peer with its connected component in the
+// link graph restricted to alive peers (union of parent, child, adjacent and
+// routing-table links, which are symmetric in BATON).
+func aliveComponent(c *Cluster, killed map[core.PeerID]bool) map[core.PeerID]int {
+	comp := map[core.PeerID]int{}
+	next := 0
+	for id := range c.peers {
+		if killed[id] {
+			continue
+		}
+		if _, seen := comp[id]; seen {
+			continue
+		}
+		next++
+		queue := []core.PeerID{id}
+		comp[id] = next
+		for len(queue) > 0 {
+			p := c.peers[queue[0]]
+			queue = queue[1:]
+			links := []*link{p.parent, p.children[0], p.children[1], p.adjacent[0], p.adjacent[1]}
+			links = append(links, p.rt[0]...)
+			links = append(links, p.rt[1]...)
+			for _, l := range links {
+				if l == nil || killed[l.id] {
+					continue
+				}
+				if _, seen := comp[l.id]; !seen {
+					comp[l.id] = next
+					queue = append(queue, l.id)
+				}
+			}
+		}
+	}
+	return comp
 }

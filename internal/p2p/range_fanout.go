@@ -1,0 +1,157 @@
+package p2p
+
+import (
+	"sort"
+	"sync"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// chunk is one peer's sorted contribution to a parallel range query. Peers
+// own disjoint ranges, so ordering chunks by their segment lower bound and
+// concatenating yields the full answer in key order without ever sorting
+// individual items.
+type chunk struct {
+	lo    keyspace.Key
+	items []store.Item
+}
+
+// collector is the per-query gather state of a parallel range query. The
+// peer owning the range's lower bound creates one and seeds it with its own
+// pending unit of work; every scatter sub-request grows the pending count
+// before it is sent and shrinks it when its branch finishes, so the count
+// can only reach zero once every branch has reported. The branch that takes
+// the count to zero delivers the gathered answer to the client.
+type collector struct {
+	reply chan response
+
+	mu      sync.Mutex
+	chunks  []chunk
+	err     error
+	hops    int // longest message chain across all branches
+	pending int
+}
+
+// grow registers n additional outstanding branches. It must be called
+// before the corresponding sub-requests are sent so a fast child cannot
+// drive pending to zero while its parent is still scattering.
+func (g *collector) grow(n int) {
+	g.mu.Lock()
+	g.pending += n
+	g.mu.Unlock()
+}
+
+// finish reports one branch's partial result: the sorted items of the peer
+// whose range starts at lo. When the last branch finishes, the chunks are
+// stitched together in key order and sent to the client; the reply channel
+// is buffered so this never blocks a peer goroutine.
+func (g *collector) finish(lo keyspace.Key, items []store.Item, hops int, err error) {
+	g.mu.Lock()
+	if len(items) > 0 {
+		g.chunks = append(g.chunks, chunk{lo: lo, items: items})
+	}
+	if err != nil && g.err == nil {
+		g.err = err
+	}
+	if hops > g.hops {
+		g.hops = hops
+	}
+	g.pending--
+	done := g.pending == 0
+	var resp response
+	if done {
+		sort.Slice(g.chunks, func(i, j int) bool { return g.chunks[i].lo < g.chunks[j].lo })
+		n := 0
+		for _, c := range g.chunks {
+			n += len(c.items)
+		}
+		all := make([]store.Item, 0, n)
+		for _, c := range g.chunks {
+			all = append(all, c.items...)
+		}
+		resp = response{items: all, hops: g.hops, err: g.err}
+	}
+	g.mu.Unlock()
+	if done {
+		g.reply <- resp
+	}
+}
+
+// scatterAt is the parallel counterpart of the serial adjacent-chain walk:
+// peer p answers the part of rng it stores, splits the still-uncovered
+// remainder into contiguous segments — one per alive right-routing-table
+// entry whose range starts inside the remainder, plus the leading segment
+// for the right adjacent chain — and scatters one sub-request per segment.
+// Each recipient owns its segment's lower bound and recursively does the
+// same, so a range covering m peers completes in O(log m) message depth
+// instead of m sequential hops.
+func (c *Cluster) scatterAt(p *peer, rng keyspace.Range, hops int, coll *collector) {
+	items := p.data.Scan(rng)
+	rem := rng
+	if p.rng.Upper > rem.Lower {
+		rem.Lower = p.rng.Upper
+	}
+	var err error
+	if !rem.IsEmpty() {
+		err = c.scatterRemainder(p, rem, hops, coll)
+	}
+	coll.finish(rng.Lower, items, hops, err)
+}
+
+// scatterRemainder splits rem (which starts exactly at p's upper bound)
+// across p's rightward links and sends one scatter sub-request per segment.
+// It returns ErrOwnerDown if any segment's owner could not be reached, in
+// which case the query completes with the partial answer, mirroring the
+// serial walk's behaviour at a dead chain link.
+func (c *Cluster) scatterRemainder(p *peer, rem keyspace.Range, hops int, coll *collector) error {
+	next := p.adjacent[1]
+	if next == nil {
+		// p is the rightmost peer: the remainder lies beyond the domain and
+		// holds no data.
+		return nil
+	}
+	// Cut points: alive right-routing-table entries whose range starts
+	// strictly inside the remainder. Their lower bounds are valid segment
+	// boundaries because each entry owns keys from its lower bound onward.
+	var cuts []*link
+	for _, l := range p.rt[1] {
+		if l == nil || !c.Alive(l.id) {
+			continue
+		}
+		if l.lower > rem.Lower && l.lower < rem.Upper {
+			cuts = append(cuts, l)
+		}
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].lower < cuts[j].lower })
+
+	type segment struct {
+		to core.PeerID
+		r  keyspace.Range
+	}
+	segs := make([]segment, 0, len(cuts)+1)
+	lo := rem.Lower
+	target := next.id
+	for _, cut := range cuts {
+		segs = append(segs, segment{to: target, r: keyspace.Range{Lower: lo, Upper: cut.lower}})
+		lo, target = cut.lower, cut.id
+	}
+	segs = append(segs, segment{to: target, r: keyspace.Range{Lower: lo, Upper: rem.Upper}})
+
+	var firstErr error
+	for _, s := range segs {
+		coll.grow(1)
+		sub := request{kind: kindRangeScatter, key: s.r.Lower, rng: s.r, hops: hops, coll: coll}
+		if !c.send(s.to, sub) {
+			// The segment's owner is dead (or the cluster is stopping):
+			// record the branch as failed so the client gets the partial
+			// answer plus ErrOwnerDown instead of hanging on the collector.
+			coll.finish(s.r.Lower, nil, hops, ErrOwnerDown)
+			if firstErr == nil {
+				firstErr = ErrOwnerDown
+			}
+		}
+	}
+	return firstErr
+}

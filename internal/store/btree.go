@@ -125,7 +125,7 @@ func (s *Store) splitChild(parent *node, i int) {
 		right.keys = append(right.keys, child.keys[mid+1:]...)
 		right.children = append(right.children, child.children[mid+1:]...)
 		child.keys = child.keys[:mid:mid]
-		child.children = child.children[:mid+1 : mid+1]
+		child.children = child.children[: mid+1 : mid+1]
 	}
 	parent.keys = append(parent.keys, 0)
 	copy(parent.keys[i+1:], parent.keys[i:])

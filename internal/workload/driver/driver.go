@@ -1,0 +1,377 @@
+// Package driver is the closed-loop concurrent workload driver for the live
+// p2p cluster: N client goroutines issue a configurable read/write/range mix
+// (optionally batched through the bulk APIs, optionally under churn) and the
+// run is summarised as ops/sec plus latency percentiles via internal/stats.
+// It lives in its own package, rather than in internal/workload proper,
+// because it drives internal/p2p while the core simulator's tests consume
+// internal/workload's generators — folding it into workload would create an
+// import cycle in the test build.
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/p2p"
+	"baton/internal/stats"
+	"baton/internal/store"
+	"baton/internal/workload"
+)
+
+// BuildCluster grows a simulated network to the requested size via random
+// joins, loads it with uniformly distributed items, and animates it as a
+// live cluster — the shared scaffold of the throughput CLI mode, the
+// examples and the benchmarks. The returned keys are the inserted ones
+// (reads drawn from them hit). The caller owns the cluster and must Stop it.
+func BuildCluster(peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key, error) {
+	nw := core.NewNetwork(core.Config{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	for nw.Size() < peers {
+		ids := nw.PeerIDs()
+		if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+			return nil, nil, fmt.Errorf("grow cluster: %w", err)
+		}
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: seed + 1})
+	keys := gen.Keys(items)
+	for _, k := range keys {
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			return nil, nil, fmt.Errorf("load cluster: %w", err)
+		}
+	}
+	return p2p.NewCluster(nw), keys, nil
+}
+
+// Op names the operation kinds the throughput driver issues.
+type Op string
+
+// Operations the driver mixes.
+const (
+	OpGet     Op = "get"
+	OpPut     Op = "put"
+	OpDelete  Op = "delete"
+	OpRange   Op = "range"
+	OpBulkPut Op = "bulkput"
+)
+
+// Config configures a closed-loop concurrent workload against a live
+// p2p.Cluster: Clients goroutines each issue one operation at a time (no
+// think time) until Ops operations have completed or Duration has elapsed,
+// whichever comes first.
+type Config struct {
+	// Clients is the number of concurrent client goroutines. Default 8.
+	Clients int
+	// Ops caps the total number of operations across all clients. Default
+	// 10000 when Duration is zero, unlimited otherwise.
+	Ops int
+	// Duration caps the wall-clock run time. Zero means no time cap.
+	Duration time.Duration
+	// GetFraction, PutFraction, DeleteFraction and RangeFraction weight the
+	// operation mix; they are normalised, and all-zero defaults to
+	// 70% get / 20% put / 10% range.
+	GetFraction, PutFraction, DeleteFraction, RangeFraction float64
+	// RangeSelectivity is the queried fraction of the key domain per range
+	// query. Default 0.01.
+	RangeSelectivity float64
+	// SerialRange walks ranges with the sequential adjacent-chain protocol
+	// instead of the parallel fan-out.
+	SerialRange bool
+	// BulkSize batches puts through BulkPut in groups of this size when > 1;
+	// gets and ranges are unaffected.
+	BulkSize int
+	// Keys are pre-loaded keys gets and deletes draw from. When empty, gets
+	// draw random keys (mostly misses).
+	Keys []keyspace.Key
+	// KillPeers peers are killed at evenly spaced points of the run to
+	// exercise fault-tolerant routing under load. Default 0.
+	KillPeers int
+	// ValueSize is the payload size of writes in bytes. Default 8.
+	ValueSize int
+	// Seed seeds the deterministic per-client random sources.
+	Seed int64
+}
+
+// Report summarises one driver run: counts, wall-clock throughput and
+// per-operation latency percentiles (microseconds).
+type Report struct {
+	Clients   int
+	Ops       int64
+	Errors    int64
+	NotFound  int64
+	Killed    int
+	Elapsed   time.Duration
+	OpsPerSec float64
+	// Latency maps an operation kind (plus "all") to its recorded latency
+	// samples in microseconds.
+	Latency map[Op]*stats.Latency
+}
+
+// OpAll indexes the aggregate latency distribution in Report.Latency.
+const OpAll Op = "all"
+
+// String renders the report as an aligned table of throughput and latency
+// percentiles, the format cmd/batonsim prints in throughput mode.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  killed %d\n",
+		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed)
+	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
+	ops := make([]string, 0, len(r.Latency))
+	for op := range r.Latency {
+		ops = append(ops, string(op))
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		l := r.Latency[Op(op)]
+		if l.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %10d %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+			op, l.Count(), l.Mean(), l.Percentile(0.50), l.Percentile(0.95), l.Percentile(0.99), l.Max())
+	}
+	return b.String()
+}
+
+// Run executes the configured closed-loop workload against the
+// cluster and returns the aggregated report. Routing errors (ErrOwnerDown,
+// ErrUnreachable) are counted, not fatal: under churn they are the expected
+// behaviour. The driver never blocks indefinitely — that is the cluster's
+// concurrency contract, and the driver is also its continuous test.
+func Run(c *p2p.Cluster, cfg Config) Report {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Ops <= 0 && cfg.Duration == 0 {
+		cfg.Ops = 10_000
+	}
+	if cfg.GetFraction == 0 && cfg.PutFraction == 0 && cfg.DeleteFraction == 0 && cfg.RangeFraction == 0 {
+		cfg.GetFraction, cfg.PutFraction, cfg.RangeFraction = 0.7, 0.2, 0.1
+	}
+	if cfg.RangeSelectivity <= 0 {
+		cfg.RangeSelectivity = 0.01
+	}
+	if cfg.RangeSelectivity > 1 {
+		cfg.RangeSelectivity = 1
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 8
+	}
+	total := cfg.GetFraction + cfg.PutFraction + cfg.DeleteFraction + cfg.RangeFraction
+	getCut := cfg.GetFraction / total
+	putCut := getCut + cfg.PutFraction/total
+	delCut := putCut + cfg.DeleteFraction/total
+
+	ids := c.PeerIDs()
+	value := make([]byte, cfg.ValueSize)
+	domain := keyspace.FullDomain()
+	width := int64(float64(domain.Size()) * cfg.RangeSelectivity)
+	if width < 1 {
+		width = 1
+	}
+
+	report := Report{
+		Clients: cfg.Clients,
+		Latency: map[Op]*stats.Latency{
+			OpGet: {}, OpPut: {}, OpDelete: {}, OpRange: {}, OpBulkPut: {}, OpAll: {},
+		},
+	}
+	// opsDone hands out the operation budget (one increment per roll, so a
+	// batched put consumes budget per key); unitsDone counts the logical key
+	// operations actually completed, which is what the report's throughput
+	// is computed from — a flushed BulkPut of k keys counts k, not 1.
+	var opsDone, unitsDone, errCount, notFound atomic.Int64
+	var deadline time.Time
+	start := time.Now()
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+	stopping := func(n int64) bool {
+		if cfg.Ops > 0 && n > int64(cfg.Ops) {
+			return true
+		}
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	// Churn: kill peers at evenly spaced points of the run — by operation
+	// count when an op budget is set, by elapsed time in Duration-only runs
+	// — so failures land mid-traffic rather than before or after it.
+	var killed atomic.Int64
+	killsDue := func(n int64) int64 {
+		if cfg.KillPeers <= 0 {
+			return 0
+		}
+		// The run ends at whichever cap is hit first, so pace the kills by
+		// whichever fraction is further along.
+		var frac float64
+		if cfg.Ops > 0 {
+			frac = float64(n) / float64(cfg.Ops)
+		}
+		if cfg.Duration > 0 {
+			if tf := float64(time.Since(start)) / float64(cfg.Duration); tf > frac {
+				frac = tf
+			}
+		}
+		due := int64(frac * float64(cfg.KillPeers+1))
+		if due > int64(cfg.KillPeers) {
+			due = int64(cfg.KillPeers)
+		}
+		return due
+	}
+	killerRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	var killMu sync.Mutex
+	maybeKill := func(n int64) {
+		if killed.Load() >= killsDue(n) {
+			return
+		}
+		killMu.Lock()
+		defer killMu.Unlock()
+		for killed.Load() < killsDue(n) {
+			var victim core.PeerID
+			found := false
+			for tries := 0; tries < 20; tries++ {
+				id := ids[killerRng.Intn(len(ids))]
+				if c.Alive(id) {
+					victim, found = id, true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+			if c.Kill(victim) == nil {
+				killed.Add(1)
+			}
+		}
+	}
+
+	record := func(op Op, units int, d time.Duration, err error, found bool) {
+		us := float64(d.Microseconds())
+		report.Latency[op].Add(us)
+		report.Latency[OpAll].Add(us)
+		unitsDone.Add(int64(units))
+		if err != nil {
+			errCount.Add(1)
+		} else if !found {
+			notFound.Add(1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)*7919))
+			randKey := func() keyspace.Key {
+				if len(cfg.Keys) > 0 && rng.Float64() < 0.9 {
+					return cfg.Keys[rng.Intn(len(cfg.Keys))]
+				}
+				return domain.Lower + keyspace.Key(rng.Int63n(domain.Size()))
+			}
+			liveVia := func() (core.PeerID, bool) {
+				for tries := 0; tries < 16; tries++ {
+					id := ids[rng.Intn(len(ids))]
+					if c.Alive(id) {
+						return id, true
+					}
+				}
+				return 0, false
+			}
+			var bulk []store.Item
+			flushBulk := func() {
+				if len(bulk) == 0 {
+					return
+				}
+				t0 := time.Now()
+				res, err := c.BulkPut(bulk)
+				us := float64(time.Since(t0).Microseconds())
+				report.Latency[OpBulkPut].Add(us)
+				report.Latency[OpAll].Add(us)
+				unitsDone.Add(int64(len(bulk)))
+				if err != nil {
+					// Whole-call failure: every key in the batch failed.
+					errCount.Add(int64(len(bulk)))
+				} else {
+					// Count failures per key so Errors stays comparable with
+					// the singleton-put mode.
+					for _, r := range res {
+						if r.Err != nil {
+							errCount.Add(1)
+						}
+					}
+				}
+				bulk = bulk[:0]
+			}
+			defer flushBulk() // don't silently drop a trailing partial batch
+			for {
+				n := opsDone.Add(1)
+				if stopping(n) {
+					return
+				}
+				maybeKill(n)
+				via, ok := liveVia()
+				if !ok {
+					return
+				}
+				roll := rng.Float64()
+				switch {
+				case roll < getCut:
+					t0 := time.Now()
+					_, found, _, err := c.Get(via, randKey())
+					record(OpGet, 1, time.Since(t0), err, found)
+				case roll < putCut:
+					k := domain.Lower + keyspace.Key(rng.Int63n(domain.Size()))
+					if cfg.BulkSize > 1 {
+						// Batch appends are free; flushBulk stamps its own
+						// timer around the actual BulkPut.
+						bulk = append(bulk, store.Item{Key: k, Value: value})
+						if len(bulk) >= cfg.BulkSize {
+							flushBulk()
+						}
+					} else {
+						t0 := time.Now()
+						_, err := c.Put(via, k, value)
+						record(OpPut, 1, time.Since(t0), err, true)
+					}
+				case roll < delCut:
+					t0 := time.Now()
+					found, _, err := c.Delete(via, randKey())
+					record(OpDelete, 1, time.Since(t0), err, found)
+				default:
+					lo := domain.Lower
+					if span := domain.Size() - width; span > 0 {
+						lo += keyspace.Key(rng.Int63n(span))
+					}
+					r := keyspace.NewRange(lo, lo+keyspace.Key(width))
+					var err error
+					t0 := time.Now()
+					if cfg.SerialRange {
+						_, _, err = c.RangeSerial(via, r)
+					} else {
+						_, _, err = c.Range(via, r)
+					}
+					record(OpRange, 1, time.Since(t0), err, true)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	report.Elapsed = time.Since(start)
+	report.Ops = unitsDone.Load()
+	report.Errors = errCount.Load()
+	report.NotFound = notFound.Load()
+	report.Killed = int(killed.Load())
+	if secs := report.Elapsed.Seconds(); secs > 0 {
+		report.OpsPerSec = float64(report.Ops) / secs
+	}
+	return report
+}

@@ -1,0 +1,174 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"baton/internal/keyspace"
+	"baton/internal/p2p"
+)
+
+// driverCluster builds a loaded live cluster for driver tests.
+func driverCluster(t *testing.T, peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key) {
+	t.Helper()
+	c, keys, err := BuildCluster(peers, items, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c, keys
+}
+
+func TestDriverMixedWorkload(t *testing.T) {
+	c, keys := driverCluster(t, 60, 600, 1)
+	rep := Run(c, Config{
+		Clients:          8,
+		Ops:              2000,
+		GetFraction:      0.6,
+		PutFraction:      0.2,
+		DeleteFraction:   0.1,
+		RangeFraction:    0.1,
+		RangeSelectivity: 0.02,
+		Keys:             keys,
+		Seed:             2,
+	})
+	if rep.Ops == 0 || rep.Ops > 2000 {
+		t.Fatalf("ops = %d, want in (0, 2000]", rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("healthy cluster produced %d errors", rep.Errors)
+	}
+	if rep.OpsPerSec <= 0 {
+		t.Fatalf("throughput = %f", rep.OpsPerSec)
+	}
+	for _, op := range []Op{OpGet, OpPut, OpDelete, OpRange} {
+		if rep.Latency[op].Count() == 0 {
+			t.Fatalf("no %s operations recorded", op)
+		}
+	}
+	all := rep.Latency[OpAll]
+	if all.Percentile(0.5) > all.Percentile(0.99) {
+		t.Fatal("p50 above p99")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestDriverWithChurn(t *testing.T) {
+	c, keys := driverCluster(t, 100, 500, 3)
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(c, Config{
+			Clients:       12,
+			Ops:           3000,
+			GetFraction:   0.5,
+			PutFraction:   0.3,
+			RangeFraction: 0.2,
+			Keys:          keys,
+			KillPeers:     15,
+			Seed:          4,
+		})
+	}()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("driver hung under churn")
+	}
+	if rep.Killed == 0 {
+		t.Fatal("churn configured but no peer was killed")
+	}
+	if rep.Ops == 0 {
+		t.Fatal("no operations completed under churn")
+	}
+	// Errors are expected once peers die; the cluster as a whole must keep
+	// answering (the run completed, which the timeout above asserts).
+}
+
+func TestDriverBulkAndSerialRange(t *testing.T) {
+	c, keys := driverCluster(t, 40, 200, 5)
+	rep := Run(c, Config{
+		Clients:       4,
+		Ops:           800,
+		PutFraction:   0.5,
+		RangeFraction: 0.5,
+		BulkSize:      16,
+		SerialRange:   true,
+		Keys:          keys,
+		Seed:          6,
+	})
+	if rep.Latency[OpBulkPut].Count() == 0 {
+		t.Fatal("BulkSize set but no bulk puts recorded")
+	}
+	if rep.Latency[OpPut].Count() != 0 {
+		t.Fatal("BulkSize set but singleton puts recorded")
+	}
+	if rep.Latency[OpRange].Count() == 0 {
+		t.Fatal("no range queries recorded")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("healthy cluster produced %d errors", rep.Errors)
+	}
+}
+
+func TestDriverDurationCap(t *testing.T) {
+	c, keys := driverCluster(t, 20, 100, 7)
+	start := time.Now()
+	rep := Run(c, Config{
+		Clients:  4,
+		Duration: 50 * time.Millisecond,
+		Keys:     keys,
+		Seed:     8,
+	})
+	if rep.Ops == 0 {
+		t.Fatal("no operations in a timed run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed run took %v", elapsed)
+	}
+}
+
+func TestDriverFullDomainSelectivity(t *testing.T) {
+	c, keys := driverCluster(t, 20, 100, 9)
+	// Selectivity >= 1 must clamp to whole-domain scans, not panic.
+	rep := Run(c, Config{
+		Clients:          2,
+		Ops:              40,
+		RangeFraction:    1,
+		RangeSelectivity: 5,
+		Keys:             keys,
+		Seed:             10,
+	})
+	if rep.Errors != 0 {
+		t.Fatalf("full-domain ranges errored %d times", rep.Errors)
+	}
+	if rep.Latency[OpRange].Count() == 0 {
+		t.Fatal("no range queries recorded")
+	}
+}
+
+func TestDriverBulkOpsAccounting(t *testing.T) {
+	c, _ := driverCluster(t, 20, 0, 11)
+	const ops, bulkSize = 1000, 64
+	rep := Run(c, Config{
+		Clients:     4,
+		Ops:         ops,
+		PutFraction: 1,
+		BulkSize:    bulkSize,
+		Seed:        12,
+	})
+	// Every put roll lands in a batch, and trailing partial batches are
+	// flushed on exit, so the reported op count must be (close to) the
+	// budget — not the number of flushes.
+	if rep.Ops < ops-4*bulkSize || rep.Ops > ops {
+		t.Fatalf("ops = %d, want ≈%d (batch flushes must count per key)", rep.Ops, ops)
+	}
+	flushes := rep.Latency[OpBulkPut].Count()
+	if flushes == 0 || int64(flushes) >= rep.Ops {
+		t.Fatalf("flushes = %d for %d ops", flushes, rep.Ops)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("bulk accounting run errored %d times", rep.Errors)
+	}
+}

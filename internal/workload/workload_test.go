@@ -104,7 +104,7 @@ func TestKeysBatch(t *testing.T) {
 }
 
 func TestExactQueryHitRate(t *testing.T) {
-	g := NewGenerator(Config{Seed: 11, Domain: keyspace.NewRange(0, 1 << 40)})
+	g := NewGenerator(Config{Seed: 11, Domain: keyspace.NewRange(0, 1<<40)})
 	existing := []keyspace.Key{1, 2, 3, 4, 5}
 	hits := 0
 	const n = 10000
