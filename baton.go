@@ -55,6 +55,21 @@ type Position = core.Position
 // NodeInfo is a read-only snapshot of one peer's state.
 type NodeInfo = core.NodeInfo
 
+// PeerSnapshot is a full copy of one peer's protocol state — position,
+// range, items and link sets. It is the interchange format between the
+// simulator and the live cluster: NewCluster animates a network from
+// snapshots, and Cluster.Snapshot exports them back for auditing.
+type PeerSnapshot = core.PeerSnapshot
+
+// Side selects a tree side (left or right child, adjacent, routing table).
+type Side = core.Side
+
+// Sides of the tree.
+const (
+	Left  = core.Left
+	Right = core.Right
+)
+
 // Config configures a simulated BATON network.
 type Config = core.Config
 
@@ -82,6 +97,21 @@ type Metrics = stats.Metrics
 // domain.
 func NewNetwork(cfg Config) *Network { return core.NewNetwork(cfg) }
 
+// NetworkFromSnapshot rebuilds a simulated network from per-peer snapshots
+// (for example the result of Cluster.Snapshot), wiring every link exactly
+// as recorded. An empty domain means the paper's default.
+func NetworkFromSnapshot(domain Range, peers []PeerSnapshot) (*Network, error) {
+	return core.FromSnapshot(domain, peers)
+}
+
+// VerifySnapshot checks per-peer snapshots against the full structural
+// invariant suite of the overlay: balanced tree shape, contiguous gap-free
+// ranges, and symmetric link and routing-table state. Combined with
+// Cluster.Snapshot it audits a live cluster after membership churn.
+func VerifySnapshot(domain Range, peers []PeerSnapshot) error {
+	return core.VerifySnapshot(domain, peers)
+}
+
 // Errors re-exported from the core implementation.
 var (
 	// ErrUnknownPeer is returned when an operation names a peer that is not
@@ -102,6 +132,17 @@ var (
 // two range modes (parallel fan-out via Range, sequential chain walk via
 // RangeSerial), the cluster offers batched BulkGet/BulkPut/BulkDelete that
 // group keys by responsible peer and pipeline one message per peer.
+//
+// Membership is live: Join adds a brand-new peer online (the join request
+// routes through the overlay per Section III-A, the accepting peer's range
+// splits and the handed-off items migrate as batched messages), Depart
+// performs the graceful leave of Section III-B with full data handoff
+// (finding and splicing in a replacement leaf when a non-leaf peer leaves),
+// and LoadBalance runs the adjacent-peer data shuffle of Section V.
+// Structural operations serialise with each other while data traffic keeps
+// flowing; keys in mid-handoff are forwarded or briefly buffered, never
+// dropped. Snapshot exports the quiesced structure for auditing with
+// VerifySnapshot or rebuilding with NetworkFromSnapshot.
 type Cluster = p2p.Cluster
 
 // BulkResult is the per-key outcome of a bulk operation on a Cluster.

@@ -147,3 +147,61 @@ func TestPublicAPILiveCluster(t *testing.T) {
 		t.Fatalf("after stop: %v, want ErrClusterStopped", err)
 	}
 }
+
+// TestPublicAPILiveMembership exercises the live membership surface through
+// the facade: online join, graceful departure, the adjacent-peer shuffle,
+// and the snapshot audit round trip.
+func TestPublicAPILiveMembership(t *testing.T) {
+	nw := baton.NewNetwork(baton.Config{Seed: 47})
+	for nw.Size() < 20 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		k := baton.Key(1 + i*3_333_333)
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster := baton.NewCluster(nw)
+	defer cluster.Stop()
+
+	via := cluster.PeerIDs()[0]
+	newID, err := cluster.Join(via)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	if cluster.Size() != 21 {
+		t.Fatalf("size after join = %d, want 21", cluster.Size())
+	}
+	if err := cluster.Depart(cluster.PeerIDs()[5]); err != nil {
+		t.Fatalf("depart: %v", err)
+	}
+	if _, err := cluster.LoadBalance(newID); err != nil {
+		t.Fatalf("load balance: %v", err)
+	}
+
+	snaps, err := cluster.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baton.VerifySnapshot(cluster.Domain(), snaps); err != nil {
+		t.Fatalf("snapshot audit: %v", err)
+	}
+	rebuilt, err := baton.NetworkFromSnapshot(cluster.Domain(), snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Size() != cluster.Size() {
+		t.Fatalf("rebuilt network has %d peers, cluster %d", rebuilt.Size(), cluster.Size())
+	}
+	// Every key inserted before the churn is still readable.
+	for i := 0; i < 300; i++ {
+		k := baton.Key(1 + i*3_333_333)
+		_, found, _, err := cluster.Get(cluster.PeerIDs()[0], k)
+		if err != nil || !found {
+			t.Fatalf("key %d after membership changes: found=%v err=%v", k, found, err)
+		}
+	}
+}

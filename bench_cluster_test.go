@@ -171,3 +171,87 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	b.ReportMetric(rep.OpsPerSec, "ops/sec")
 	b.ReportMetric(rep.Latency[driver.OpAll].Percentile(0.99), "p99-µs")
 }
+
+// BenchmarkClusterThroughputSteadyChurn is the paired comparison for
+// BenchmarkClusterThroughput: the identical workload while 8 peers join and
+// 8 depart mid-run, measuring what live membership costs the data path.
+func BenchmarkClusterThroughputSteadyChurn(b *testing.B) {
+	// A private cluster: churn changes the composition, which must not leak
+	// into the other benchmarks sharing the cached ones.
+	c, keys, err := driver.BuildCluster(benchPeers, benchItems, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	b.ResetTimer()
+	var rep driver.Report
+	for i := 0; i < b.N; i++ {
+		rep = driver.Run(c, driver.Config{
+			Clients:          16,
+			Ops:              4_000,
+			GetFraction:      0.7,
+			PutFraction:      0.2,
+			RangeFraction:    0.1,
+			RangeSelectivity: 0.01,
+			Keys:             keys,
+			JoinPeers:        8,
+			DepartPeers:      8,
+			Seed:             int64(i),
+		})
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/sec")
+	b.ReportMetric(rep.Latency[driver.OpAll].Percentile(0.99), "p99-µs")
+}
+
+// BenchmarkClusterJoin measures one online join — Algorithm 1 locate over
+// live messages, range split, data handoff and routing updates — against a
+// loaded 64-peer cluster; each iteration departs a peer outside the timer
+// so the cluster size (and therefore the per-join cost) holds steady.
+func BenchmarkClusterJoin(b *testing.B) {
+	c, _, err := driver.BuildCluster(64, benchItems, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ids := c.PeerIDs()
+		via := ids[rng.Intn(len(ids))]
+		if _, err := c.Join(via); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		ids = c.PeerIDs()
+		if err := c.Depart(ids[rng.Intn(len(ids))]); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkClusterDepart measures one graceful departure with full data
+// handoff; each iteration joins a fresh peer outside the timer so the
+// cluster size holds steady.
+func BenchmarkClusterDepart(b *testing.B) {
+	c, _, err := driver.BuildCluster(64, benchItems, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ids := c.PeerIDs()
+		if _, err := c.Join(ids[rng.Intn(len(ids))]); err != nil {
+			b.Fatal(err)
+		}
+		ids = c.PeerIDs()
+		victim := ids[rng.Intn(len(ids))]
+		b.StartTimer()
+		if err := c.Depart(victim); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

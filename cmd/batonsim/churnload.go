@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+
+	"baton/internal/core"
+	"baton/internal/workload/driver"
+)
+
+type churnloadOptions struct {
+	peers, items, clients, ops           int
+	getFrac, putFrac, delFrac, rangeFrac float64
+	selectivity                          float64
+	joins, departs, kill                 int
+	seed                                 int64
+}
+
+// runChurnLoad is the batonsim churnload mode: the closed-loop workload
+// runs while the membership churns — online joins, graceful departures and
+// optional abrupt kills — and the run ends with a structural audit: the
+// quiesced cluster snapshot is rebuilt into a simulator network and checked
+// against the full invariant suite.
+func runChurnLoad(o churnloadOptions) {
+	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
+	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+	startSize := cluster.Size()
+
+	rep := driver.Run(cluster, driver.Config{
+		Clients:          o.clients,
+		Ops:              o.ops,
+		GetFraction:      o.getFrac,
+		PutFraction:      o.putFrac,
+		DeleteFraction:   o.delFrac,
+		RangeFraction:    o.rangeFrac,
+		RangeSelectivity: o.selectivity,
+		Keys:             keys,
+		KillPeers:        o.kill,
+		JoinPeers:        o.joins,
+		DepartPeers:      o.departs,
+		Seed:             o.seed,
+	})
+	fmt.Printf("churnload run (joins %d, departs %d, kills %d requested)\n", o.joins, o.departs, o.kill)
+	fmt.Print(rep.String())
+	fmt.Printf("cluster size: %d -> %d\n", startSize, cluster.Size())
+	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())
+
+	snaps, err := cluster.Snapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.VerifySnapshot(cluster.Domain(), snaps); err != nil {
+		fatal(fmt.Errorf("post-churn structural invariants FAILED: %w", err))
+	}
+	items := 0
+	for _, ps := range snaps {
+		items += len(ps.Items)
+	}
+	fmt.Printf("post-quiesce audit: %d peers, %d items, structural invariants OK\n", len(snaps), items)
+}

@@ -15,6 +15,7 @@
 //	batonsim -sizes 500,1000  # custom network sizes
 //	batonsim -list            # list the reproducible figures
 //	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10
+//	batonsim -mode churnload -peers 128 -joins 32 -departs 32 -ops 50000
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
 package main
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "figures", "figures, throughput or rangecmp")
+		mode    = flag.String("mode", "figures", "figures, throughput, churnload or rangecmp")
 		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
 		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
 		list    = flag.Bool("list", false, "list reproducible figures and exit")
@@ -52,6 +53,8 @@ func main() {
 		rangeFrac   = flag.Float64("range", 0.1, "fraction of range operations")
 		selectivity = flag.Float64("selectivity", 0.01, "range query selectivity (fraction of the domain)")
 		kill        = flag.Int("kill", 0, "peers to kill while the workload runs")
+		joins       = flag.Int("joins", 0, "peers that join online while the workload runs (churnload mode)")
+		departs     = flag.Int("departs", 0, "peers that depart gracefully while the workload runs (churnload mode)")
 		serialRange = flag.Bool("serialrange", false, "use the sequential chain walk for range queries")
 		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
@@ -68,11 +71,27 @@ func main() {
 			bulkSize: *bulkSize, seed: *seed,
 		})
 		return
+	case "churnload":
+		o := churnloadOptions{
+			peers: *peers, items: *items, clients: *clients, ops: *ops,
+			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
+			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
+			seed: *seed,
+		}
+		if o.joins == 0 && o.departs == 0 && o.kill == 0 {
+			// No churn flags at all: default to steady-state churn turning
+			// over ~1/4 of the cluster (at least one event each, so tiny
+			// clusters still churn). An explicit kill-only run is left
+			// exactly as requested.
+			o.joins, o.departs = max(1, *peers/4), max(1, *peers/4)
+		}
+		runChurnLoad(o)
+		return
 	case "rangecmp":
 		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
 		return
 	default:
-		fatal(fmt.Errorf("unknown mode %q (want figures, throughput or rangecmp)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload or rangecmp)", *mode))
 	}
 
 	if *list {

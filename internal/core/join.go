@@ -33,6 +33,36 @@ func (nw *Network) Join(via PeerID) (PeerID, stats.OpCost, error) {
 	return child.id, cost, nil
 }
 
+// JoinAt adds a new peer as the child of a specific existing peer, on the
+// given side. It is the entry point used by the live cluster in package p2p,
+// where Algorithm 1's locate phase runs as real messages between peer
+// goroutines and only the acceptance — splitting the range, handing off the
+// data, updating the surrounding routing state — is mirrored here. JoinAt
+// validates what Theorem 1 would guarantee for an acceptor found by the
+// protocol itself: the child slot must be free and accepting the child must
+// keep the tree height-balanced.
+func (nw *Network) JoinAt(parentID PeerID, side Side) (PeerID, stats.OpCost, error) {
+	parent, err := nw.node(parentID)
+	if err != nil {
+		return NoPeer, stats.OpCost{}, err
+	}
+	if parent.Child(side) != nil {
+		return NoPeer, stats.OpCost{}, fmt.Errorf("baton: peer %d already has a %s child", parentID, side)
+	}
+	childPos := parent.pos.Child(side)
+	if !childPos.Valid() {
+		return NoPeer, stats.OpCost{}, fmt.Errorf("baton: child position %v of peer %d is invalid", childPos, parentID)
+	}
+	if !nw.balancedWithChange([]Position{childPos}, nil) {
+		return NoPeer, stats.OpCost{}, fmt.Errorf("baton: accepting a %s child at peer %d would unbalance the tree", side, parentID)
+	}
+	nw.beginOp(stats.OpJoin)
+	nw.send(parent, stats.MsgJoinRequest, catLocate)
+	child := nw.acceptChild(parent, side)
+	cost := nw.endOp()
+	return child.id, cost, nil
+}
+
 // locateJoinNode runs Algorithm 1 starting at start and returns the node
 // that will accept the new peer together with the free child side to use.
 func (nw *Network) locateJoinNode(start *Node) (*Node, Side, error) {

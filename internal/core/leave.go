@@ -31,6 +31,51 @@ func (nw *Network) Leave(id PeerID) (stats.OpCost, error) {
 	return nw.endOp(), nil
 }
 
+// LeaveWith removes the peer with the given ID gracefully when the choice of
+// replacement has already been made by the caller — the entry point used by
+// the live cluster in package p2p, where Algorithm 2's replacement search
+// runs as real messages between peer goroutines. A NoPeer replacement
+// requests the safe-leaf protocol: it succeeds only when x is a leaf whose
+// removal keeps the tree balanced, and fails with ErrNeedsReplacement
+// otherwise. A concrete replacement must be a different live leaf whose own
+// removal keeps the tree balanced; it vacates its position and takes over
+// x's position, range and content. Validation happens before any mutation,
+// so a failed LeaveWith leaves the network untouched and the caller can
+// retry with a different replacement.
+func (nw *Network) LeaveWith(id PeerID, replacement PeerID) (stats.OpCost, error) {
+	x, err := nw.node(id)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	if nw.Size() == 1 {
+		return stats.OpCost{}, ErrLastPeer
+	}
+	if replacement == NoPeer {
+		if !x.IsLeaf() || x.parent == nil {
+			return stats.OpCost{}, fmt.Errorf("peer %d is not a removable leaf: %w", id, ErrNeedsReplacement)
+		}
+		if !nw.balancedWithChange(nil, []Position{x.pos}) {
+			return stats.OpCost{}, fmt.Errorf("removing leaf %d would unbalance the tree: %w", id, ErrNeedsReplacement)
+		}
+		nw.beginOp(stats.OpLeave)
+		nw.removeSafeLeaf(x, true)
+		return nw.endOp(), nil
+	}
+	y, err := nw.node(replacement)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	if y == x || !y.IsLeaf() || y.parent == nil {
+		return stats.OpCost{}, fmt.Errorf("baton: peer %d cannot replace peer %d", replacement, id)
+	}
+	if !nw.balancedWithChange(nil, []Position{y.pos}) {
+		return stats.OpCost{}, fmt.Errorf("baton: vacating leaf %d would unbalance the tree", replacement)
+	}
+	nw.beginOp(stats.OpLeave)
+	nw.replace(x, y, true)
+	return nw.endOp(), nil
+}
+
 // depart removes x from the network. withData indicates whether x is still
 // able to hand over its stored items (false for abrupt failures, where the
 // items are lost).

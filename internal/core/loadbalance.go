@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
+
 	"baton/internal/keyspace"
 	"baton/internal/stats"
+	"baton/internal/store"
 )
 
 // LoadBalanceConfig configures the load balancing scheme of Section IV-D.
@@ -192,6 +195,48 @@ func (nw *Network) balanceWithAdjacent(x, a *Node, side Side) int {
 	nw.notifyRangeChange(x)
 	nw.notifyRangeChange(a)
 	return 2
+}
+
+// ShiftBoundary moves the boundary between the peer with the given ID and
+// its adjacent peer on the given side to the key at: the sub-range of x on
+// that side of the boundary, together with the items stored in it, is handed
+// to the adjacent peer. It is the primitive behind the adjacent-peer data
+// shuffle of Section V as executed by the live cluster, which measures the
+// peers' loads and picks the boundary itself and uses the network only as
+// the structural authority. The boundary must lie strictly inside x's range
+// so x never ends up empty.
+func (nw *Network) ShiftBoundary(id PeerID, side Side, at keyspace.Key) (stats.OpCost, error) {
+	x, err := nw.node(id)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	a := x.Adjacent(side)
+	if a == nil {
+		return stats.OpCost{}, fmt.Errorf("baton: peer %d has no %s adjacent peer", id, side)
+	}
+	if at <= x.nodeRange.Lower || at >= x.nodeRange.Upper {
+		return stats.OpCost{}, fmt.Errorf("baton: boundary %d outside peer %d's range %v", at, id, x.nodeRange)
+	}
+	nw.beginOp(stats.OpLoadBalance)
+	var moved []store.Item
+	if side == Left {
+		moved = x.data.ExtractRange(keyspace.Range{Lower: x.nodeRange.Lower, Upper: at})
+		a.nodeRange.Upper = at
+		x.nodeRange.Lower = at
+	} else {
+		moved = x.data.ExtractRange(keyspace.Range{Lower: at, Upper: x.nodeRange.Upper})
+		a.nodeRange.Lower = at
+		x.nodeRange.Upper = at
+	}
+	a.data.Absorb(moved)
+	nw.send(a, stats.MsgTransferData, catData)
+	nw.notifyRangeChange(x)
+	nw.notifyRangeChange(a)
+	nw.lbEvents++
+	nw.lbShiftSizes.Add(2)
+	cost := nw.endOp()
+	nw.lbMessages += int64(cost.Messages)
+	return cost, nil
 }
 
 // notifyRangeChange counts the messages needed to refresh the cached range

@@ -27,6 +27,10 @@ var (
 	// the protocol's O(log N) bound allows; it indicates either a corrupted
 	// overlay or a bug and is surfaced rather than silently absorbed.
 	ErrHopLimit = errors.New("baton: hop limit exceeded")
+	// ErrNeedsReplacement is returned by LeaveWith when the departing peer
+	// cannot leave by the safe-leaf protocol and a replacement leaf must be
+	// found (Algorithm 2).
+	ErrNeedsReplacement = errors.New("baton: departure needs a replacement leaf")
 )
 
 // Config configures a simulated BATON network.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"baton/internal/keyspace"
 	"baton/internal/store"
 )
@@ -8,7 +10,10 @@ import (
 // PeerSnapshot is a full copy of one peer's protocol state: its identity,
 // range, stored items, and the identities of every peer it links to. It is
 // the hand-off format between the message-counting simulator and the live
-// goroutine-per-peer cluster in package p2p.
+// goroutine-per-peer cluster in package p2p, in both directions: NewCluster
+// consumes snapshots to animate a network, and Cluster.Snapshot produces
+// them so the live structure can be audited with FromSnapshot +
+// CheckInvariants.
 type PeerSnapshot struct {
 	ID            PeerID
 	Position      Position
@@ -58,4 +63,90 @@ func Snapshot(nw *Network) []PeerSnapshot {
 		out = append(out, ps)
 	}
 	return out
+}
+
+// FromSnapshot reconstructs a Network from per-peer snapshots: peers are
+// re-created at their recorded positions with their recorded ranges and
+// items, and every link — parent, children, adjacent and both routing tables
+// — is wired from the recorded peer IDs, NOT recomputed from the position
+// map. CheckInvariants on the result therefore verifies the snapshotted link
+// state itself, which is what makes the Cluster.Snapshot round trip of
+// package p2p a real structural audit: a cluster whose live links have
+// drifted from its positions fails the check instead of being silently
+// repaired. An empty domain means the paper's default.
+func FromSnapshot(domain keyspace.Range, snaps []PeerSnapshot) (*Network, error) {
+	if len(snaps) == 0 {
+		return nil, fmt.Errorf("baton: snapshot has no peers")
+	}
+	if domain.IsEmpty() {
+		domain = keyspace.FullDomain()
+	}
+	nw := NewNetwork(Config{Domain: domain})
+	// Discard the implicit root peer NewNetwork creates; the snapshot
+	// provides the full peer set.
+	nw.nodes = make(map[PeerID]*Node)
+	nw.positions = make(map[Position]*Node)
+	nw.root = nil
+	for _, ps := range snaps {
+		if !ps.Position.Valid() {
+			return nil, fmt.Errorf("baton: snapshot peer %d has invalid position %v", ps.ID, ps.Position)
+		}
+		if nw.nodes[ps.ID] != nil {
+			return nil, fmt.Errorf("baton: snapshot contains peer %d twice", ps.ID)
+		}
+		if nw.positions[ps.Position] != nil {
+			return nil, fmt.Errorf("baton: snapshot occupies position %v twice", ps.Position)
+		}
+		n := newNode(ps.ID, ps.Position, ps.Range)
+		n.data.Absorb(ps.Items)
+		nw.nodes[n.id] = n
+		nw.positions[n.pos] = n
+		if ps.ID >= nw.nextID {
+			nw.nextID = ps.ID + 1
+		}
+	}
+	nw.root = nw.positions[RootPosition]
+	if nw.root == nil {
+		return nil, fmt.Errorf("baton: snapshot has no peer at the root position")
+	}
+	byID := func(id PeerID) *Node {
+		if id == NoPeer {
+			return nil
+		}
+		return nw.nodes[id] // nil for dangling IDs; CheckInvariants reports them
+	}
+	for _, ps := range snaps {
+		n := nw.nodes[ps.ID]
+		n.parent = byID(ps.Parent)
+		n.leftChild = byID(ps.LeftChild)
+		n.rightChild = byID(ps.RightChild)
+		n.leftAdj = byID(ps.LeftAdjacent)
+		n.rightAdj = byID(ps.RightAdjacent)
+		n.resizeRoutingTables()
+		// Surplus routing entries are rejected, not dropped: silently
+		// truncating them would let a corrupt live table pass the audit.
+		if len(ps.LeftRouting) > len(n.leftRT) || len(ps.RightRouting) > len(n.rightRT) {
+			return nil, fmt.Errorf("baton: snapshot peer %d at %v has routing tables of size %d/%d, position allows %d",
+				ps.ID, ps.Position, len(ps.LeftRouting), len(ps.RightRouting), len(n.leftRT))
+		}
+		for i := range ps.LeftRouting {
+			n.leftRT[i] = byID(ps.LeftRouting[i])
+		}
+		for i := range ps.RightRouting {
+			n.rightRT[i] = byID(ps.RightRouting[i])
+		}
+	}
+	return nw, nil
+}
+
+// VerifySnapshot rebuilds a network from the snapshots and runs the full
+// structural invariant suite against it: balanced tree shape, link and
+// routing-table correctness, and gap-free contiguous range partitioning.
+// It is how the live cluster's post-quiesce state is audited.
+func VerifySnapshot(domain keyspace.Range, snaps []PeerSnapshot) error {
+	nw, err := FromSnapshot(domain, snaps)
+	if err != nil {
+		return err
+	}
+	return nw.CheckInvariants()
 }

@@ -3,6 +3,7 @@ package p2p
 import (
 	"sort"
 
+	"baton/internal/core"
 	"baton/internal/keyspace"
 	"baton/internal/store"
 )
@@ -45,20 +46,31 @@ func (c *Cluster) BulkDelete(keys []keyspace.Key) ([]BulkResult, error) {
 	return c.bulk(kindBulkDelete, items)
 }
 
-// ownerOf returns the peer responsible for key: the peer whose range
-// contains it, or the extreme peers for keys outside the domain (the same
-// rule ownsExtreme applies during routing). The ring is immutable after
-// NewCluster, so the lookup is a plain binary search.
-func (c *Cluster) ownerOf(key keyspace.Key) *peer {
-	n := len(c.ring)
+// entryOf returns the ring slot responsible for key in the given topology:
+// the member whose range contained it when the topology was published, or
+// the extreme members for keys outside the domain (the same rule
+// ownsExtreme applies during routing). The ring is an immutable snapshot;
+// across a concurrent membership change it can be stale, which the bulk
+// path repairs by retrying moved keys as routed singletons.
+func (t *topology) entryOf(key keyspace.Key) *ringEntry {
+	n := len(t.ring)
 	if n == 0 {
 		return nil
 	}
-	if key < c.ring[0].rng.Lower {
-		return c.ring[0]
+	if key < t.ring[0].lower {
+		return &t.ring[0]
 	}
-	i := sort.Search(n, func(i int) bool { return c.ring[i].rng.Lower > key })
-	return c.ring[i-1]
+	i := sort.Search(n, func(i int) bool { return t.ring[i].lower > key })
+	return &t.ring[i-1]
+}
+
+// ownerOf returns the peer the current topology holds responsible for key.
+func (c *Cluster) ownerOf(key keyspace.Key) *peer {
+	e := c.topo.Load().entryOf(key)
+	if e == nil {
+		return nil
+	}
+	return e.p
 }
 
 // bulk groups the items by responsible peer, sends one batched request per
@@ -66,30 +78,33 @@ func (c *Cluster) ownerOf(key keyspace.Key) *peer {
 // are all in flight at once (pipelined); the only whole-call error is
 // ErrStopped. Per-key failures — the owner was dead when the batch was sent
 // or died with the batch queued — surface as ErrOwnerDown on the affected
-// results.
+// results. Keys whose ownership moved under a concurrent membership change
+// come back marked errMoved and are retried as routed singleton requests,
+// so the caller never observes the stale cache.
 func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 	if c.stopped.Load() {
 		return nil, ErrStopped
 	}
+	t := c.topo.Load()
 	out := make([]BulkResult, len(items))
 	type batch struct {
-		p       *peer
+		id      core.PeerID
 		items   []store.Item
 		indices []int
 		reply   chan response
 	}
-	batches := make(map[*peer]*batch)
+	batches := make(map[core.PeerID]*batch)
 	order := make([]*batch, 0)
 	for i, it := range items {
-		p := c.ownerOf(it.Key)
-		if p == nil {
+		e := t.entryOf(it.Key)
+		if e == nil {
 			out[i] = BulkResult{Key: it.Key, Err: ErrUnknownPeer}
 			continue
 		}
-		b := batches[p]
+		b := batches[e.id]
 		if b == nil {
-			b = &batch{p: p, reply: make(chan response, 1)}
-			batches[p] = b
+			b = &batch{id: e.id, reply: make(chan response, 1)}
+			batches[e.id] = b
 			order = append(order, b)
 		}
 		b.items = append(b.items, it)
@@ -99,7 +114,7 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 	// overlaps.
 	for _, b := range order {
 		req := request{kind: k, bulk: b.items, reply: b.reply}
-		if !c.send(b.p.id, req) {
+		if !c.send(b.id, req) {
 			if c.stopped.Load() {
 				// The send failed because the cluster is stopping, not
 				// because the owner died — don't mislabel healthy peers.
@@ -120,19 +135,61 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 				out[idx] = BulkResult{Key: b.items[j].Key, Err: resp.err}
 				continue
 			}
-			out[idx] = resp.results[j]
+			r := resp.results[j]
+			if r.Err == errMoved {
+				// The batch peer no longer owns this key (membership changed
+				// after the ring snapshot): fall back to a fully routed
+				// singleton request via that same peer, which forwards it to
+				// the current owner.
+				out[idx] = c.bulkRetry(k, b.id, b.items[j])
+				continue
+			}
+			out[idx] = r
 		}
 	}
 	return out, nil
 }
 
-// handleBulk applies a batched operation locally. Every key in the batch is
-// owned by this peer (the client grouped them with the same range table the
-// router uses), so no forwarding is ever needed: the whole batch costs the
-// one message that delivered it.
+// bulkRetry re-issues one key of a bulk batch as a routed singleton request.
+func (c *Cluster) bulkRetry(k kind, via core.PeerID, it store.Item) BulkResult {
+	var single kind
+	switch k {
+	case kindBulkGet:
+		single = kindGet
+	case kindBulkPut:
+		single = kindPut
+	default:
+		single = kindDelete
+	}
+	resp, err := c.issue(via, request{kind: single, key: it.Key, value: it.Value})
+	if err != nil {
+		return BulkResult{Key: it.Key, Err: err}
+	}
+	if resp.err != nil {
+		return BulkResult{Key: it.Key, Err: resp.err}
+	}
+	switch k {
+	case kindBulkGet:
+		return BulkResult{Key: it.Key, Value: resp.value, Found: resp.found}
+	case kindBulkPut:
+		return BulkResult{Key: it.Key, Found: true}
+	default:
+		return BulkResult{Key: it.Key, Found: resp.found}
+	}
+}
+
+// handleBulk applies a batched operation locally. Keys this peer owns are
+// answered from the local store — the whole batch costs the one message
+// that delivered it. Keys it does not own (the client grouped the batch
+// with a ring snapshot that a membership change has since invalidated) are
+// marked errMoved for the client to retry individually.
 func (c *Cluster) handleBulk(p *peer, req request) {
 	results := make([]BulkResult, len(req.bulk))
 	for i, it := range req.bulk {
+		if !p.rng.Contains(it.Key) && !c.ownsExtreme(p, it.Key) {
+			results[i] = BulkResult{Key: it.Key, Err: errMoved}
+			continue
+		}
 		switch req.kind {
 		case kindBulkGet:
 			v, ok := p.data.Get(it.Key)

@@ -37,7 +37,7 @@ func withTimeout(t *testing.T, d time.Duration, name string, fn func()) {
 func TestKilledPeerAnswersQueuedRequests(t *testing.T) {
 	c, keys := liveCluster(t, 30, 100, 21)
 	ids := c.PeerIDs()
-	victim := c.peers[ids[0]]
+	victim := c.peerByID(ids[0])
 
 	// Kill the victim first, then deliver a request straight into its inbox,
 	// bypassing send's aliveness check — exactly the state a request is in
@@ -63,7 +63,7 @@ func TestKilledPeerAnswersQueuedRequests(t *testing.T) {
 func TestQueuedScatterAtKilledPeerDoesNotHang(t *testing.T) {
 	c, _ := liveCluster(t, 30, 300, 23)
 	ids := c.PeerIDs()
-	victim := c.peers[ids[0]]
+	victim := c.peerByID(ids[0])
 	if err := c.Kill(victim.id); err != nil {
 		t.Fatal(err)
 	}
@@ -318,10 +318,11 @@ func TestBulkOps(t *testing.T) {
 func TestBulkGetDeadOwner(t *testing.T) {
 	c, _ := liveCluster(t, 40, 0, 59)
 	ids := c.PeerIDs()
-	victim := c.peers[ids[0]]
+	victim := c.peerByID(ids[0])
 	inside := victim.rng.Lower // owned by the victim
 	var outside keyspace.Key
-	for _, p := range c.ring {
+	for _, e := range c.topo.Load().ring {
+		p := e.p
 		if p.id != victim.id {
 			outside = p.rng.Lower
 			break
@@ -385,7 +386,8 @@ func TestRangeAcrossKilledPeerIsPartial(t *testing.T) {
 	ids := c.PeerIDs()
 	// Kill one mid-domain peer.
 	var victim *peer
-	for _, p := range c.ring {
+	for _, e := range c.topo.Load().ring {
+		p := e.p
 		if p.rng.Contains(500_000_000) {
 			victim = p
 			break

@@ -1,0 +1,541 @@
+// Structural-delta application and data migration for live membership: the
+// mirror (a data-less core.Network) is the authority for what the overlay
+// should look like after a Join/Depart/LoadBalance, and applyMirrorDiff
+// pushes the difference out to the live peers as messages, migrating the
+// affected items in batched handoffs without ever dropping a key.
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// applyMirrorDiff reconciles the live peers with the mirror after a
+// structural operation. It compares the mirror's state against c.states
+// (the snapshot from before the operation), derives which key regions moved
+// between which peers, and orchestrates the change in phases:
+//
+//  1. New peers are spawned with their final state, already buffering
+//     requests for the regions whose items are still in flight.
+//  2. Existing peers that gain regions are prepared the same way — range,
+//     links and pending regions — and acknowledge before any source stops
+//     serving those keys, so there is never a moment when a key region has
+//     no peer accepting (or buffering) its requests.
+//  3. Source peers adopt their shrunk state, extract the moved items and
+//     send them as one batched kindHandoff message per region straight to
+//     the receiving peer; a peer that is leaving altogether becomes a
+//     forwarding tombstone.
+//  4. Every other peer whose links changed receives its new link set, and
+//     the coordinator waits until every handoff has been absorbed.
+//
+// Only then is the new composition published to clients (ring, member IDs).
+// The whole sequence runs under memberMu; data traffic flows throughout.
+// It returns the number of items that migrated.
+//
+// The reconcile itself is O(total peers) per operation — full mirror
+// snapshot, per-peer comparison, ring rebuild — though only the O(log N)
+// affected peers receive messages. At the cluster sizes the driver runs
+// this is dwarfed by the data handoff; pushing membership throughput
+// further means diffing only the region the mirror knows changed.
+func (c *Cluster) applyMirrorDiff() (int, error) {
+	c.reapTombstones()
+	nextList := core.Snapshot(c.mirror)
+	next := snapshotMap(nextList)
+	prev := c.states
+
+	// Derive the data movements from the range delta: every region a peer
+	// lost is now owned by exactly the peers whose new ranges cover it.
+	type move struct {
+		src, dst core.PeerID
+		region   keyspace.Range
+	}
+	var moves []move
+	gains := make(map[core.PeerID][]keyspace.Range)
+	lose := func(src core.PeerID, region keyspace.Range) error {
+		for !region.IsEmpty() {
+			owner := core.NoPeer
+			for id, ns := range next {
+				if ns.Range.Contains(region.Lower) {
+					owner = id
+					break
+				}
+			}
+			if owner == core.NoPeer {
+				return fmt.Errorf("p2p: no peer owns region %v after the structural change", region)
+			}
+			part := region
+			if up := next[owner].Range.Upper; up < part.Upper {
+				part.Upper = up
+			}
+			w := c.widen(part)
+			moves = append(moves, move{src: src, dst: owner, region: w})
+			gains[owner] = append(gains[owner], w)
+			region.Lower = part.Upper
+		}
+		return nil
+	}
+	for id, ps := range prev {
+		ns, ok := next[id]
+		if !ok {
+			if err := lose(id, ps.Range); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		for _, r := range subtract(ps.Range, ns.Range) {
+			if err := lose(id, r); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	// Phase 1: spawn new peers, registered for delivery before any request
+	// or handoff can be addressed to them.
+	base := c.topo.Load()
+	var spawned []*peer
+	for id, ns := range next {
+		if _, existed := prev[id]; existed {
+			continue
+		}
+		p := &peer{id: id, data: store.New(), inbox: make(chan request, 256), quit: make(chan struct{})}
+		p.installState(buildState(ns, next))
+		p.pending = gains[id]
+		p.alive.Store(true)
+		spawned = append(spawned, p)
+	}
+	if len(spawned) > 0 {
+		nt := base.clone()
+		for _, p := range spawned {
+			nt.peers[p.id] = p
+		}
+		c.topo.Store(nt)
+		for _, p := range spawned {
+			c.wg.Add(1)
+			go c.serve(p)
+		}
+	}
+
+	// Phase 2: prepare the existing absorbers. They must be buffering their
+	// gained regions before any source stops serving those keys.
+	sentState := make(map[core.PeerID]bool)
+	var acks []chan response
+	for id, gs := range gains {
+		if _, existed := prev[id]; !existed {
+			continue // new peers were configured at spawn
+		}
+		ch := make(chan response, 1)
+		if !c.sendAny(id, request{kind: kindUpdate, state: buildState(next[id], next), gains: gs, reply: ch}) {
+			return 0, ErrStopped
+		}
+		sentState[id] = true
+		acks = append(acks, ch)
+	}
+	if err := c.waitAcks(acks); err != nil {
+		return 0, err
+	}
+	acks = acks[:0]
+
+	// Phase 3: the sources shrink, extract and hand off.
+	handoffAck := make(chan response, len(moves))
+	srcMoves := make(map[core.PeerID][]handoffMove)
+	for _, mv := range moves {
+		srcMoves[mv.src] = append(srcMoves[mv.src], handoffMove{region: mv.region, dst: mv.dst, ack: handoffAck})
+	}
+	for id, mvs := range srcMoves {
+		req := request{kind: kindUpdate, moves: mvs, reply: make(chan response, 1)}
+		if ns, ok := next[id]; ok {
+			if !sentState[id] {
+				req.state = buildState(ns, next)
+				sentState[id] = true
+			}
+		} else {
+			// The peer is leaving the overlay: everything it still receives
+			// belongs to the peer that took over its range.
+			req.departTo = mvs[0].dst
+			sentState[id] = true
+		}
+		if !c.sendAny(id, req) {
+			return 0, ErrStopped
+		}
+		acks = append(acks, req.reply)
+	}
+	if err := c.waitAcks(acks); err != nil {
+		return 0, err
+	}
+	acks = acks[:0]
+
+	// Phase 4: new link sets for every other affected peer. Affected means
+	// the link IDs changed, or — the paper's notifyRangeChange — a linked
+	// peer's range changed: links cache the target's range bounds, and a
+	// stale cached range would make forward()'s dead-owner refusal rule
+	// misattribute a migrated key to a peer killed later.
+	rangeChanged := make(map[core.PeerID]bool)
+	for id, ns := range next {
+		if ps, ok := prev[id]; !ok || ps.Range != ns.Range {
+			rangeChanged[id] = true
+		}
+	}
+	for id, ns := range next {
+		if sentState[id] {
+			continue
+		}
+		prevSnap, existed := prev[id]
+		if !existed || (statesEqual(prevSnap, ns) && !linksAny(ns, rangeChanged)) {
+			continue
+		}
+		ch := make(chan response, 1)
+		if !c.sendAny(id, request{kind: kindUpdate, state: buildState(ns, next), reply: ch}) {
+			return 0, ErrStopped
+		}
+		acks = append(acks, ch)
+	}
+	if err := c.waitAcks(acks); err != nil {
+		return 0, err
+	}
+
+	// Phase 5: wait for every handoff to be absorbed, so the operation is
+	// fully settled — and the no-lost-write guarantee holds — by the time
+	// the structural call returns.
+	migrated := 0
+	for range moves {
+		select {
+		case resp := <-handoffAck:
+			migrated += resp.count
+		case <-c.done:
+			return migrated, ErrStopped
+		}
+	}
+
+	// Publish the new composition to clients, and queue freshly departed
+	// peers for retirement at a later structural operation.
+	t := c.topo.Load()
+	for id := range prev {
+		if _, ok := next[id]; !ok {
+			c.tombstones = append(c.tombstones, t.peers[id])
+		}
+	}
+	c.states = next
+	c.publishTopology(nextList)
+	return migrated, nil
+}
+
+// reapTombstones retires departed peers in two stages across structural
+// operations (memberMu held throughout, so the stages are ordered): first a
+// tombstone's gone flag is set, after which deliver refuses new sends to it
+// — no live routing state references a tombstone, so only a client holding
+// a very old topology snapshot can even try, and it fails over as for a
+// dead peer. At a later operation, once the in-flight count has drained to
+// zero (it can no longer grow), the tombstone's goroutine is told to
+// forward its remaining queue and exit, and the peer is dropped from the
+// delivery map. Without this, a long-lived cluster under steady churn would
+// accumulate one goroutine and inbox per departure forever.
+func (c *Cluster) reapTombstones() {
+	if len(c.tombstones) == 0 {
+		return
+	}
+	var keep []*peer
+	var reaped []core.PeerID
+	for _, p := range c.tombstones {
+		if !p.gone.Load() {
+			p.gone.Store(true) // stage 1: stop accepting new deliveries
+			keep = append(keep, p)
+			continue
+		}
+		if p.inflight.Load() != 0 {
+			keep = append(keep, p) // a delivery is still settling; next time
+			continue
+		}
+		close(p.quit) // stage 2: drain, forward and exit
+		reaped = append(reaped, p.id)
+	}
+	c.tombstones = keep
+	if len(reaped) == 0 {
+		return
+	}
+	nt := c.topo.Load().clone()
+	for _, id := range reaped {
+		delete(nt.peers, id)
+	}
+	c.topo.Store(nt)
+}
+
+// waitAcks waits for one reply per channel, bailing out at cluster stop.
+func (c *Cluster) waitAcks(chs []chan response) error {
+	for _, ch := range chs {
+		select {
+		case <-ch:
+		case <-c.done:
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// publishTopology swaps in a new client-visible composition: member set,
+// key-ordered ring and sorted ID list. The peers map is carried over — it
+// already contains every member plus the tombstones and is never mutated
+// after publication.
+func (c *Cluster) publishTopology(nextList []core.PeerSnapshot) {
+	old := c.topo.Load()
+	nt := old.clone()
+	nt.members = make(map[core.PeerID]bool, len(nextList))
+	nt.ring = make([]ringEntry, 0, len(nextList))
+	nt.ids = make([]core.PeerID, 0, len(nextList))
+	for _, ps := range nextList {
+		nt.members[ps.ID] = true
+		nt.ring = append(nt.ring, ringEntry{id: ps.ID, lower: ps.Range.Lower, p: old.peers[ps.ID]})
+		nt.ids = append(nt.ids, ps.ID)
+	}
+	sort.Slice(nt.ring, func(i, j int) bool { return nt.ring[i].lower < nt.ring[j].lower })
+	sort.Slice(nt.ids, func(i, j int) bool { return nt.ids[i] < nt.ids[j] })
+	if hc := 8 * (len(nextList) + 4); hc > nt.hopCap {
+		nt.hopCap = hc
+	}
+	c.topo.Store(nt)
+}
+
+// widen stretches a migrating region that touches a domain edge out to the
+// key type's limits: the extreme peers store keys outside the domain (the
+// ownsExtreme rule), and those items must migrate with the edge region
+// instead of being stranded.
+func (c *Cluster) widen(r keyspace.Range) keyspace.Range {
+	if r.Lower == c.domain.Lower {
+		r.Lower = keyspace.Key(math.MinInt64)
+	}
+	if r.Upper == c.domain.Upper {
+		r.Upper = keyspace.Key(math.MaxInt64)
+	}
+	return r
+}
+
+// subtract returns the parts of r not covered by s (zero, one or two
+// ranges).
+func subtract(r, s keyspace.Range) []keyspace.Range {
+	if r.IsEmpty() {
+		return nil
+	}
+	if !r.Intersects(s) {
+		return []keyspace.Range{r}
+	}
+	var out []keyspace.Range
+	if r.Lower < s.Lower {
+		out = append(out, keyspace.Range{Lower: r.Lower, Upper: s.Lower})
+	}
+	if s.Upper < r.Upper {
+		out = append(out, keyspace.Range{Lower: s.Upper, Upper: r.Upper})
+	}
+	return out
+}
+
+// buildState assembles the peerState a kindUpdate installs, resolving every
+// link against the post-operation structure.
+func buildState(ns core.PeerSnapshot, next map[core.PeerID]core.PeerSnapshot) *peerState {
+	tl := func(id core.PeerID) *link {
+		if id == core.NoPeer {
+			return nil
+		}
+		t, ok := next[id]
+		if !ok {
+			return nil
+		}
+		return &link{id: id, lower: t.Range.Lower, upper: t.Range.Upper}
+	}
+	st := &peerState{
+		pos:      ns.Position,
+		rng:      ns.Range,
+		parent:   tl(ns.Parent),
+		children: [2]*link{tl(ns.LeftChild), tl(ns.RightChild)},
+		adjacent: [2]*link{tl(ns.LeftAdjacent), tl(ns.RightAdjacent)},
+	}
+	for _, id := range ns.LeftRouting {
+		st.rt[0] = append(st.rt[0], tl(id))
+	}
+	for _, id := range ns.RightRouting {
+		st.rt[1] = append(st.rt[1], tl(id))
+	}
+	return st
+}
+
+// installState adopts a peerState; called either at spawn (before the peer
+// goroutine starts) or from the peer's own goroutine (applyUpdate).
+func (p *peer) installState(st *peerState) {
+	p.pos = st.pos
+	p.rng = st.rng
+	p.parent = st.parent
+	p.children = st.children
+	p.adjacent = st.adjacent
+	p.rt = st.rt
+}
+
+// linksAny reports whether the snapshot links to any of the given peers.
+func linksAny(ns core.PeerSnapshot, ids map[core.PeerID]bool) bool {
+	if ids[ns.Parent] || ids[ns.LeftChild] || ids[ns.RightChild] ||
+		ids[ns.LeftAdjacent] || ids[ns.RightAdjacent] {
+		return true
+	}
+	for _, id := range ns.LeftRouting {
+		if ids[id] {
+			return true
+		}
+	}
+	for _, id := range ns.RightRouting {
+		if ids[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// statesEqual reports whether two structural snapshots describe the same
+// position, range and link set (items are irrelevant here).
+func statesEqual(a, b core.PeerSnapshot) bool {
+	if a.Position != b.Position || a.Range != b.Range ||
+		a.Parent != b.Parent || a.LeftChild != b.LeftChild || a.RightChild != b.RightChild ||
+		a.LeftAdjacent != b.LeftAdjacent || a.RightAdjacent != b.RightAdjacent {
+		return false
+	}
+	if len(a.LeftRouting) != len(b.LeftRouting) || len(a.RightRouting) != len(b.RightRouting) {
+		return false
+	}
+	for i := range a.LeftRouting {
+		if a.LeftRouting[i] != b.LeftRouting[i] {
+			return false
+		}
+	}
+	for i := range a.RightRouting {
+		if a.RightRouting[i] != b.RightRouting[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyUpdate runs in the peer's goroutine and executes one kindUpdate:
+// adopt the new structural state, start buffering gained regions, extract
+// and hand off moved regions, and/or become a forwarding tombstone.
+func (c *Cluster) applyUpdate(p *peer, req request) {
+	if req.state != nil {
+		p.installState(req.state)
+	}
+	p.pending = append(p.pending, req.gains...)
+	for _, mv := range req.moves {
+		items := p.data.ExtractRange(mv.region)
+		c.sendAny(mv.dst, request{kind: kindHandoff, rng: mv.region, bulk: items, reply: mv.ack})
+	}
+	if req.departTo != core.NoPeer {
+		p.departed = true
+		p.departTo = req.departTo
+	}
+	req.reply <- response{hops: req.hops}
+	// Shrinking the range may strand held requests this peer no longer
+	// owns; replay them so they are forwarded to the new owner.
+	c.replayHeld(p)
+}
+
+// applyHandoff runs in the peer's goroutine: absorb the migrated items,
+// retire the matching pending region, acknowledge to the coordinator and
+// replay everything that was buffered while the region was in flight.
+func (c *Cluster) applyHandoff(p *peer, req request) {
+	if p.departed {
+		// A tombstone can still be the recorded destination if it departed
+		// in a later operation while this handoff was in flight; pass the
+		// items (and the coordinator's ack) along to its successor.
+		if !c.send(p.departTo, req) {
+			c.refuse(req, ErrOwnerDown)
+		}
+		return
+	}
+	p.data.Absorb(req.bulk)
+	for i, r := range p.pending {
+		if r == req.rng {
+			p.pending = append(p.pending[:i], p.pending[i+1:]...)
+			break
+		}
+	}
+	req.reply <- response{count: len(req.bulk), hops: req.hops}
+	c.replayHeld(p)
+}
+
+// replayHeld re-handles every buffered request; those still touching a
+// pending region are buffered again by handle.
+func (c *Cluster) replayHeld(p *peer) {
+	if len(p.held) == 0 {
+		return
+	}
+	held := p.held
+	p.held = nil
+	for _, h := range held {
+		c.handle(p, h)
+	}
+}
+
+// snapshot exports the peer's protocol state; runs in the peer goroutine.
+func (p *peer) snapshot() *core.PeerSnapshot {
+	linkID := func(l *link) core.PeerID {
+		if l == nil {
+			return core.NoPeer
+		}
+		return l.id
+	}
+	ps := &core.PeerSnapshot{
+		ID:            p.id,
+		Position:      p.pos,
+		Range:         p.rng,
+		Items:         p.data.Items(),
+		Parent:        linkID(p.parent),
+		LeftChild:     linkID(p.children[0]),
+		RightChild:    linkID(p.children[1]),
+		LeftAdjacent:  linkID(p.adjacent[0]),
+		RightAdjacent: linkID(p.adjacent[1]),
+	}
+	for _, l := range p.rt[0] {
+		ps.LeftRouting = append(ps.LeftRouting, linkID(l))
+	}
+	for _, l := range p.rt[1] {
+		ps.RightRouting = append(ps.RightRouting, linkID(l))
+	}
+	return ps
+}
+
+// Snapshot exports the protocol state of every member peer — positions,
+// ranges, items and the full link sets, killed members included — as the
+// same snapshot format the simulator produces, so the live structure can be
+// audited with core.VerifySnapshot (or rebuilt into a core.Network with
+// core.FromSnapshot). Snapshot holds the membership lock, so the structure
+// is quiescent: no join, departure or shuffle is in progress and no handoff
+// is in flight. Data traffic may keep running; each peer's items are
+// captured atomically with respect to its own request handling.
+func (c *Cluster) Snapshot() ([]core.PeerSnapshot, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	t := c.topo.Load()
+	waits := make([]chan response, 0, len(t.ids))
+	for _, id := range t.ids {
+		ch := make(chan response, 1)
+		if !c.sendAny(id, request{kind: kindSnapshot, reply: ch}) {
+			return nil, ErrStopped
+		}
+		waits = append(waits, ch)
+	}
+	out := make([]core.PeerSnapshot, 0, len(waits))
+	for _, ch := range waits {
+		select {
+		case resp := <-ch:
+			if resp.snap != nil {
+				out = append(out, *resp.snap)
+			}
+		case <-c.done:
+			return nil, ErrStopped
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Position.InOrderBefore(out[j].Position) })
+	return out, nil
+}

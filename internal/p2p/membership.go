@@ -1,0 +1,533 @@
+// Live membership: online join (Section III-A), graceful departure
+// (Section III-B) and the adjacent-peer load-balance shuffle (Section V)
+// for the running cluster.
+//
+// The protocol phases that are genuinely distributed — locating the accept
+// node for a join, walking down to a replacement leaf for a departure —
+// run as real messages between the peer goroutines, over each peer's own
+// link state (membership.go's handlers). The resulting structural change is
+// validated and applied on the cluster's data-less core.Network mirror, and
+// handoff.go then pushes the delta back out to the live peers as messages.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+)
+
+// peerState is the structural state a kindUpdate message installs at a
+// peer: its position, range and full link set, all derived from the mirror.
+type peerState struct {
+	pos      core.Position
+	rng      keyspace.Range
+	parent   *link
+	children [2]*link
+	adjacent [2]*link
+	rt       [2][]*link
+}
+
+// handoffMove instructs a source peer to extract the items of region and
+// send them to dst as one batched kindHandoff message; the receiving peer
+// acknowledges on ack so the coordinator knows when the migration landed.
+type handoffMove struct {
+	region keyspace.Range
+	dst    core.PeerID
+	ack    chan response
+}
+
+// Join adds a brand-new peer to the running cluster. The join request
+// enters the overlay at peer via and is forwarded peer-to-peer following
+// Algorithm 1 until a peer that may accept a child answers; that peer's
+// range is split, the handed-off half's items migrate to the new peer as a
+// batched data message, and every peer whose links change is updated.
+// Get/Put/Delete/Range traffic keeps flowing throughout: requests for keys
+// in mid-handoff are buffered at the new peer and answered as soon as the
+// data lands. Join returns the new peer's ID.
+func (c *Cluster) Join(via core.PeerID) (core.PeerID, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return core.NoPeer, ErrStopped
+	}
+	t := c.topo.Load()
+	if !t.members[via] {
+		return core.NoPeer, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
+	}
+
+	newID := core.NoPeer
+	if acc, side, err := c.locateJoin(via); err == nil {
+		if id, _, err := c.mirror.JoinAt(acc, side); err == nil {
+			newID = id
+		}
+	}
+	if newID == core.NoPeer {
+		// The message walk dead-ended (possible when kills have eaten the
+		// links Algorithm 1 relies on): scan the structure for any viable
+		// alive acceptor instead, the live counterpart of the simulator's
+		// join fallback.
+		for _, cand := range c.joinAcceptors() {
+			if id, _, err := c.mirror.JoinAt(cand.id, cand.side); err == nil {
+				newID = id
+				break
+			}
+		}
+	}
+	if newID == core.NoPeer {
+		return core.NoPeer, fmt.Errorf("p2p: no peer can accept a join: %w", ErrUnreachable)
+	}
+	if _, err := c.applyMirrorDiff(); err != nil {
+		return core.NoPeer, err
+	}
+	return newID, nil
+}
+
+// Depart removes the peer with the given ID gracefully: a safe leaf hands
+// its range and items to its parent and leaves; any other peer finds a
+// replacement leaf by walking FINDREPLACEMENT messages down the live tree
+// (Algorithm 2), and the replacement vacates its own position, takes over
+// the leaving peer's position and range, and receives its items. All data
+// handoffs are batched messages acknowledged before Depart returns, so no
+// acknowledged write is lost. The departed peer's goroutine remains as a
+// tombstone that forwards stragglers to the peer that absorbed its range.
+func (c *Cluster) Depart(id core.PeerID) error {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return ErrStopped
+	}
+	t := c.topo.Load()
+	if !t.members[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	if !t.peers[id].alive.Load() {
+		return fmt.Errorf("%w: cannot depart killed peer %d", ErrOwnerDown, id)
+	}
+	if len(t.ids) == 1 {
+		return core.ErrLastPeer
+	}
+	ps := c.states[id]
+
+	done := false
+	// Safe-leaf departure: the parent absorbs the range, so it must be
+	// alive to receive the data.
+	if ps.LeftChild == core.NoPeer && ps.RightChild == core.NoPeer &&
+		ps.Parent != core.NoPeer && c.Alive(ps.Parent) {
+		if _, err := c.mirror.LeaveWith(id, core.NoPeer); err == nil {
+			done = true
+		} else if errors.Is(err, core.ErrLastPeer) {
+			return err
+		}
+	}
+	if !done {
+		// Algorithm 2 over live messages, then validated by the mirror; on
+		// any failure fall back to a deterministic scan for the deepest
+		// viable leaf.
+		if y := c.locateReplacement(ps); y != core.NoPeer && c.viableReplacement(id, y) {
+			if _, err := c.mirror.LeaveWith(id, y); err == nil {
+				done = true
+			}
+		}
+	}
+	if !done {
+		for _, y := range c.replacementCandidates(id) {
+			if _, err := c.mirror.LeaveWith(id, y); err == nil {
+				done = true
+				break
+			}
+		}
+	}
+	if !done {
+		return fmt.Errorf("p2p: no viable replacement leaf for peer %d: %w", id, ErrUnreachable)
+	}
+	_, err := c.applyMirrorDiff()
+	return err
+}
+
+// LoadBalance performs the adjacent-peer data shuffle of Section V on
+// behalf of the given peer: it measures the peer's and its adjacent peers'
+// stored-item counts, and if the peer holds at least two more items than
+// its lighter neighbour, moves the boundary between them so that about half
+// the imbalance changes hands. It returns the number of items that moved
+// (zero when the loads were already balanced).
+func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return 0, ErrStopped
+	}
+	t := c.topo.Load()
+	if !t.members[id] {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	if !t.peers[id].alive.Load() {
+		return 0, fmt.Errorf("%w: %d", ErrOwnerDown, id)
+	}
+	ps := c.states[id]
+	cx, err := c.peerCount(id)
+	if err != nil {
+		return 0, err
+	}
+	// Pick the lighter alive adjacent peer.
+	bestSide, bestCount := core.Left, math.MaxInt
+	for _, cand := range []struct {
+		side core.Side
+		id   core.PeerID
+	}{{core.Left, ps.LeftAdjacent}, {core.Right, ps.RightAdjacent}} {
+		if cand.id == core.NoPeer || !c.Alive(cand.id) {
+			continue
+		}
+		ca, err := c.peerCount(cand.id)
+		if err != nil {
+			continue
+		}
+		if ca < bestCount {
+			bestSide, bestCount = cand.side, ca
+		}
+	}
+	if bestCount == math.MaxInt {
+		return 0, fmt.Errorf("p2p: peer %d has no alive adjacent peer to balance with: %w", id, ErrUnreachable)
+	}
+	shift := (cx - bestCount) / 2
+	if shift < 1 || cx == 0 {
+		return 0, nil
+	}
+	// The boundary key: keep the local items on the peer's own side of it.
+	var frac float64
+	if bestSide == core.Right {
+		frac = float64(cx-shift) / float64(cx)
+	} else {
+		frac = float64(shift) / float64(cx)
+	}
+	boundary, ok, err := c.peerSplitKey(id, frac)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || boundary <= ps.Range.Lower || boundary >= ps.Range.Upper {
+		// The local items cluster at the range edge; no boundary inside the
+		// range separates them.
+		return 0, nil
+	}
+	if _, err := c.mirror.ShiftBoundary(id, bestSide, boundary); err != nil {
+		return 0, err
+	}
+	return c.applyMirrorDiff()
+}
+
+// --- live locate protocols -------------------------------------------------
+
+// locateJoin routes a JOIN message into the overlay at via and returns the
+// accepting peer and the free child side it answered with.
+func (c *Cluster) locateJoin(via core.PeerID) (core.PeerID, core.Side, error) {
+	resp, err := c.issue(via, request{kind: kindJoinLocate})
+	if err != nil {
+		return core.NoPeer, core.Left, err
+	}
+	if resp.err != nil {
+		return core.NoPeer, core.Left, resp.err
+	}
+	if resp.peerID == core.NoPeer || !c.Alive(resp.peerID) {
+		return core.NoPeer, core.Left, ErrUnreachable
+	}
+	return resp.peerID, resp.side, nil
+}
+
+// handleJoinLocate is Algorithm 1 at peer p: accept if both routing tables
+// are full and a child slot is free (Theorem 1's condition), otherwise
+// forward — to the parent when a routing table is incomplete, sideways to a
+// routing-table neighbour, or to an adjacent peer.
+func (c *Cluster) handleJoinLocate(p *peer, req request) {
+	if side, free := p.freeChildSide(); free && p.routingTablesFull() {
+		req.reply <- response{peerID: p.id, side: side, hops: req.hops}
+		return
+	}
+	if req.visited == nil {
+		req.visited = make(map[core.PeerID]bool)
+	}
+	req.visited[p.id] = true
+	var cands []*link
+	if !p.routingTablesFull() {
+		// Rule 2: an incomplete routing table means the parent of a missing
+		// neighbour can accept; climb.
+		cands = append(cands, p.parent)
+	}
+	// Rule 3: sideways to routing-table neighbours (each checks its own
+	// child slots on receipt — links do not carry child occupancy).
+	for _, side := range [2]int{0, 1} {
+		cands = append(cands, p.rt[side]...)
+	}
+	// Rule 4: the adjacent peers, then the parent as a last resort.
+	cands = append(cands, p.adjacent[0], p.adjacent[1], p.parent)
+	for _, l := range cands {
+		if l == nil || req.visited[l.id] || !c.Alive(l.id) {
+			continue
+		}
+		if c.send(l.id, req) {
+			return
+		}
+	}
+	c.refuse(req, ErrUnreachable)
+}
+
+// freeChildSide returns a side whose child slot is empty, preferring the
+// left slot, and whether any slot is free.
+func (p *peer) freeChildSide() (core.Side, bool) {
+	if p.children[0] == nil {
+		return core.Left, true
+	}
+	if p.children[1] == nil {
+		return core.Right, true
+	}
+	return core.Left, false
+}
+
+// routingTablesFull reports whether every routing-table entry that
+// corresponds to a valid same-level position is filled — the
+// Full(RoutingTable) predicate of Algorithm 1 and Theorem 1. Entries
+// pointing at killed peers count as filled: a dead peer remains part of the
+// structure until the overlay repairs it, which the live cluster never does.
+func (p *peer) routingTablesFull() bool {
+	for si, side := range [2]core.Side{core.Left, core.Right} {
+		for i, l := range p.rt[si] {
+			if l != nil {
+				continue
+			}
+			if _, ok := p.pos.Neighbour(side, int64(1)<<uint(i)); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// joinAcceptors scans the structural snapshot for alive peers that could
+// accept a child, Theorem-1 acceptors first (both routing tables full),
+// then any peer with a free slot as a desperation tier; within a tier,
+// shallower peers first so the tree stays compact. The mirror re-validates
+// balance for every candidate, so the ordering is a preference, not a
+// correctness requirement.
+func (c *Cluster) joinAcceptors() []struct {
+	id   core.PeerID
+	side core.Side
+} {
+	type cand struct {
+		id    core.PeerID
+		side  core.Side
+		full  bool
+		level int
+	}
+	var cands []cand
+	for id, ps := range c.states {
+		if !c.Alive(id) {
+			continue
+		}
+		var side core.Side
+		switch {
+		case ps.LeftChild == core.NoPeer:
+			side = core.Left
+		case ps.RightChild == core.NoPeer:
+			side = core.Right
+		default:
+			continue
+		}
+		cands = append(cands, cand{id: id, side: side, full: snapshotRTFull(ps), level: ps.Position.Level})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].full != cands[j].full {
+			return cands[i].full
+		}
+		if cands[i].level != cands[j].level {
+			return cands[i].level < cands[j].level
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]struct {
+		id   core.PeerID
+		side core.Side
+	}, len(cands))
+	for i, cn := range cands {
+		out[i].id, out[i].side = cn.id, cn.side
+	}
+	return out
+}
+
+// snapshotRTFull is routingTablesFull computed from a structural snapshot.
+func snapshotRTFull(ps core.PeerSnapshot) bool {
+	for si, rt := range [2][]core.PeerID{ps.LeftRouting, ps.RightRouting} {
+		side := core.Left
+		if si == 1 {
+			side = core.Right
+		}
+		for i, id := range rt {
+			if id != core.NoPeer {
+				continue
+			}
+			if _, ok := ps.Position.Neighbour(side, int64(1)<<uint(i)); ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// locateReplacement walks a FINDREPLACEMENT message down the live tree from
+// a starting point near the departing peer (Algorithm 2) and returns the
+// leaf it ended at, or NoPeer when the walk dead-ended.
+func (c *Cluster) locateReplacement(x core.PeerSnapshot) core.PeerID {
+	// Starting point, as the paper prescribes: a leaf starts at a child of
+	// a routing-table neighbour that has children; a non-leaf starts at one
+	// of its adjacent peers (which lies as deep as possible in its subtree).
+	start := core.NoPeer
+	if x.LeftChild == core.NoPeer && x.RightChild == core.NoPeer {
+		for _, rt := range [2][]core.PeerID{x.LeftRouting, x.RightRouting} {
+			for _, id := range rt {
+				if id == core.NoPeer {
+					continue
+				}
+				nbr, ok := c.states[id]
+				if !ok {
+					continue
+				}
+				if nbr.LeftChild != core.NoPeer {
+					start = nbr.LeftChild
+				} else if nbr.RightChild != core.NoPeer {
+					start = nbr.RightChild
+				}
+				if start != core.NoPeer {
+					break
+				}
+			}
+			if start != core.NoPeer {
+				break
+			}
+		}
+	} else {
+		la, ra := c.states[x.LeftAdjacent], c.states[x.RightAdjacent]
+		switch {
+		case x.LeftAdjacent != core.NoPeer && (x.RightAdjacent == core.NoPeer || la.Position.Level >= ra.Position.Level):
+			start = x.LeftAdjacent
+		case x.RightAdjacent != core.NoPeer:
+			start = x.RightAdjacent
+		}
+	}
+	if start == core.NoPeer || !c.Alive(start) {
+		return core.NoPeer
+	}
+	resp, err := c.issue(start, request{kind: kindFindReplacement})
+	if err != nil || resp.err != nil {
+		return core.NoPeer
+	}
+	return resp.peerID
+}
+
+// handleFindReplacement walks the request down to a leaf: descend into an
+// alive child while one exists; a peer with no children at all is a
+// candidate replacement; a peer whose children are all dead is a dead end
+// (the coordinator falls back to a structure scan).
+func (c *Cluster) handleFindReplacement(p *peer, req request) {
+	for _, l := range p.children {
+		if l != nil && c.Alive(l.id) {
+			if c.send(l.id, req) {
+				return
+			}
+		}
+	}
+	if p.children[0] == nil && p.children[1] == nil {
+		req.reply <- response{peerID: p.id, hops: req.hops}
+		return
+	}
+	req.reply <- response{peerID: core.NoPeer, hops: req.hops}
+}
+
+// viableReplacement reports whether y can serve as the replacement for
+// departing peer x from the live cluster's point of view: y must be an
+// alive member, and the peer that will absorb y's vacated range — y's
+// parent, unless that is x itself — must be alive to receive the data. The
+// mirror separately validates the structural side (leaf, balance).
+func (c *Cluster) viableReplacement(x, y core.PeerID) bool {
+	if y == x || !c.Alive(y) {
+		return false
+	}
+	ps, ok := c.states[y]
+	if !ok {
+		return false
+	}
+	return ps.Parent != core.NoPeer && (ps.Parent == x || c.Alive(ps.Parent))
+}
+
+// replacementCandidates scans the structural snapshot for viable
+// replacement leaves for the departing peer, deepest first so vacating them
+// cannot unbalance the tree.
+func (c *Cluster) replacementCandidates(x core.PeerID) []core.PeerID {
+	type cand struct {
+		id    core.PeerID
+		level int
+	}
+	var cands []cand
+	for id, ps := range c.states {
+		if ps.LeftChild != core.NoPeer || ps.RightChild != core.NoPeer {
+			continue
+		}
+		if !c.viableReplacement(x, id) {
+			continue
+		}
+		cands = append(cands, cand{id: id, level: ps.Position.Level})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].level != cands[j].level {
+			return cands[i].level > cands[j].level
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]core.PeerID, len(cands))
+	for i, cn := range cands {
+		out[i] = cn.id
+	}
+	return out
+}
+
+// --- control-message helpers ----------------------------------------------
+
+// control sends a request directly to the given peer (no routing) and waits
+// for its reply.
+func (c *Cluster) control(id core.PeerID, req request) (response, error) {
+	req.reply = make(chan response, 1)
+	if !c.sendAny(id, req) {
+		if c.stopped.Load() {
+			return response{}, ErrStopped
+		}
+		return response{}, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+	}
+	select {
+	case resp := <-req.reply:
+		if resp.err != nil {
+			return resp, resp.err
+		}
+		return resp, nil
+	case <-c.done:
+		return response{}, ErrStopped
+	}
+}
+
+// peerCount asks the peer for its stored-item count.
+func (c *Cluster) peerCount(id core.PeerID) (int, error) {
+	resp, err := c.control(id, request{kind: kindStats})
+	if err != nil {
+		return 0, err
+	}
+	return resp.count, nil
+}
+
+// peerSplitKey asks the peer for the key at the given fraction of its
+// stored items in key order.
+func (c *Cluster) peerSplitKey(id core.PeerID, frac float64) (keyspace.Key, bool, error) {
+	resp, err := c.control(id, request{kind: kindSplitKey, frac: frac})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.splitKey, resp.found, nil
+}

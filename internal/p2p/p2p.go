@@ -7,31 +7,62 @@
 // authors' simulator). This package is the deployment-shaped counterpart:
 // it takes a snapshot of a core.Network — positions, ranges, links and data —
 // and animates it, so that many exact-match, insert and range requests can
-// be in flight at the same time, and so that peers can be killed while
-// traffic is running to exercise the fault-tolerant routing of Section III-D
-// under real concurrency. The goroutine-per-peer design is the natural Go
-// rendering of "each node in the tree is maintained by a peer".
+// be in flight at the same time, and so that the overlay can change while
+// traffic is running: peers can be killed to exercise the fault-tolerant
+// routing of Section III-D, new peers can Join online (Section III-A), and
+// peers can Depart gracefully with full data handoff (Section III-B).
 //
-// Membership changes (join/leave/restructuring) are not re-implemented here;
-// they are structural operations that the paper's protocol serialises around
-// the affected peers anyway, and the simulator already covers them. A
-// cluster is created from a core.Network at a point in time and serves data
-// traffic from then on.
+// # Live membership
+//
+// Join locates the accept node by routing a JOIN message through the live
+// peers exactly as Algorithm 1 forwards it — to the parent when a routing
+// table is incomplete, sideways to routing-table neighbours, to the adjacent
+// peers — until a peer with full routing tables and a free child slot
+// answers. Depart finds a replacement leaf for a non-leaf peer by walking
+// FINDREPLACEMENT messages down the live tree (Algorithm 2). The structural
+// bookkeeping of an accepted change — which ranges split or merge, which
+// links every affected peer ends up with — is computed on an internal
+// data-less mirror of the overlay structure (a core.Network), and the delta
+// is then pushed back out to the affected peers as messages:
+//
+//  1. Peers that are gaining key ranges are prepared first: they adopt their
+//     new range and links and start buffering requests that touch the
+//     still-in-flight regions.
+//  2. Source peers then shrink, extract the handed-off items and send them
+//     as one batched data message per region directly to the receiving
+//     peer, which absorbs the items and replays everything it buffered.
+//     Keys in mid-handoff are therefore forwarded or briefly held — never
+//     dropped — and no acknowledged write is lost.
+//  3. Every other peer whose links changed receives its new link set. A
+//     departed peer's goroutine stays behind as a tombstone that forwards
+//     stragglers (requests addressed to it by stale routing state) to the
+//     peer that took over its range.
+//
+// Structural operations (Join, Depart, LoadBalance, Kill, Snapshot)
+// serialise with each other on a membership lock, mirroring how the paper's
+// protocol serialises structural changes around the affected region, while
+// Get/Put/Delete/Range/Bulk traffic keeps flowing throughout — data
+// requests never take the membership lock. LoadBalance performs the
+// adjacent-peer data shuffle of Section V: the peer measures its own and
+// its adjacent peers' loads and moves the boundary so that about half the
+// imbalance changes hands.
 //
 // # Concurrency contract
 //
 // Every exported method of Cluster is safe for concurrent use by any number
-// of goroutines. A peer's stored data is touched only by that peer's own
-// goroutine, so request handling needs no per-item locking. Calls never
-// block indefinitely:
+// of goroutines. A peer's protocol state is touched only by that peer's own
+// goroutine — structural updates arrive as messages, like everything else —
+// so request handling needs no per-item locking. Calls never block
+// indefinitely:
 //
 //   - A request addressed to (or queued at) a peer that has been killed
 //     fails with ErrOwnerDown instead of hanging.
-//   - Stop may be called at any time, including with requests in flight;
-//     in-flight calls complete or return ErrStopped, and shutdown never
-//     panics. Peers are never signalled by closing their inboxes — shutdown
-//     is broadcast on a separate done channel precisely so that concurrent
-//     senders cannot hit a closed channel.
+//   - Stop may be called at any time, including with requests and
+//     membership changes in flight; in-flight calls complete or return
+//     ErrStopped, and shutdown never panics. Peers are never signalled by
+//     closing their inboxes — shutdown is broadcast on a separate done
+//     channel precisely so that concurrent senders cannot hit a closed
+//     channel.
 //
 // Range queries come in two flavours: RangeSerial walks the right-adjacent
 // chain one peer at a time exactly as Section IV-B describes, while Range
@@ -40,7 +71,9 @@
 // answers in a per-query collector, turning O(peers-covered) sequential
 // hops into a logarithmic-depth fan-out. Bulk operations (BulkGet, BulkPut,
 // BulkDelete) group keys by responsible peer and pipeline one batched
-// message per peer, amortising routing hops across the whole batch.
+// message per peer, amortising routing hops across the whole batch; keys
+// whose owner changed under a concurrent membership operation are retried
+// as routed singleton requests, so bulk calls stay correct under churn.
 package p2p
 
 import (
@@ -70,6 +103,12 @@ var (
 	ErrOwnerDown = errors.New("p2p: responsible peer is down")
 )
 
+// errMoved is the internal marker a peer attaches to a bulk-batch key it no
+// longer owns (the client's ring cache was stale across a membership
+// change); the client retries those keys as routed singleton requests and
+// the marker never escapes to callers.
+var errMoved = errors.New("p2p: key moved to another peer")
+
 // kind enumerates request kinds.
 type kind int
 
@@ -82,7 +121,24 @@ const (
 	kindBulkGet
 	kindBulkPut
 	kindBulkDelete
+
+	// Membership protocol messages.
+	kindJoinLocate      // Algorithm 1: locate a peer that can accept a child
+	kindFindReplacement // Algorithm 2: walk down to a replacement leaf
+	kindUpdate          // adopt new structural state / extract handed-off data
+	kindHandoff         // batched data items migrating between peers
+	kindSnapshot        // export the peer's protocol state
+	kindStats           // report the peer's stored-item count
+	kindSplitKey        // report the key at a fraction of the local items
 )
+
+// isControl reports whether the request kind must be handled even by a
+// killed peer: structural updates and snapshots keep a dead peer's recorded
+// state coherent (it remains part of the overlay structure until the
+// cluster dies), and a handoff must never be dropped.
+func isControl(k kind) bool {
+	return k == kindUpdate || k == kindHandoff || k == kindSnapshot
+}
 
 // request is one message travelling through the overlay. Replies are
 // delivered on the embedded channel so a client blocks only on its own
@@ -101,9 +157,16 @@ type request struct {
 	// kindRangeScatter sub-requests (which carry no reply channel of their
 	// own — the collector answers the client when the last branch finishes).
 	coll *collector
-	// bulk carries the keys/items of a batched operation, all owned by the
-	// addressed peer.
+	// bulk carries the keys/items of a batched operation or a data handoff.
 	bulk []store.Item
+	// state, gains, moves and departTo are the payload of a kindUpdate
+	// message (see membership.go).
+	state    *peerState
+	gains    []keyspace.Range
+	moves    []handoffMove
+	departTo core.PeerID
+	// frac is the payload of a kindSplitKey request.
+	frac float64
 	// visited records the peers this request has already passed through so
 	// fail-over never loops; only one copy of the request is in flight at a
 	// time, so the map is never accessed concurrently.
@@ -118,7 +181,13 @@ type response struct {
 	items   []store.Item
 	results []BulkResult
 	hops    int
-	err     error
+	// Membership replies.
+	peerID   core.PeerID
+	side     core.Side
+	snap     *core.PeerSnapshot
+	count    int
+	splitKey keyspace.Key
+	err      error
 }
 
 // link is the information a peer keeps about another peer: enough to decide
@@ -129,9 +198,12 @@ type link struct {
 	upper keyspace.Key
 }
 
-// peer is one live peer: a goroutine draining an inbox.
+// peer is one live peer: a goroutine draining an inbox. All fields other
+// than the atomic alive flag are owned by the peer's goroutine once it has
+// started; membership changes reach them as kindUpdate messages.
 type peer struct {
 	id    core.PeerID
+	pos   core.Position
 	rng   keyspace.Range
 	data  *store.Store
 	inbox chan request
@@ -141,123 +213,246 @@ type peer struct {
 	adjacent [2]*link
 	rt       [2][]*link // sideways routing tables, [Left|Right]
 
+	// pending lists key regions this peer now owns but whose items are
+	// still in flight from the previous owner; requests touching them are
+	// buffered in held and replayed when the handoff arrives, so a key in
+	// mid-handoff is never served from a half-empty store.
+	pending []keyspace.Range
+	held    []request
+
+	// departed marks a peer that has gracefully left: its goroutine stays
+	// behind as a tombstone forwarding stragglers to departTo, the peer
+	// that took over its range, until a later structural operation retires
+	// it (see reapTombstones).
+	departed bool
+	departTo core.PeerID
+
 	alive atomic.Bool
+	// gone refuses new deliveries to a tombstone being retired; inflight
+	// counts deliveries between acceptance and completion so retirement
+	// can prove no send will land after the goroutine exits.
+	gone     atomic.Bool
+	inflight atomic.Int64
+	// quit is closed to retire a tombstone: the goroutine forwards any
+	// remaining queued requests and exits.
+	quit chan struct{}
+}
+
+// ringEntry is one slot of the client-side routing cache: a member peer and
+// the lower bound of its range at the time the topology was published.
+type ringEntry struct {
+	id    core.PeerID
+	lower keyspace.Key
+	p     *peer
+}
+
+// topology is an immutable snapshot of the cluster's composition, swapped
+// atomically on membership changes so the data path never takes a lock.
+// peers holds every delivery target including killed members and departed
+// tombstones; members, ring and ids describe the current overlay (killed
+// peers included — they remain part of the structure — departed peers not).
+type topology struct {
+	peers   map[core.PeerID]*peer
+	members map[core.PeerID]bool
+	ring    []ringEntry
+	ids     []core.PeerID
+	hopCap  int
+}
+
+// clone copies the topology with a fresh peers map (the mutable part of a
+// membership change); the published overlay description is shared until the
+// caller replaces it. Every topology swap goes through here so a field
+// added to the struct is carried everywhere or nowhere.
+func (t *topology) clone() *topology {
+	nt := *t
+	nt.peers = make(map[core.PeerID]*peer, len(t.peers)+1)
+	for id, p := range t.peers {
+		nt.peers[id] = p
+	}
+	return &nt
 }
 
 // Cluster is a set of live peers animating a BATON overlay.
 type Cluster struct {
-	peers map[core.PeerID]*peer
-	// ring lists the peers in key order; it is the client-side routing cache
-	// the bulk operations use to address the responsible peer directly (the
-	// ranges are fixed for the life of the cluster, so the cache never goes
-	// stale).
-	ring    []*peer
+	topo    atomic.Pointer[topology]
 	wg      sync.WaitGroup
 	done    chan struct{}
 	stopped atomic.Bool
 	msgs    atomic.Int64
-	hopCap  int
+
+	// memberMu serialises structural operations — Join, Depart,
+	// LoadBalance, Kill, Snapshot — against each other, the live
+	// counterpart of the paper's serialisation of restructuring around the
+	// affected region. Data traffic never takes it.
+	memberMu sync.Mutex
+	// mirror is the data-less structural authority: the same core.Network
+	// logic that the simulator runs, kept in lockstep with the live peers.
+	// Guarded by memberMu.
+	mirror *core.Network
+	// states caches the mirror's per-peer snapshot from after the last
+	// structural operation; membership diffs are computed against it.
+	states map[core.PeerID]core.PeerSnapshot
+	// tombstones lists departed peers not yet retired. Guarded by memberMu.
+	tombstones []*peer
+	domain     keyspace.Range
 }
 
 // NewCluster builds a live cluster from a snapshot of the given simulated
 // network: every peer's position, range, links and stored items are copied
-// and a goroutine is started per peer.
+// and a goroutine is started per peer. The network is consumed at this
+// point in time; subsequent membership changes happen through the cluster's
+// own Join and Depart.
 func NewCluster(nw *core.Network) *Cluster {
 	c := &Cluster{
-		peers: make(map[core.PeerID]*peer),
-		done:  make(chan struct{}),
+		done:   make(chan struct{}),
+		domain: nw.Domain(),
 	}
 	snapshot := core.Snapshot(nw)
+	t := &topology{
+		peers:   make(map[core.PeerID]*peer),
+		members: make(map[core.PeerID]bool),
+	}
 	for _, ps := range snapshot {
 		p := &peer{
 			id:    ps.ID,
+			pos:   ps.Position,
 			rng:   ps.Range,
 			data:  store.New(),
 			inbox: make(chan request, 256),
+			quit:  make(chan struct{}),
 		}
 		p.data.Absorb(ps.Items)
 		p.alive.Store(true)
-		c.peers[p.id] = p
-		c.ring = append(c.ring, p)
+		t.peers[p.id] = p
+		t.members[p.id] = true
+		t.ring = append(t.ring, ringEntry{id: p.id, lower: p.rng.Lower, p: p})
+		t.ids = append(t.ids, p.id)
 	}
-	sort.Slice(c.ring, func(i, j int) bool { return c.ring[i].rng.Lower < c.ring[j].rng.Lower })
+	sort.Slice(t.ring, func(i, j int) bool { return t.ring[i].lower < t.ring[j].lower })
+	sort.Slice(t.ids, func(i, j int) bool { return t.ids[i] < t.ids[j] })
 	// Wire the links after all peers exist.
-	toLink := func(id core.PeerID) *link {
-		if id == core.NoPeer {
-			return nil
-		}
-		t, ok := c.peers[id]
-		if !ok {
-			return nil
-		}
-		return &link{id: id, lower: t.rng.Lower, upper: t.rng.Upper}
-	}
 	for _, ps := range snapshot {
-		p := c.peers[ps.ID]
-		p.parent = toLink(ps.Parent)
-		p.children[0] = toLink(ps.LeftChild)
-		p.children[1] = toLink(ps.RightChild)
-		p.adjacent[0] = toLink(ps.LeftAdjacent)
-		p.adjacent[1] = toLink(ps.RightAdjacent)
+		p := t.peers[ps.ID]
+		p.parent = toLink(t.peers, ps.Parent)
+		p.children[0] = toLink(t.peers, ps.LeftChild)
+		p.children[1] = toLink(t.peers, ps.RightChild)
+		p.adjacent[0] = toLink(t.peers, ps.LeftAdjacent)
+		p.adjacent[1] = toLink(t.peers, ps.RightAdjacent)
 		for _, id := range ps.LeftRouting {
-			p.rt[0] = append(p.rt[0], toLink(id))
+			p.rt[0] = append(p.rt[0], toLink(t.peers, id))
 		}
 		for _, id := range ps.RightRouting {
-			p.rt[1] = append(p.rt[1], toLink(id))
+			p.rt[1] = append(p.rt[1], toLink(t.peers, id))
 		}
 	}
-	c.hopCap = 8 * (len(snapshot) + 4)
-	for _, p := range c.peers {
+	t.hopCap = 8 * (len(snapshot) + 4)
+	c.topo.Store(t)
+
+	// The structural mirror keeps positions, ranges and links but no data:
+	// the live peers own the items, and migrations move the real thing.
+	mirrorSnaps := make([]core.PeerSnapshot, len(snapshot))
+	for i, ps := range snapshot {
+		ps.Items = nil
+		mirrorSnaps[i] = ps
+	}
+	mirror, err := core.FromSnapshot(c.domain, mirrorSnaps)
+	if err != nil {
+		panic(fmt.Sprintf("p2p: network snapshot is not a valid overlay: %v", err))
+	}
+	c.mirror = mirror
+	c.states = snapshotMap(mirrorSnaps)
+
+	for _, p := range t.peers {
 		c.wg.Add(1)
 		go c.serve(p)
 	}
 	return c
 }
 
-// Size returns the number of peers in the cluster (dead or alive).
-func (c *Cluster) Size() int { return len(c.peers) }
+// toLink builds a link to the peer with the given ID using its current
+// range, or nil for NoPeer / unknown IDs.
+func toLink(peers map[core.PeerID]*peer, id core.PeerID) *link {
+	if id == core.NoPeer {
+		return nil
+	}
+	t, ok := peers[id]
+	if !ok {
+		return nil
+	}
+	return &link{id: id, lower: t.rng.Lower, upper: t.rng.Upper}
+}
 
-// Messages returns the total number of peer-to-peer messages delivered.
-func (c *Cluster) Messages() int64 { return c.msgs.Load() }
-
-// PeerIDs returns all peer IDs.
-func (c *Cluster) PeerIDs() []core.PeerID {
-	out := make([]core.PeerID, 0, len(c.peers))
-	for id := range c.peers {
-		out = append(out, id)
+// snapshotMap indexes per-peer snapshots by peer ID.
+func snapshotMap(snaps []core.PeerSnapshot) map[core.PeerID]core.PeerSnapshot {
+	out := make(map[core.PeerID]core.PeerSnapshot, len(snaps))
+	for _, ps := range snaps {
+		out[ps.ID] = ps
 	}
 	return out
 }
 
-// Kill stops the given peer: its goroutine keeps draining the inbox (so
-// senders never block) but answers every queued or future request with
-// ErrOwnerDown, and every new request addressed to it fails over to an
-// alternative path at the sender, exactly like an unreachable address.
+// Size returns the number of member peers in the cluster (dead or alive;
+// gracefully departed peers are not members).
+func (c *Cluster) Size() int { return len(c.topo.Load().ids) }
+
+// Messages returns the total number of peer-to-peer messages delivered.
+func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+
+// Domain returns the key domain the cluster partitions.
+func (c *Cluster) Domain() keyspace.Range { return c.domain }
+
+// PeerIDs returns the IDs of all member peers in ascending order.
+func (c *Cluster) PeerIDs() []core.PeerID {
+	ids := c.topo.Load().ids
+	out := make([]core.PeerID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Kill stops the given peer abruptly: its goroutine keeps draining the
+// inbox (so senders never block) but answers every queued or future request
+// with ErrOwnerDown, and every new request addressed to it fails over to an
+// alternative path at the sender, exactly like an unreachable address. The
+// peer's data is lost; its range stays assigned to it (the live cluster
+// does not run failure repair). Kill serialises with membership changes so
+// a migration's source or destination can never die mid-handoff.
 func (c *Cluster) Kill(id core.PeerID) error {
-	p, ok := c.peers[id]
-	if !ok {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	t := c.topo.Load()
+	p := t.peers[id]
+	if p == nil || !t.members[id] {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
 	}
 	p.alive.Store(false)
 	return nil
 }
 
+// peerByID returns the live peer object for direct inspection (tests only;
+// a peer's non-atomic fields are owned by its goroutine while traffic runs).
+func (c *Cluster) peerByID(id core.PeerID) *peer { return c.topo.Load().peers[id] }
+
 // Alive reports whether the given peer is up.
 func (c *Cluster) Alive(id core.PeerID) bool {
-	p, ok := c.peers[id]
+	p, ok := c.topo.Load().peers[id]
 	return ok && p.alive.Load()
 }
 
 // Stop shuts the cluster down and waits for every peer goroutine to exit.
-// It is safe to call concurrently with in-flight requests (they complete or
-// return ErrStopped) and is idempotent. Inboxes are never closed — shutdown
-// is broadcast on c.done — so a concurrent send can never panic.
+// It is safe to call concurrently with in-flight requests and membership
+// changes (they complete or return ErrStopped) and is idempotent. Inboxes
+// are never closed — shutdown is broadcast on c.done — so a concurrent send
+// can never panic.
 func (c *Cluster) Stop() {
-	if c.stopped.Swap(true) {
-		return
+	c.memberMu.Lock()
+	already := c.stopped.Swap(true)
+	if !already {
+		close(c.done)
 	}
-	close(c.done)
-	c.wg.Wait()
+	c.memberMu.Unlock()
+	if !already {
+		c.wg.Wait()
+	}
 }
 
 // send delivers a request to the peer with the given ID. It reports false
@@ -272,18 +467,39 @@ func (c *Cluster) Stop() {
 // most one routed request or one scatter sub-request per covering peer —
 // and every one retires as soon as its target inbox drains.
 func (c *Cluster) send(to core.PeerID, req request) bool {
+	return c.deliver(to, req, false)
+}
+
+// sendAny is send for membership control traffic: it delivers even to
+// killed peers, whose recorded structure must keep tracking the overlay.
+func (c *Cluster) sendAny(to core.PeerID, req request) bool {
+	return c.deliver(to, req, true)
+}
+
+func (c *Cluster) deliver(to core.PeerID, req request, evenDead bool) bool {
 	if c.stopped.Load() {
 		return false
 	}
-	p, ok := c.peers[to]
-	if !ok || !p.alive.Load() {
+	p, ok := c.topo.Load().peers[to]
+	if !ok || (!evenDead && !p.alive.Load()) {
+		return false
+	}
+	// The inflight count brackets the whole delivery so a tombstone is only
+	// retired once provably no send can still land in its inbox; a delivery
+	// beginning after gone is set backs out, and its caller fails over as
+	// if the peer were dead.
+	p.inflight.Add(1)
+	if p.gone.Load() {
+		p.inflight.Add(-1)
 		return false
 	}
 	select {
 	case p.inbox <- req:
 		c.msgs.Add(1)
+		p.inflight.Add(-1)
 	default:
 		go func() {
+			defer p.inflight.Add(-1)
 			select {
 			case p.inbox <- req:
 				c.msgs.Add(1)
@@ -354,7 +570,7 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	if c.stopped.Load() {
 		return response{}, ErrStopped
 	}
-	if _, ok := c.peers[via]; !ok {
+	if _, ok := c.topo.Load().peers[via]; !ok {
 		return response{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
 	}
 	req.reply = make(chan response, 1)
@@ -374,16 +590,33 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 
 // serve is the peer goroutine: it drains the inbox and handles or forwards
 // each request. A killed peer keeps draining so senders never block, but
-// refuses every request with ErrOwnerDown — a request already queued when
-// the peer died must still be answered or its client would hang forever.
+// refuses every data request with ErrOwnerDown — a request already queued
+// when the peer died must still be answered or its client would hang
+// forever. Control messages (structural updates, snapshots) are handled
+// even when dead, because a killed peer remains part of the overlay
+// structure.
 func (c *Cluster) serve(p *peer) {
 	defer c.wg.Done()
 	for {
 		select {
 		case <-c.done:
 			return
+		case <-p.quit:
+			// Retired tombstone: no new delivery can land (gone is set and
+			// the in-flight count drained to zero before quit was closed),
+			// so forward whatever is still queued and exit.
+			for {
+				select {
+				case req := <-p.inbox:
+					if !c.send(p.departTo, req) {
+						c.refuse(req, ErrOwnerDown)
+					}
+				default:
+					return
+				}
+			}
 		case req := <-p.inbox:
-			if !p.alive.Load() {
+			if !p.alive.Load() && !isControl(req.kind) {
 				c.refuse(req, ErrOwnerDown)
 				continue
 			}
@@ -408,16 +641,64 @@ func (c *Cluster) refuse(req request, err error) {
 
 func (c *Cluster) handle(p *peer, req request) {
 	req.hops++
-	if req.hops > c.hopCap {
+	if req.hops > c.topo.Load().hopCap {
 		c.refuse(req, ErrUnreachable)
 		return
 	}
+	// Membership control first: these are addressed to this exact peer and
+	// apply regardless of departure or pending handoffs.
 	switch req.kind {
+	case kindUpdate:
+		c.applyUpdate(p, req)
+		return
+	case kindHandoff:
+		c.applyHandoff(p, req)
+		return
+	case kindSnapshot:
+		req.reply <- response{snap: p.snapshot(), hops: req.hops}
+		return
+	}
+	// A departed peer is a tombstone: stale routing state may still address
+	// it, and everything it receives belongs to the peer that absorbed its
+	// range now.
+	if p.departed {
+		if !c.send(p.departTo, req) {
+			c.refuse(req, ErrOwnerDown)
+		}
+		return
+	}
+	// Requests touching a region whose items are still in flight are held
+	// until the handoff lands; applyHandoff replays them.
+	if p.touchesPending(req) {
+		p.held = append(p.held, req)
+		return
+	}
+	switch req.kind {
+	case kindJoinLocate:
+		c.handleJoinLocate(p, req)
+		return
+	case kindFindReplacement:
+		c.handleFindReplacement(p, req)
+		return
+	case kindStats:
+		req.reply <- response{count: p.data.Len(), hops: req.hops}
+		return
+	case kindSplitKey:
+		k, ok := p.data.KeyAtFraction(req.frac)
+		req.reply <- response{splitKey: k, found: ok, hops: req.hops}
+		return
 	case kindRange:
 		c.handleRange(p, req)
 		return
 	case kindRangeScatter:
-		c.scatterAt(p, req.rng, req.hops, req.coll)
+		if p.rng.Contains(req.rng.Lower) || c.ownsExtreme(p, req.rng.Lower) {
+			c.scatterAt(p, req.rng, req.hops, req.coll)
+		} else {
+			// The scatter was addressed with routing state that went stale
+			// across a membership change: re-route it to the segment's
+			// current owner like any exact query.
+			c.forward(p, req)
+		}
 		return
 	case kindBulkGet, kindBulkPut, kindBulkDelete:
 		c.handleBulk(p, req)
@@ -438,6 +719,37 @@ func (c *Cluster) handle(p *peer, req request) {
 		return
 	}
 	c.forward(p, req)
+}
+
+// touchesPending reports whether the request reads or writes a key region
+// this peer owns but has not yet received the items for.
+func (p *peer) touchesPending(req request) bool {
+	if len(p.pending) == 0 {
+		return false
+	}
+	switch req.kind {
+	case kindGet, kindPut, kindDelete:
+		for _, r := range p.pending {
+			if r.Contains(req.key) {
+				return true
+			}
+		}
+	case kindRange, kindRangeScatter:
+		for _, r := range p.pending {
+			if r.Intersects(req.rng) {
+				return true
+			}
+		}
+	case kindBulkGet, kindBulkPut, kindBulkDelete:
+		for _, r := range p.pending {
+			for _, it := range req.bulk {
+				if r.Contains(it.Key) {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // ownsExtreme mirrors the simulator's rule that the leftmost and rightmost

@@ -174,7 +174,7 @@ func TestClusterRoutesAroundKilledPeers(t *testing.T) {
 
 	deadRanges := []keyspace.Range{}
 	for id := range killed {
-		deadRanges = append(deadRanges, c.peers[id].rng)
+		deadRanges = append(deadRanges, c.peerByID(id).rng)
 	}
 	onDeadPeer := func(k keyspace.Key) bool {
 		for _, r := range deadRanges {
@@ -264,7 +264,7 @@ func TestClusterUnknownPeer(t *testing.T) {
 func aliveComponent(c *Cluster, killed map[core.PeerID]bool) map[core.PeerID]int {
 	comp := map[core.PeerID]int{}
 	next := 0
-	for id := range c.peers {
+	for id := range c.topo.Load().peers {
 		if killed[id] {
 			continue
 		}
@@ -275,7 +275,7 @@ func aliveComponent(c *Cluster, killed map[core.PeerID]bool) map[core.PeerID]int
 		queue := []core.PeerID{id}
 		comp[id] = next
 		for len(queue) > 0 {
-			p := c.peers[queue[0]]
+			p := c.peerByID(queue[0])
 			queue = queue[1:]
 			links := []*link{p.parent, p.children[0], p.children[1], p.adjacent[0], p.adjacent[1]}
 			links = append(links, p.rt[0]...)

@@ -90,8 +90,20 @@ type Config struct {
 	// draw random keys (mostly misses).
 	Keys []keyspace.Key
 	// KillPeers peers are killed at evenly spaced points of the run to
-	// exercise fault-tolerant routing under load. Default 0.
+	// exercise fault-tolerant routing under load. Default 0. Kills are
+	// capped so at least one peer always survives: a scheduler that kills
+	// the last alive peer degenerates the rest of the run to 100% errors
+	// and measures nothing.
 	KillPeers int
+	// JoinPeers new peers join the cluster online at evenly spaced points
+	// of the run (full Section III-A membership: locate, range split, data
+	// migration). Default 0.
+	JoinPeers int
+	// DepartPeers peers leave gracefully at evenly spaced points of the run
+	// (Section III-B, with full data handoff). Matched JoinPeers and
+	// DepartPeers model steady-state churn: the cluster size holds roughly
+	// constant while its composition turns over. Default 0.
+	DepartPeers int
 	// ValueSize is the payload size of writes in bytes. Default 8.
 	ValueSize int
 	// Seed seeds the deterministic per-client random sources.
@@ -101,11 +113,15 @@ type Config struct {
 // Report summarises one driver run: counts, wall-clock throughput and
 // per-operation latency percentiles (microseconds).
 type Report struct {
-	Clients   int
-	Ops       int64
-	Errors    int64
-	NotFound  int64
+	Clients  int
+	Ops      int64
+	Errors   int64
+	NotFound int64
+	// Killed, Joined and Departed count the churn events that actually
+	// executed: abrupt kills, online joins and graceful departures.
 	Killed    int
+	Joined    int
+	Departed  int
 	Elapsed   time.Duration
 	OpsPerSec float64
 	// Latency maps an operation kind (plus "all") to its recorded latency
@@ -120,8 +136,8 @@ const OpAll Op = "all"
 // percentiles, the format cmd/batonsim prints in throughput mode.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  killed %d\n",
-		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed)
+	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed %d/%d/%d\n",
+		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed)
 	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
 	ops := make([]string, 0, len(r.Latency))
@@ -169,7 +185,11 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	putCut := getCut + cfg.PutFraction/total
 	delCut := putCut + cfg.DeleteFraction/total
 
-	ids := c.PeerIDs()
+	// Membership changes while the run executes, so the peer-ID view is an
+	// atomically swapped snapshot, refreshed by the churn scheduler.
+	var idsPtr atomic.Pointer[[]core.PeerID]
+	refreshIDs := func() { ids := c.PeerIDs(); idsPtr.Store(&ids) }
+	refreshIDs()
 	value := make([]byte, cfg.ValueSize)
 	domain := keyspace.FullDomain()
 	width := int64(float64(domain.Size()) * cfg.RangeSelectivity)
@@ -200,15 +220,37 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		return !deadline.IsZero() && time.Now().After(deadline)
 	}
 
-	// Churn: kill peers at evenly spaced points of the run — by operation
-	// count when an op budget is set, by elapsed time in Duration-only runs
-	// — so failures land mid-traffic rather than before or after it.
-	var killed atomic.Int64
-	killsDue := func(n int64) int64 {
-		if cfg.KillPeers <= 0 {
+	// Churn: kill, join and depart events at evenly spaced points of the
+	// run — by operation count when an op budget is set, by elapsed time in
+	// Duration-only runs — so membership changes land mid-traffic rather
+	// than before or after it. The event kinds are shuffled together
+	// deterministically, so matched join/depart counts interleave instead
+	// of draining the cluster and then refilling it.
+	type churnKind int
+	const (
+		churnKill churnKind = iota
+		churnJoin
+		churnDepart
+	)
+	churnRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	var events []churnKind
+	for i := 0; i < cfg.KillPeers; i++ {
+		events = append(events, churnKill)
+	}
+	for i := 0; i < cfg.JoinPeers; i++ {
+		events = append(events, churnJoin)
+	}
+	for i := 0; i < cfg.DepartPeers; i++ {
+		events = append(events, churnDepart)
+	}
+	churnRng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	var fired atomic.Int64 // events attempted (scheduler progress)
+	var killed, joined, departed atomic.Int64
+	eventsDue := func(n int64) int64 {
+		if len(events) == 0 {
 			return 0
 		}
-		// The run ends at whichever cap is hit first, so pace the kills by
+		// The run ends at whichever cap is hit first, so pace the events by
 		// whichever fraction is further along.
 		var frac float64
 		if cfg.Ops > 0 {
@@ -219,35 +261,69 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 				frac = tf
 			}
 		}
-		due := int64(frac * float64(cfg.KillPeers+1))
-		if due > int64(cfg.KillPeers) {
-			due = int64(cfg.KillPeers)
+		due := int64(frac * float64(len(events)+1))
+		if due > int64(len(events)) {
+			due = int64(len(events))
 		}
 		return due
 	}
-	killerRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	var killMu sync.Mutex
-	maybeKill := func(n int64) {
-		if killed.Load() >= killsDue(n) {
+	// aliveMembers counts live members; kills and departures are capped so
+	// at least one peer always survives to serve (and departures also need
+	// a second peer to absorb the data).
+	aliveMembers := func() int {
+		n := 0
+		for _, id := range *idsPtr.Load() {
+			if c.Alive(id) {
+				n++
+			}
+		}
+		return n
+	}
+	randAlive := func() (core.PeerID, bool) {
+		ids := *idsPtr.Load()
+		for tries := 0; tries < 20; tries++ {
+			id := ids[churnRng.Intn(len(ids))]
+			if c.Alive(id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	var churnMu sync.Mutex
+	maybeChurn := func(n int64) {
+		if fired.Load() >= eventsDue(n) {
 			return
 		}
-		killMu.Lock()
-		defer killMu.Unlock()
-		for killed.Load() < killsDue(n) {
-			var victim core.PeerID
-			found := false
-			for tries := 0; tries < 20; tries++ {
-				id := ids[killerRng.Intn(len(ids))]
-				if c.Alive(id) {
-					victim, found = id, true
-					break
+		churnMu.Lock()
+		defer churnMu.Unlock()
+		for fired.Load() < eventsDue(n) {
+			ev := events[fired.Load()]
+			fired.Add(1)
+			switch ev {
+			case churnKill:
+				if aliveMembers() <= 1 {
+					continue // never kill the last survivor
 				}
-			}
-			if !found {
-				return
-			}
-			if c.Kill(victim) == nil {
-				killed.Add(1)
+				if id, ok := randAlive(); ok && c.Kill(id) == nil {
+					killed.Add(1)
+				}
+			case churnJoin:
+				if id, ok := randAlive(); ok {
+					if _, err := c.Join(id); err == nil {
+						joined.Add(1)
+						refreshIDs()
+					}
+				}
+			case churnDepart:
+				if aliveMembers() <= 1 {
+					continue // the last survivor must keep serving
+				}
+				if id, ok := randAlive(); ok {
+					if err := c.Depart(id); err == nil {
+						departed.Add(1)
+						refreshIDs()
+					}
+				}
 			}
 		}
 	}
@@ -277,6 +353,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 				return domain.Lower + keyspace.Key(rng.Int63n(domain.Size()))
 			}
 			liveVia := func() (core.PeerID, bool) {
+				ids := *idsPtr.Load()
 				for tries := 0; tries < 16; tries++ {
 					id := ids[rng.Intn(len(ids))]
 					if c.Alive(id) {
@@ -316,7 +393,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 				if stopping(n) {
 					return
 				}
-				maybeKill(n)
+				maybeChurn(n)
 				via, ok := liveVia()
 				if !ok {
 					return
@@ -370,6 +447,8 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	report.Errors = errCount.Load()
 	report.NotFound = notFound.Load()
 	report.Killed = int(killed.Load())
+	report.Joined = int(joined.Load())
+	report.Departed = int(departed.Load())
 	if secs := report.Elapsed.Seconds(); secs > 0 {
 		report.OpsPerSec = float64(report.Ops) / secs
 	}

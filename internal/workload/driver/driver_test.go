@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"baton/internal/core"
 	"baton/internal/keyspace"
 	"baton/internal/p2p"
 )
@@ -84,6 +85,111 @@ func TestDriverWithChurn(t *testing.T) {
 	}
 	// Errors are expected once peers die; the cluster as a whole must keep
 	// answering (the run completed, which the timeout above asserts).
+}
+
+// TestDriverSteadyChurn runs matched join/depart rates under load: the
+// cluster size must stay within ±10% of the start, the per-event counters
+// must report the mix, and the quiesced structure must still satisfy the
+// simulator's invariants.
+func TestDriverSteadyChurn(t *testing.T) {
+	c, keys := driverCluster(t, 50, 500, 13)
+	start := c.Size()
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(c, Config{
+			Clients:       8,
+			Ops:           4000,
+			GetFraction:   0.5,
+			PutFraction:   0.3,
+			RangeFraction: 0.2,
+			Keys:          keys,
+			JoinPeers:     12,
+			DepartPeers:   12,
+			Seed:          14,
+		})
+	}()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("driver hung under steady churn")
+	}
+	if rep.Joined == 0 || rep.Departed == 0 {
+		t.Fatalf("steady churn executed joined=%d departed=%d, want both > 0", rep.Joined, rep.Departed)
+	}
+	end := c.Size()
+	if lo, hi := start*9/10, start*11/10; end < lo || end > hi {
+		t.Fatalf("cluster size drifted from %d to %d under matched churn (want within ±10%%)", start, end)
+	}
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySnapshot(c.Domain(), snaps); err != nil {
+		t.Fatalf("post-churn invariants: %v", err)
+	}
+	// No graceful event loses data: every pre-loaded key stays readable.
+	via := c.PeerIDs()[0]
+	for _, k := range keys[:100] {
+		if _, found, _, err := c.Get(via, k); err != nil || !found {
+			t.Fatalf("key %d unreadable after steady churn: found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+// TestDriverChurnSparesLastPeer is the regression test for the scheduler
+// edge case where KillPeers >= cluster size killed the final peer and the
+// run degenerated to 100% errors: the cap must always leave a survivor.
+func TestDriverChurnSparesLastPeer(t *testing.T) {
+	c, keys := driverCluster(t, 3, 50, 15)
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(c, Config{
+			Clients:     4,
+			Ops:         2000,
+			GetFraction: 1,
+			Keys:        keys,
+			KillPeers:   10, // far more than the cluster holds
+			Seed:        16,
+		})
+	}()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("driver hung when churn exceeded cluster size")
+	}
+	if rep.Killed >= 3 {
+		t.Fatalf("killed %d of 3 peers; the cap must spare one survivor", rep.Killed)
+	}
+	alive := 0
+	for _, id := range c.PeerIDs() {
+		if c.Alive(id) {
+			alive++
+		}
+	}
+	if alive < 1 {
+		t.Fatal("no peer survived the churn run")
+	}
+	// The surviving peer keeps serving its own share of the key space
+	// (keys owned by killed peers legitimately answer ErrOwnerDown).
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ps := range snaps {
+		if !c.Alive(ps.ID) {
+			continue
+		}
+		k := ps.Range.Lower
+		if _, err := c.Put(ps.ID, k, []byte("post-churn")); err != nil {
+			t.Fatalf("survivor %d cannot serve its own range: %v", ps.ID, err)
+		}
+		if _, found, _, err := c.Get(ps.ID, k); err != nil || !found {
+			t.Fatalf("survivor %d lost its own write: found=%v err=%v", ps.ID, found, err)
+		}
+		break
+	}
 }
 
 func TestDriverBulkAndSerialRange(t *testing.T) {
