@@ -112,6 +112,19 @@ func VerifySnapshot(domain Range, peers []PeerSnapshot) error {
 	return core.VerifySnapshot(domain, peers)
 }
 
+// ReplicaHolderOf returns the peer that holds the snapshotted peer's
+// replica under the live cluster's adjacent-peer replication scheme: the
+// right adjacent peer, or the left adjacent for the rightmost peer.
+func ReplicaHolderOf(ps PeerSnapshot) PeerID { return core.ReplicaHolderOf(ps) }
+
+// VerifyReplication checks the replication invariant over a quiesced,
+// synchronised cluster: every peer's items exactly mirrored at its replica
+// holder. Feed it Cluster.Snapshot and Cluster.Replicas, after
+// Cluster.SyncReplicas has closed the asynchronous write-path window.
+func VerifyReplication(peers []PeerSnapshot, replicas map[PeerID]map[PeerID][]Item) error {
+	return core.VerifyReplication(peers, replicas)
+}
+
 // Errors re-exported from the core implementation.
 var (
 	// ErrUnknownPeer is returned when an operation names a peer that is not
@@ -143,6 +156,15 @@ var (
 // flowing; keys in mid-handoff are forwarded or briefly buffered, never
 // dropped. Snapshot exports the quiesced structure for auditing with
 // VerifySnapshot or rebuilding with NetworkFromSnapshot.
+//
+// The cluster is fault-tolerant end to end: every peer's items are
+// replicated at its adjacent peer (asynchronously on the write path,
+// synchronously across membership changes; SyncReplicas is the barrier),
+// so a Kill makes the dead peer's range answer ErrOwnerDown only
+// transiently — Recover (or the background repairer enabled by
+// StartAutoRecover) repairs the structure around the crash and restores
+// the lost range from the surviving replica. Replicas exports the replica
+// sets for auditing with VerifyReplication.
 type Cluster = p2p.Cluster
 
 // BulkResult is the per-key outcome of a bulk operation on a Cluster.
@@ -166,4 +188,8 @@ var (
 	// ErrUnreachable is returned when routing cannot reach the responsible
 	// peer because every useful link points at dead peers.
 	ErrUnreachable = p2p.ErrUnreachable
+	// ErrReplicaLost is returned by Cluster.Recover when the crashed peer's
+	// range was repaired but its replica holder was down too, so the data
+	// could not be restored.
+	ErrReplicaLost = p2p.ErrReplicaLost
 )

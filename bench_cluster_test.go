@@ -230,6 +230,74 @@ func BenchmarkClusterJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterRecover measures one full crash repair: kill (store
+// wipe) plus Recover — structural crash-leave on the mirror, replica fetch
+// from the holder, range restoration into the new owner, link updates and
+// replica re-seating. Each iteration joins a fresh peer outside the timer
+// so the cluster size holds steady.
+func BenchmarkClusterRecover(b *testing.B) {
+	c, _, err := driver.BuildCluster(64, benchItems, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	restored := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ids := c.PeerIDs()
+		if _, err := c.Join(ids[rng.Intn(len(ids))]); err != nil {
+			b.Fatal(err)
+		}
+		ids = c.PeerIDs()
+		victim := ids[rng.Intn(len(ids))]
+		b.StartTimer()
+		if err := c.Kill(victim); err != nil {
+			b.Fatal(err)
+		}
+		n, err := c.Recover(victim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		restored += n
+	}
+	b.ReportMetric(float64(restored)/float64(b.N), "items-restored/op")
+}
+
+// BenchmarkClusterThroughputCrashChurn is the availability-under-crashes
+// companion of BenchmarkClusterThroughputSteadyChurn: the identical mixed
+// workload while 8 peers crash and 8 repairs run mid-run, measuring what
+// the kill -> ErrOwnerDown -> recover cycle costs the data path.
+func BenchmarkClusterThroughputCrashChurn(b *testing.B) {
+	// A private cluster: crashes change the composition, which must not
+	// leak into the benchmarks sharing the cached clusters.
+	c, keys, err := driver.BuildCluster(benchPeers, benchItems, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	b.ResetTimer()
+	var rep driver.Report
+	for i := 0; i < b.N; i++ {
+		rep = driver.Run(c, driver.Config{
+			Clients:          16,
+			Ops:              4_000,
+			GetFraction:      0.7,
+			PutFraction:      0.2,
+			RangeFraction:    0.1,
+			RangeSelectivity: 0.01,
+			Keys:             keys,
+			KillPeers:        8,
+			RecoverPeers:     8,
+			Seed:             int64(i),
+		})
+	}
+	b.ReportMetric(rep.OpsPerSec, "ops/sec")
+	b.ReportMetric(rep.Latency[driver.OpAll].Percentile(0.99), "p99-µs")
+	b.ReportMetric(float64(rep.Errors), "transient-errors")
+}
+
 // BenchmarkClusterDepart measures one graceful departure with full data
 // handoff; each iteration joins a fresh peer outside the timer so the
 // cluster size holds steady.

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"baton/internal/core"
+	"baton/internal/p2p"
+	"baton/internal/workload/driver"
+)
+
+type faultloadOptions struct {
+	peers, items, clients, ops           int
+	getFrac, putFrac, delFrac, rangeFrac float64
+	selectivity                          float64
+	kill, recovers                       int
+	seed                                 int64
+}
+
+// runFaultLoad is the batonsim faultload mode: the closed-loop workload
+// runs while peers crash abruptly and are repaired (structural crash-leave
+// plus replica data restoration), so ErrOwnerDown windows open and close
+// mid-traffic. The run ends by repairing any peer still down, then auditing
+// the quiesced cluster twice: the structural invariant suite and the
+// replication invariant (every peer's items exactly mirrored at its
+// holder).
+func runFaultLoad(o faultloadOptions) {
+	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
+	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+	startSize := cluster.Size()
+
+	rep := driver.Run(cluster, driver.Config{
+		Clients:          o.clients,
+		Ops:              o.ops,
+		GetFraction:      o.getFrac,
+		PutFraction:      o.putFrac,
+		DeleteFraction:   o.delFrac,
+		RangeFraction:    o.rangeFrac,
+		RangeSelectivity: o.selectivity,
+		Keys:             keys,
+		KillPeers:        o.kill,
+		RecoverPeers:     o.recovers,
+		Seed:             o.seed,
+	})
+	fmt.Printf("faultload run (kills %d, recovers %d requested)\n", o.kill, o.recovers)
+	fmt.Print(rep.String())
+	fmt.Printf("cluster size: %d -> %d\n", startSize, cluster.Size())
+	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())
+
+	// Repair whatever the scheduler left dead, so the audits below run on a
+	// fully healthy cluster — and so the mode itself proves ErrOwnerDown is
+	// always transient.
+	repaired := 0
+	for _, id := range cluster.PeerIDs() {
+		if cluster.Alive(id) {
+			continue
+		}
+		if _, err := cluster.Recover(id); err != nil && !errors.Is(err, p2p.ErrReplicaLost) {
+			fatal(fmt.Errorf("final repair of peer %d: %w", id, err))
+		}
+		repaired++
+	}
+	if repaired > 0 {
+		fmt.Printf("final sweep repaired %d still-dead peer(s)\n", repaired)
+	}
+
+	snaps, err := cluster.Snapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.VerifySnapshot(cluster.Domain(), snaps); err != nil {
+		fatal(fmt.Errorf("post-faultload structural invariants FAILED: %w", err))
+	}
+	if err := cluster.SyncReplicas(); err != nil {
+		fatal(err)
+	}
+	replicas, err := cluster.Replicas()
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.VerifyReplication(snaps, replicas); err != nil {
+		fatal(fmt.Errorf("post-faultload replication invariants FAILED: %w", err))
+	}
+	items := 0
+	for _, ps := range snaps {
+		items += len(ps.Items)
+	}
+	fmt.Printf("post-quiesce audit: %d peers, %d items, structural + replication invariants OK\n", len(snaps), items)
+}

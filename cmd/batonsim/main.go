@@ -4,8 +4,10 @@
 // text tables (one row per x value, one column per plotted line). The
 // throughput mode runs the closed-loop concurrent workload driver against a
 // live goroutine-per-peer cluster and reports ops/sec plus latency
-// percentiles; the rangecmp mode benchmarks the parallel range fan-out
-// against the sequential adjacent-chain walk.
+// percentiles; the churnload and faultload modes run the same workload
+// under membership churn and under crash-and-repair faults respectively,
+// ending with invariant audits; the rangecmp mode benchmarks the parallel
+// range fan-out against the sequential adjacent-chain walk.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	batonsim -list            # list the reproducible figures
 //	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10
 //	batonsim -mode churnload -peers 128 -joins 32 -departs 32 -ops 50000
+//	batonsim -mode faultload -peers 128 -kill 16 -recover 16 -ops 50000
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
 package main
 
@@ -31,7 +34,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "figures", "figures, throughput, churnload or rangecmp")
+		mode    = flag.String("mode", "figures", "figures, throughput, churnload, faultload or rangecmp")
 		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
 		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
 		list    = flag.Bool("list", false, "list reproducible figures and exit")
@@ -55,11 +58,20 @@ func main() {
 		kill        = flag.Int("kill", 0, "peers to kill while the workload runs")
 		joins       = flag.Int("joins", 0, "peers that join online while the workload runs (churnload mode)")
 		departs     = flag.Int("departs", 0, "peers that depart gracefully while the workload runs (churnload mode)")
+		recovers    = flag.Int("recover", -1, "crash repairs to run while the workload runs (faultload mode; -1 means match -kill)")
 		serialRange = flag.Bool("serialrange", false, "use the sequential chain walk for range queries")
 		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
 	)
 	flag.Parse()
+	if err := validateModeFlags(*mode); err != nil {
+		fatal(err)
+	}
+	// Flags the user set explicitly, so "-kill 0" (an intentional no-crash
+	// baseline) is distinguishable from an unset flag and never silently
+	// overridden by a mode's default churn.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	switch *mode {
 	case "figures":
@@ -78,20 +90,39 @@ func main() {
 			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
 			seed: *seed,
 		}
-		if o.joins == 0 && o.departs == 0 && o.kill == 0 {
+		if !explicit["joins"] && !explicit["departs"] && !explicit["kill"] {
 			// No churn flags at all: default to steady-state churn turning
 			// over ~1/4 of the cluster (at least one event each, so tiny
-			// clusters still churn). An explicit kill-only run is left
-			// exactly as requested.
+			// clusters still churn). Explicitly requested values — zero
+			// included — are left exactly as given.
 			o.joins, o.departs = max(1, *peers/4), max(1, *peers/4)
 		}
 		runChurnLoad(o)
+		return
+	case "faultload":
+		o := faultloadOptions{
+			peers: *peers, items: *items, clients: *clients, ops: *ops,
+			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
+			selectivity: *selectivity, kill: *kill, recovers: *recovers,
+			seed: *seed,
+		}
+		if !explicit["kill"] {
+			// -kill not given: default to crashing (and repairing) ~1/4 of
+			// the cluster, at least one peer, so the mode exercises the
+			// kill -> ErrOwnerDown -> recover -> readable cycle out of the
+			// box. An explicit "-kill 0" baseline is honoured as given.
+			o.kill = max(1, *peers/4)
+		}
+		if o.recovers < 0 {
+			o.recovers = o.kill
+		}
+		runFaultLoad(o)
 		return
 	case "rangecmp":
 		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
 		return
 	default:
-		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload or rangecmp)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload or rangecmp)", *mode))
 	}
 
 	if *list {
@@ -142,6 +173,41 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// validateModeFlags rejects churn/fault flags in modes that would silently
+// ignore them: a run that drops -kill or -joins on the floor looks like a
+// clean pass of a scenario that never executed, which is worse than an
+// error. Only flags the user set explicitly are checked.
+func validateModeFlags(mode string) error {
+	allowed := map[string]map[string]bool{
+		"throughput": {"kill": true},
+		"churnload":  {"kill": true, "joins": true, "departs": true},
+		"faultload":  {"kill": true, "recover": true},
+	}
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "kill", "joins", "departs", "recover":
+			if !allowed[mode][f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		}
+	})
+	if len(bad) == 0 {
+		return nil
+	}
+	modes := map[string][]string{
+		"kill":    {"throughput", "churnload", "faultload"},
+		"joins":   {"churnload"},
+		"departs": {"churnload"},
+		"recover": {"faultload"},
+	}
+	hints := make([]string, 0, len(bad))
+	for _, f := range bad {
+		hints = append(hints, fmt.Sprintf("%s (only meaningful in mode %s)", f, strings.Join(modes[strings.TrimPrefix(f, "-")], "/")))
+	}
+	return fmt.Errorf("mode %q ignores flag(s) %s; drop them or switch mode", mode, strings.Join(hints, ", "))
 }
 
 func parseSizes(s string) ([]int, error) {

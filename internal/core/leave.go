@@ -43,6 +43,26 @@ func (nw *Network) Leave(id PeerID) (stats.OpCost, error) {
 // so a failed LeaveWith leaves the network untouched and the caller can
 // retry with a different replacement.
 func (nw *Network) LeaveWith(id PeerID, replacement PeerID) (stats.OpCost, error) {
+	return nw.leaveWith(id, replacement, true, stats.OpLeave)
+}
+
+// CrashLeaveWith removes the peer with the given ID after a crash: it is
+// LeaveWith for a peer that is no longer there to cooperate. The structural
+// side is identical — a NoPeer replacement requests the safe-leaf protocol,
+// a concrete replacement leaf vacates its position and takes over the
+// crashed peer's position and range — but the crashed peer's stored items
+// are not transferred (they are gone with the process; the live cluster in
+// package p2p restores them from the surviving replica instead), and the
+// operation is accounted as a failure repair. Validation happens before any
+// mutation, so a failed CrashLeaveWith leaves the network untouched and the
+// caller can retry with a different replacement.
+func (nw *Network) CrashLeaveWith(id PeerID, replacement PeerID) (stats.OpCost, error) {
+	return nw.leaveWith(id, replacement, false, stats.OpFailure)
+}
+
+// leaveWith is the shared body of LeaveWith and CrashLeaveWith: withData
+// tells whether the departing peer still hands over its items.
+func (nw *Network) leaveWith(id, replacement PeerID, withData bool, kind stats.OpKind) (stats.OpCost, error) {
 	x, err := nw.node(id)
 	if err != nil {
 		return stats.OpCost{}, err
@@ -57,8 +77,8 @@ func (nw *Network) LeaveWith(id PeerID, replacement PeerID) (stats.OpCost, error
 		if !nw.balancedWithChange(nil, []Position{x.pos}) {
 			return stats.OpCost{}, fmt.Errorf("removing leaf %d would unbalance the tree: %w", id, ErrNeedsReplacement)
 		}
-		nw.beginOp(stats.OpLeave)
-		nw.removeSafeLeaf(x, true)
+		nw.beginOp(kind)
+		nw.removeSafeLeaf(x, withData)
 		return nw.endOp(), nil
 	}
 	y, err := nw.node(replacement)
@@ -71,8 +91,8 @@ func (nw *Network) LeaveWith(id PeerID, replacement PeerID) (stats.OpCost, error
 	if !nw.balancedWithChange(nil, []Position{y.pos}) {
 		return stats.OpCost{}, fmt.Errorf("baton: vacating leaf %d would unbalance the tree", replacement)
 	}
-	nw.beginOp(stats.OpLeave)
-	nw.replace(x, y, true)
+	nw.beginOp(kind)
+	nw.replace(x, y, withData)
 	return nw.endOp(), nil
 }
 

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// Replication-scheme invariants for the live cluster's fault-tolerance
+// layer. The paper's Section III-C restores a failed peer's routing state
+// from its neighbours but loses its data; the live cluster in package p2p
+// additionally keeps each peer's items replicated on an adjacent peer so a
+// crash repair can restore them. The replica placement rule and the
+// invariant it must maintain live here, next to the other structural
+// invariants, so both the simulator's tests and the live cluster's
+// post-quiesce audits check the same property.
+
+// ReplicaHolderOf returns the canonical replica holder of the snapshotted
+// peer under the adjacent-peer replication scheme: the right adjacent peer,
+// or the left adjacent peer for the rightmost peer of the overlay. NoPeer
+// means the overlay has a single peer and nothing to replicate to.
+func ReplicaHolderOf(ps PeerSnapshot) PeerID {
+	if ps.RightAdjacent != NoPeer {
+		return ps.RightAdjacent
+	}
+	return ps.LeftAdjacent
+}
+
+// VerifyReplication checks the replica-range invariant over a quiesced,
+// fully-synchronised overlay: for every snapshotted peer, its canonical
+// replica holder must hold a replica set for it that contains exactly the
+// peer's own items — same keys, same values, nothing missing and nothing
+// stale left behind from an earlier range. replicas maps a holder's ID to
+// the per-source replica sets it keeps. Like VerifySnapshot, it is how the
+// live cluster's replication layer is audited after churn settles.
+func VerifyReplication(snaps []PeerSnapshot, replicas map[PeerID]map[PeerID][]store.Item) error {
+	for _, ps := range snaps {
+		holder := ReplicaHolderOf(ps)
+		if holder == NoPeer {
+			if len(snaps) > 1 {
+				return fmt.Errorf("baton: peer %d has no replica holder in a %d-peer overlay", ps.ID, len(snaps))
+			}
+			continue
+		}
+		rep := replicas[holder][ps.ID]
+		repVals := make(map[keyspace.Key][]byte, len(rep))
+		for _, it := range rep {
+			repVals[it.Key] = it.Value
+		}
+		for _, it := range ps.Items {
+			v, ok := repVals[it.Key]
+			if !ok {
+				return fmt.Errorf("baton: item %d of peer %d is missing from its replica at holder %d", it.Key, ps.ID, holder)
+			}
+			if string(v) != string(it.Value) {
+				return fmt.Errorf("baton: item %d of peer %d has a stale replica at holder %d (%q != %q)",
+					it.Key, ps.ID, holder, v, it.Value)
+			}
+			delete(repVals, it.Key)
+		}
+		for k := range repVals {
+			return fmt.Errorf("baton: holder %d keeps a stale replica key %d for peer %d", holder, k, ps.ID)
+		}
+	}
+	return nil
+}

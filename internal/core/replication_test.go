@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"baton/internal/store"
+)
+
+// TestCrashLeaveWithLosesDataButRepairsStructure: the crash variant of
+// LeaveWith removes the peer and re-tiles its range without transferring its
+// items — they are gone, exactly like an unreplicated failure — while the
+// structural invariant suite keeps holding.
+func TestCrashLeaveWithLosesDataButRepairsStructure(t *testing.T) {
+	nw := buildNetwork(t, 40, 7)
+	keys := populate(t, nw, 600, 7)
+	total := nw.TotalItems()
+	if total != len(keys) {
+		t.Fatalf("populated %d items, stored %d", len(keys), total)
+	}
+
+	// Crash-remove a non-leaf peer (needs a replacement) and a safe leaf.
+	var nonLeaf, leaf *Node
+	for _, n := range nw.inOrderNodes() {
+		if !n.IsLeaf() && n.parent != nil && nonLeaf == nil {
+			nonLeaf = n
+		}
+		if n.IsLeaf() && leaf == nil && nw.balancedWithChange(nil, []Position{n.pos}) {
+			leaf = n
+		}
+	}
+	if nonLeaf == nil || leaf == nil {
+		t.Fatal("network has no suitable non-leaf / safe leaf")
+	}
+
+	lost := nonLeaf.data.Len()
+	repl, err := nw.findReplacement(nonLeaf)
+	if err != nil {
+		t.Fatalf("find replacement: %v", err)
+	}
+	// The replacement's own items survive (it departs gracefully from its
+	// old position), so only the crashed peer's items may disappear.
+	if _, err := nw.CrashLeaveWith(nonLeaf.id, repl.id); err != nil {
+		t.Fatalf("crash-leave non-leaf: %v", err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after non-leaf crash-leave: %v", err)
+	}
+	if got := nw.TotalItems(); got != total-lost {
+		t.Fatalf("items after non-leaf crash-leave = %d, want %d (crashed peer's %d items lost, no others)", got, total-lost, lost)
+	}
+	total -= lost
+
+	lost = leaf.data.Len()
+	if _, err := nw.CrashLeaveWith(leaf.id, NoPeer); err != nil {
+		t.Fatalf("crash-leave safe leaf: %v", err)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after leaf crash-leave: %v", err)
+	}
+	if got := nw.TotalItems(); got != total-lost {
+		t.Fatalf("items after leaf crash-leave = %d, want %d", got, total-lost)
+	}
+}
+
+// TestCrashLeaveWithValidation: invalid replacements are rejected before any
+// mutation, mirroring LeaveWith.
+func TestCrashLeaveWithValidation(t *testing.T) {
+	nw := buildNetwork(t, 10, 9)
+	if _, err := nw.CrashLeaveWith(nw.root.id, nw.root.id); err == nil {
+		t.Fatal("crash-leave with itself as replacement must fail")
+	}
+	if _, err := nw.CrashLeaveWith(nw.root.id, NoPeer); err == nil {
+		t.Fatal("safe-leaf crash-leave of the non-leaf root must fail")
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("failed crash-leaves must not mutate the network: %v", err)
+	}
+}
+
+// TestReplicaHolderOf: right adjacent, else left adjacent, else nobody.
+func TestReplicaHolderOf(t *testing.T) {
+	if got := ReplicaHolderOf(PeerSnapshot{ID: 1, LeftAdjacent: 2, RightAdjacent: 3}); got != 3 {
+		t.Fatalf("holder = %d, want the right adjacent 3", got)
+	}
+	if got := ReplicaHolderOf(PeerSnapshot{ID: 1, LeftAdjacent: 2}); got != 2 {
+		t.Fatalf("rightmost peer's holder = %d, want the left adjacent 2", got)
+	}
+	if got := ReplicaHolderOf(PeerSnapshot{ID: 1}); got != NoPeer {
+		t.Fatalf("single peer's holder = %d, want NoPeer", got)
+	}
+}
+
+// TestVerifyReplication: the invariant accepts an exact replica placement
+// and reports missing, stale and leftover replica items.
+func TestVerifyReplication(t *testing.T) {
+	snaps := []PeerSnapshot{
+		{ID: 1, RightAdjacent: 2, Items: []store.Item{{Key: 10, Value: []byte("a")}}},
+		{ID: 2, LeftAdjacent: 1, Items: []store.Item{{Key: 20, Value: []byte("b")}}},
+	}
+	good := map[PeerID]map[PeerID][]store.Item{
+		2: {1: {{Key: 10, Value: []byte("a")}}},
+		1: {2: {{Key: 20, Value: []byte("b")}}},
+	}
+	if err := VerifyReplication(snaps, good); err != nil {
+		t.Fatalf("exact replication rejected: %v", err)
+	}
+
+	missing := map[PeerID]map[PeerID][]store.Item{1: {2: {{Key: 20, Value: []byte("b")}}}}
+	if err := VerifyReplication(snaps, missing); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing replica not reported: %v", err)
+	}
+
+	stale := map[PeerID]map[PeerID][]store.Item{
+		2: {1: {{Key: 10, Value: []byte("OLD")}}},
+		1: {2: {{Key: 20, Value: []byte("b")}}},
+	}
+	if err := VerifyReplication(snaps, stale); err == nil || !strings.Contains(err.Error(), "stale replica") {
+		t.Fatalf("stale replica value not reported: %v", err)
+	}
+
+	leftover := map[PeerID]map[PeerID][]store.Item{
+		2: {1: {{Key: 10, Value: []byte("a")}, {Key: 99, Value: []byte("zzz")}}},
+		1: {2: {{Key: 20, Value: []byte("b")}}},
+	}
+	if err := VerifyReplication(snaps, leftover); err == nil || !strings.Contains(err.Error(), "stale replica key") {
+		t.Fatalf("leftover replica key not reported: %v", err)
+	}
+}

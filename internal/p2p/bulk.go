@@ -151,6 +151,11 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 }
 
 // bulkRetry re-issues one key of a bulk batch as a routed singleton request.
+// The retry enters the overlay at the key's owner in the *current* topology
+// (falling back to any alive member): the original batch peer refused the
+// key precisely because a membership change moved it, and that peer may by
+// now be a killed tombstone-to-be that would refuse the retry with
+// ErrOwnerDown even though the key's new owner is alive.
 func (c *Cluster) bulkRetry(k kind, via core.PeerID, it store.Item) BulkResult {
 	var single kind
 	switch k {
@@ -160,6 +165,17 @@ func (c *Cluster) bulkRetry(k kind, via core.PeerID, it store.Item) BulkResult {
 		single = kindPut
 	default:
 		single = kindDelete
+	}
+	t := c.topo.Load()
+	if e := t.entryOf(it.Key); e != nil && e.p.alive.Load() {
+		via = e.id
+	} else if !c.Alive(via) {
+		for i := range t.ring {
+			if t.ring[i].p.alive.Load() {
+				via = t.ring[i].id
+				break
+			}
+		}
 	}
 	resp, err := c.issue(via, request{kind: single, key: it.Key, value: it.Value})
 	if err != nil {

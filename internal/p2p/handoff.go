@@ -29,9 +29,15 @@ import (
 //  3. Source peers adopt their shrunk state, extract the moved items and
 //     send them as one batched kindHandoff message per region straight to
 //     the receiving peer; a peer that is leaving altogether becomes a
-//     forwarding tombstone.
+//     forwarding tombstone. A source listed in salvage has crashed — its
+//     store is wiped — so the coordinator plays its part instead, sending
+//     the salvaged replica items (the surviving copy recovery fetched from
+//     the dead peer's holder) to each region's new owner.
 //  4. Every other peer whose links changed receives its new link set, and
 //     the coordinator waits until every handoff has been absorbed.
+//  5. Peers whose place in the overlay changed re-ship their full item set
+//     to their (possibly new) replica holder, so the replication invariant
+//     — core.VerifyReplication — holds again when the operation returns.
 //
 // Only then is the new composition published to clients (ring, member IDs).
 // The whole sequence runs under memberMu; data traffic flows throughout.
@@ -42,7 +48,7 @@ import (
 // affected peers receive messages. At the cluster sizes the driver runs
 // this is dwarfed by the data handoff; pushing membership throughput
 // further means diffing only the region the mirror knows changed.
-func (c *Cluster) applyMirrorDiff() (int, error) {
+func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, error) {
 	c.reapTombstones()
 	nextList := core.Snapshot(c.mirror)
 	next := snapshotMap(nextList)
@@ -147,6 +153,25 @@ func (c *Cluster) applyMirrorDiff() (int, error) {
 		srcMoves[mv.src] = append(srcMoves[mv.src], handoffMove{region: mv.region, dst: mv.dst, ack: handoffAck})
 	}
 	for id, mvs := range srcMoves {
+		if items, crashed := salvage[id]; crashed {
+			// The source has crashed: its store is wiped, so the coordinator
+			// sends each region's surviving replica items itself, and the
+			// dead peer is only told to become a forwarding tombstone (a
+			// control update its goroutine handles even though it is dead).
+			req := request{kind: kindUpdate, departTo: mvs[0].dst, reply: make(chan response, 1)}
+			sentState[id] = true
+			if !c.sendAny(id, req) {
+				return 0, ErrStopped
+			}
+			acks = append(acks, req.reply)
+			for _, mv := range mvs {
+				restore := request{kind: kindHandoff, rng: mv.region, bulk: itemsWithin(items, mv.region), reply: mv.ack}
+				if !c.sendAny(mv.dst, restore) {
+					return 0, ErrStopped
+				}
+			}
+			continue
+		}
 		req := request{kind: kindUpdate, moves: mvs, reply: make(chan response, 1)}
 		if ns, ok := next[id]; ok {
 			if !sentState[id] {
@@ -221,6 +246,39 @@ func (c *Cluster) applyMirrorDiff() (int, error) {
 	}
 	c.states = next
 	c.publishTopology(nextList)
+
+	// Phase 6: re-seat the replicas. Every peer whose range or adjacent
+	// links changed — the sole determinants of what its replica contains
+	// and who holds it — re-ships its full item set to its current holder
+	// (a wholesale sync, so stale keys from the old range disappear), and
+	// holders of peers that left the overlay drop their sets. Peers whose
+	// snapshot changed only in routing tables are skipped: their replica
+	// placement and content are untouched, and re-shipping whole stores on
+	// every sideways link update would make each membership operation pay
+	// O(neighbourhood data) for nothing. Synchronous, like the handoffs:
+	// when the structural call returns, the replication invariant holds
+	// again.
+	var resync []core.PeerID
+	for _, ns := range nextList {
+		ps, existed := prev[ns.ID]
+		if !existed || ps.Range != ns.Range ||
+			ps.LeftAdjacent != ns.LeftAdjacent || ps.RightAdjacent != ns.RightAdjacent {
+			resync = append(resync, ns.ID)
+		}
+	}
+	for id, ps := range prev {
+		if _, ok := next[id]; ok {
+			continue
+		}
+		if h := core.ReplicaHolderOf(ps); h != core.NoPeer {
+			c.send(h, request{kind: kindReplicaDrop, src: id})
+		}
+	}
+	if len(resync) > 0 {
+		if err := c.resyncReplicas(resync); err != nil {
+			return migrated, err
+		}
+	}
 	return migrated, nil
 }
 
@@ -430,6 +488,11 @@ func (c *Cluster) applyUpdate(p *peer, req request) {
 	if req.departTo != core.NoPeer {
 		p.departed = true
 		p.departTo = req.departTo
+		// A tombstone only forwards, so it is "up" again whatever happened
+		// to it before: a crashed peer that recovery just repaired out of
+		// the overlay must accept deliveries from stale routing state and
+		// pass them to its successor, not bounce them off the dead flag.
+		p.alive.Store(true)
 	}
 	req.reply <- response{hops: req.hops}
 	// Shrinking the range may strand held requests this peer no longer
@@ -451,6 +514,10 @@ func (c *Cluster) applyHandoff(p *peer, req request) {
 		return
 	}
 	p.data.Absorb(req.bulk)
+	// The absorbed items are new local writes as far as replication is
+	// concerned: ship the delta to the holder (the synchronous phase-6
+	// resync of the coordinating operation makes it exact afterwards).
+	c.replicateWrite(p, req.bulk, nil)
 	for i, r := range p.pending {
 		if r == req.rng {
 			p.pending = append(p.pending[:i], p.pending[i+1:]...)

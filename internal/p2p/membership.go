@@ -80,7 +80,7 @@ func (c *Cluster) Join(via core.PeerID) (core.PeerID, error) {
 	if newID == core.NoPeer {
 		return core.NoPeer, fmt.Errorf("p2p: no peer can accept a join: %w", ErrUnreachable)
 	}
-	if _, err := c.applyMirrorDiff(); err != nil {
+	if _, err := c.applyMirrorDiff(nil); err != nil {
 		return core.NoPeer, err
 	}
 	return newID, nil
@@ -144,7 +144,7 @@ func (c *Cluster) Depart(id core.PeerID) error {
 	if !done {
 		return fmt.Errorf("p2p: no viable replacement leaf for peer %d: %w", id, ErrUnreachable)
 	}
-	_, err := c.applyMirrorDiff()
+	_, err := c.applyMirrorDiff(nil)
 	return err
 }
 
@@ -215,7 +215,7 @@ func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 	if _, err := c.mirror.ShiftBoundary(id, bestSide, boundary); err != nil {
 		return 0, err
 	}
-	return c.applyMirrorDiff()
+	return c.applyMirrorDiff(nil)
 }
 
 // --- live locate protocols -------------------------------------------------
@@ -289,7 +289,7 @@ func (p *peer) freeChildSide() (core.Side, bool) {
 // corresponds to a valid same-level position is filled — the
 // Full(RoutingTable) predicate of Algorithm 1 and Theorem 1. Entries
 // pointing at killed peers count as filled: a dead peer remains part of the
-// structure until the overlay repairs it, which the live cluster never does.
+// structure until Recover repairs it out of the overlay.
 func (p *peer) routingTablesFull() bool {
 	for si, side := range [2]core.Side{core.Left, core.Right} {
 		for i, l := range p.rt[si] {

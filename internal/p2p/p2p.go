@@ -8,9 +8,10 @@
 // it takes a snapshot of a core.Network — positions, ranges, links and data —
 // and animates it, so that many exact-match, insert and range requests can
 // be in flight at the same time, and so that the overlay can change while
-// traffic is running: peers can be killed to exercise the fault-tolerant
-// routing of Section III-D, new peers can Join online (Section III-A), and
-// peers can Depart gracefully with full data handoff (Section III-B).
+// traffic is running: peers can be killed and recovered (the fault
+// tolerance of Sections III-C/III-D, plus data replication the paper
+// leaves out), new peers can Join online (Section III-A), and peers can
+// Depart gracefully with full data handoff (Section III-B).
 //
 // # Live membership
 //
@@ -38,14 +39,40 @@
 //     stragglers (requests addressed to it by stale routing state) to the
 //     peer that took over its range.
 //
-// Structural operations (Join, Depart, LoadBalance, Kill, Snapshot)
-// serialise with each other on a membership lock, mirroring how the paper's
-// protocol serialises structural changes around the affected region, while
-// Get/Put/Delete/Range/Bulk traffic keeps flowing throughout — data
-// requests never take the membership lock. LoadBalance performs the
+// Structural operations (Join, Depart, LoadBalance, Kill, Recover,
+// Snapshot) serialise with each other on a membership lock, mirroring how
+// the paper's protocol serialises structural changes around the affected
+// region, while Get/Put/Delete/Range/Bulk traffic keeps flowing throughout
+// — data requests never take the membership lock. LoadBalance performs the
 // adjacent-peer data shuffle of Section V: the peer measures its own and
 // its adjacent peers' loads and moves the boundary so that about half the
 // imbalance changes hands.
+//
+// # Fault tolerance
+//
+// A crash is survivable, not just routable-around. Every peer keeps a full
+// copy of its items at its replica holder — its right adjacent peer (left
+// for the rightmost; core.ReplicaHolderOf) — maintained asynchronously on
+// the write path and re-shipped synchronously whenever a membership change
+// moves the peer or its range (replication.go). SyncReplicas is the
+// barrier that closes the asynchronous window: every write acknowledged
+// before it returns is on its holder.
+//
+// Kill crashes a peer abruptly: its stores (own items and held replicas)
+// are wiped, its range answers ErrOwnerDown, and routing fails over around
+// it exactly as Section III-D describes — the dead peer remains part of
+// the structure. Recover repairs it (recovery.go): the structural position
+// is removed on the mirror with the crash-leave variant of the departure
+// protocol (safe-leaf merge or replacement leaf, core.CrashLeaveWith), the
+// lost range is restored from the surviving replica and handed to its new
+// owner, links are refreshed and the topology republished, with the dead
+// peer's goroutine left behind as a forwarding tombstone. ErrOwnerDown is
+// therefore transient: requests fail over during the outage and succeed
+// after the repair, with every replicated acknowledged write intact. The
+// opt-in background repairer (StartAutoRecover) runs Recover automatically
+// on peers that routing observes to be dead. One replica tolerates one
+// crash between repairs: when a peer and its holder are down at once,
+// Recover still repairs the range but reports ErrReplicaLost.
 //
 // # Concurrency contract
 //
@@ -130,14 +157,26 @@ const (
 	kindSnapshot        // export the peer's protocol state
 	kindStats           // report the peer's stored-item count
 	kindSplitKey        // report the key at a fraction of the local items
+
+	// Fault-tolerance messages (replication.go, recovery.go).
+	kindCrash         // wipe the peer's stores: its process has crashed
+	kindReplicate     // incremental replica update from the write path
+	kindReplicaSync   // wholesale replacement of one source's replica set
+	kindReplicaDrop   // discard one source's replica set
+	kindReplicaResync // instruct a peer to full-sync to its current holder
+	kindReplicaFetch  // return the replica set held for one source
+	kindReplicaDump   // export every replica set this peer holds
 )
 
 // isControl reports whether the request kind must be handled even by a
 // killed peer: structural updates and snapshots keep a dead peer's recorded
-// state coherent (it remains part of the overlay structure until the
-// cluster dies), and a handoff must never be dropped.
+// state coherent (it remains part of the overlay structure until it is
+// repaired), a handoff must never be dropped, and a crash notification is by
+// definition addressed to a peer that is already down. Replica traffic is
+// NOT control: a dead peer must refuse it, or it would keep acknowledging
+// replicas its wiped process cannot hold.
 func isControl(k kind) bool {
-	return k == kindUpdate || k == kindHandoff || k == kindSnapshot
+	return k == kindUpdate || k == kindHandoff || k == kindSnapshot || k == kindCrash
 }
 
 // request is one message travelling through the overlay. Replies are
@@ -167,6 +206,13 @@ type request struct {
 	departTo core.PeerID
 	// frac is the payload of a kindSplitKey request.
 	frac float64
+	// src names the peer whose items a replica message carries (or asks
+	// for); dels lists replicated deletions; seq orders replica messages
+	// from one source so a delta that a detached delivery reordered past a
+	// later wholesale sync is recognised as stale (see replication.go).
+	src  core.PeerID
+	dels []keyspace.Key
+	seq  int64
 	// visited records the peers this request has already passed through so
 	// fail-over never loops; only one copy of the request is in flight at a
 	// time, so the map is never accessed concurrently.
@@ -187,7 +233,9 @@ type response struct {
 	snap     *core.PeerSnapshot
 	count    int
 	splitKey keyspace.Key
-	err      error
+	// replicaSets is the payload of a kindReplicaDump reply.
+	replicaSets map[core.PeerID][]store.Item
+	err         error
 }
 
 // link is the information a peer keeps about another peer: enough to decide
@@ -219,6 +267,18 @@ type peer struct {
 	// mid-handoff is never served from a half-empty store.
 	pending []keyspace.Range
 	held    []request
+
+	// replicas holds, per source peer, a copy of that peer's items — the
+	// fault-tolerance layer of replication.go. replTo is the peer the last
+	// full replica sync went to, remembered so a later sync to a different
+	// holder can tell the old one to drop the stale set. replSeq stamps
+	// outgoing replica messages (this peer as source); replicaMin records,
+	// per source, the seq of the last wholesale sync absorbed (this peer as
+	// holder), so older deltas arriving late are discarded.
+	replicas   map[core.PeerID]*store.Store
+	replTo     core.PeerID
+	replSeq    int64
+	replicaMin map[core.PeerID]int64
 
 	// departed marks a peer that has gracefully left: its goroutine stays
 	// behind as a tombstone forwarding stragglers to departTo, the peer
@@ -280,6 +340,12 @@ type Cluster struct {
 	stopped atomic.Bool
 	msgs    atomic.Int64
 
+	// autoRecover and suspects feed the opt-in background repairer (see
+	// recovery.go): routing paths that observe a dead responsible peer
+	// report it, and the repairer runs Recover on it.
+	autoRecover atomic.Bool
+	suspects    chan core.PeerID
+
 	// memberMu serialises structural operations — Join, Depart,
 	// LoadBalance, Kill, Snapshot — against each other, the live
 	// counterpart of the paper's serialisation of restructuring around the
@@ -304,8 +370,9 @@ type Cluster struct {
 // own Join and Depart.
 func NewCluster(nw *core.Network) *Cluster {
 	c := &Cluster{
-		done:   make(chan struct{}),
-		domain: nw.Domain(),
+		done:     make(chan struct{}),
+		domain:   nw.Domain(),
+		suspects: make(chan core.PeerID, 64),
 	}
 	snapshot := core.Snapshot(nw)
 	t := &topology{
@@ -366,6 +433,12 @@ func NewCluster(nw *core.Network) *Cluster {
 		c.wg.Add(1)
 		go c.serve(p)
 	}
+	// Seed the fault-tolerance layer: every peer ships its items to its
+	// replica holder before the cluster is handed to clients, so a crash is
+	// recoverable from the first request on.
+	c.memberMu.Lock()
+	c.resyncReplicas(nil)
+	c.memberMu.Unlock()
 	return c
 }
 
@@ -410,12 +483,17 @@ func (c *Cluster) PeerIDs() []core.PeerID {
 }
 
 // Kill stops the given peer abruptly: its goroutine keeps draining the
-// inbox (so senders never block) but answers every queued or future request
-// with ErrOwnerDown, and every new request addressed to it fails over to an
-// alternative path at the sender, exactly like an unreachable address. The
-// peer's data is lost; its range stays assigned to it (the live cluster
-// does not run failure repair). Kill serialises with membership changes so
-// a migration's source or destination can never die mid-handoff.
+// inbox (so senders never block) but answers every queued or future data
+// request with ErrOwnerDown, and every new request addressed to it fails
+// over to an alternative path at the sender, exactly like an unreachable
+// address. The crashed process's stores — its own items and any replicas it
+// held for other peers — are wiped, so nothing recovery later reads can
+// come from the dead peer itself. The peer's range stays assigned to it,
+// and ErrOwnerDown keeps being returned for it, until Recover (or the
+// background repairer started by StartAutoRecover) repairs the structure
+// and restores the range from the surviving replica at the adjacent peer —
+// see recovery.go. Kill serialises with membership changes so a migration's
+// source or destination can never die mid-handoff.
 func (c *Cluster) Kill(id core.PeerID) error {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
@@ -425,6 +503,18 @@ func (c *Cluster) Kill(id core.PeerID) error {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, id)
 	}
 	p.alive.Store(false)
+	// The wipe runs in the peer's own goroutine (its stores are owned
+	// there) and is acknowledged, so when Kill returns the data is provably
+	// gone — a recovery that cheats by reading the dead peer's store would
+	// fail the crash tests instead of silently passing.
+	ch := make(chan response, 1)
+	if c.sendAny(id, request{kind: kindCrash, reply: ch}) {
+		select {
+		case <-ch:
+		case <-c.done:
+			return ErrStopped
+		}
+	}
 	return nil
 }
 
@@ -578,6 +668,7 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 		if c.stopped.Load() {
 			return response{}, ErrStopped
 		}
+		c.suspect(via)
 		return response{}, fmt.Errorf("%w: %d", ErrOwnerDown, via)
 	}
 	select {
@@ -590,11 +681,11 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 
 // serve is the peer goroutine: it drains the inbox and handles or forwards
 // each request. A killed peer keeps draining so senders never block, but
-// refuses every data request with ErrOwnerDown — a request already queued
-// when the peer died must still be answered or its client would hang
-// forever. Control messages (structural updates, snapshots) are handled
-// even when dead, because a killed peer remains part of the overlay
-// structure.
+// handle refuses every data request with ErrOwnerDown — a request already
+// queued when the peer died must still be answered or its client would hang
+// forever. Control messages (structural updates, handoffs, snapshots, crash
+// wipes) are handled even when dead, because a killed peer remains part of
+// the overlay structure until recovery removes it.
 func (c *Cluster) serve(p *peer) {
 	defer c.wg.Done()
 	for {
@@ -616,10 +707,6 @@ func (c *Cluster) serve(p *peer) {
 				}
 			}
 		case req := <-p.inbox:
-			if !p.alive.Load() && !isControl(req.kind) {
-				c.refuse(req, ErrOwnerDown)
-				continue
-			}
 			c.handle(p, req)
 		}
 	}
@@ -627,10 +714,14 @@ func (c *Cluster) serve(p *peer) {
 
 // refuse terminates a request with the given error, whichever completion
 // path it uses: scatter sub-requests report into their collector, everything
-// else answers on its reply channel.
+// else answers on its reply channel. Fire-and-forget messages (replica
+// updates) carry no reply channel and are simply dropped.
 func (c *Cluster) refuse(req request, err error) {
 	if req.coll != nil {
 		req.coll.finish(req.rng.Lower, nil, req.hops, err)
+		return
+	}
+	if req.reply == nil {
 		return
 	}
 	// A serial range walk carries everything collected so far in req.acc;
@@ -646,7 +737,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		return
 	}
 	// Membership control first: these are addressed to this exact peer and
-	// apply regardless of departure or pending handoffs.
+	// apply regardless of departure, death or pending handoffs.
 	switch req.kind {
 	case kindUpdate:
 		c.applyUpdate(p, req)
@@ -657,14 +748,24 @@ func (c *Cluster) handle(p *peer, req request) {
 	case kindSnapshot:
 		req.reply <- response{snap: p.snapshot(), hops: req.hops}
 		return
+	case kindCrash:
+		c.applyCrash(p, req)
+		return
 	}
 	// A departed peer is a tombstone: stale routing state may still address
 	// it, and everything it receives belongs to the peer that absorbed its
-	// range now.
+	// range now. This is checked before aliveness so a crashed peer that
+	// recovery has repaired forwards stragglers instead of refusing them.
 	if p.departed {
 		if !c.send(p.departTo, req) {
 			c.refuse(req, ErrOwnerDown)
 		}
+		return
+	}
+	// A killed peer refuses everything else: its data is gone, and replicas
+	// it pretended to accept would be silently lost.
+	if !p.alive.Load() {
+		c.refuse(req, ErrOwnerDown)
 		return
 	}
 	// Requests touching a region whose items are still in flight are held
@@ -674,6 +775,24 @@ func (c *Cluster) handle(p *peer, req request) {
 		return
 	}
 	switch req.kind {
+	case kindReplicate:
+		c.applyReplicate(p, req)
+		return
+	case kindReplicaSync:
+		c.applyReplicaSync(p, req)
+		return
+	case kindReplicaDrop:
+		delete(p.replicas, req.src)
+		return
+	case kindReplicaResync:
+		c.handleReplicaResync(p, req)
+		return
+	case kindReplicaFetch:
+		req.reply <- response{items: p.replicaFor(req.src).Items(), hops: req.hops}
+		return
+	case kindReplicaDump:
+		c.handleReplicaDump(p, req)
+		return
 	case kindJoinLocate:
 		c.handleJoinLocate(p, req)
 		return
@@ -711,9 +830,13 @@ func (c *Cluster) handle(p *peer, req request) {
 			req.reply <- response{value: v, found: ok, hops: req.hops}
 		case kindPut:
 			p.data.Put(req.key, req.value)
+			c.replicateWrite(p, []store.Item{{Key: req.key, Value: req.value}}, nil)
 			req.reply <- response{hops: req.hops}
 		case kindDelete:
 			ok := p.data.Delete(req.key)
+			if ok {
+				c.replicateWrite(p, nil, []keyspace.Key{req.key})
+			}
 			req.reply <- response{found: ok, hops: req.hops}
 		}
 		return
@@ -778,6 +901,7 @@ func (c *Cluster) forward(p *peer, req request) {
 	// (the simulator applies the same rule).
 	for _, cand := range cands {
 		if cand != nil && cand.lower <= req.key && req.key < cand.upper && !c.Alive(cand.id) {
+			c.suspect(cand.id)
 			c.refuse(req, ErrOwnerDown)
 			return
 		}
@@ -887,6 +1011,7 @@ func (c *Cluster) handleRange(p *peer, req request) {
 		return
 	}
 	// The right adjacent peer is dead: answer with what has been collected
-	// so far (a deployment would route around through the parent and repair).
+	// so far and flag the dead link to the background repairer if one runs.
+	c.suspect(next.id)
 	req.reply <- response{items: req.acc, hops: req.hops, err: ErrOwnerDown}
 }

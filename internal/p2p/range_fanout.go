@@ -140,7 +140,17 @@ func (c *Cluster) scatterRemainder(p *peer, rem keyspace.Range, hops int, coll *
 	segs = append(segs, segment{to: target, r: keyspace.Range{Lower: lo, Upper: rem.Upper}})
 
 	var firstErr error
-	for _, s := range segs {
+	for i, s := range segs {
+		if i == 0 && !c.Alive(next.id) {
+			// The leading segment is aimed at the dead right adjacent, but
+			// only the dead peer's own slice is unavailable — everything
+			// past its upper bound belongs to alive peers an alive route
+			// can still reach. Split the segment instead of losing it all.
+			if err := c.scatterPastDead(p, next, s.r, hops, coll); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
 		coll.grow(1)
 		sub := request{kind: kindRangeScatter, key: s.r.Lower, rng: s.r, hops: hops, coll: coll}
 		if !c.send(s.to, sub) {
@@ -154,4 +164,36 @@ func (c *Cluster) scatterRemainder(p *peer, rem keyspace.Range, hops int, coll *
 		}
 	}
 	return firstErr
+}
+
+// scatterPastDead handles a leading scatter segment whose first covering
+// peer (p's right adjacent) is dead: the dead peer's own slice of the
+// segment is recorded as a failed branch, and the remainder beyond its
+// upper bound — which alive peers own — is re-scattered as a routed
+// sub-request through the first alive forwarding candidate, exactly as a
+// scatter addressed with stale routing state would be. Without this, a
+// single mid-chain crash silently truncated every range answer at the dead
+// peer even when the rest of the chain was alive and reachable sideways.
+func (c *Cluster) scatterPastDead(p *peer, dead *link, seg keyspace.Range, hops int, coll *collector) error {
+	// The dead peer's slice: always a failed branch (its data is down until
+	// recovery restores the range under a new owner).
+	coll.grow(1)
+	coll.finish(seg.Lower, nil, hops, ErrOwnerDown)
+	rest := keyspace.Range{Lower: dead.upper, Upper: seg.Upper}
+	if rest.IsEmpty() {
+		return ErrOwnerDown
+	}
+	sub := request{kind: kindRangeScatter, key: rest.Lower, rng: rest, hops: hops, coll: coll}
+	coll.grow(1)
+	for _, cand := range c.candidates(p, rest.Lower) {
+		if cand == nil || cand.id == dead.id || !c.Alive(cand.id) {
+			continue
+		}
+		if c.send(cand.id, sub) {
+			return ErrOwnerDown
+		}
+	}
+	// No alive route past the dead peer: the rest of the segment fails too.
+	coll.finish(rest.Lower, nil, hops, ErrOwnerDown)
+	return ErrOwnerDown
 }

@@ -9,6 +9,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -95,6 +96,17 @@ type Config struct {
 	// the last alive peer degenerates the rest of the run to 100% errors
 	// and measures nothing.
 	KillPeers int
+	// RecoverPeers crash repairs run at evenly spaced points of the run:
+	// each one picks a currently dead member and runs Cluster.Recover on it
+	// (structural repair plus replica data restoration), so a matched
+	// KillPeers/RecoverPeers pair measures availability under a crash-and-
+	// repair regime where ErrOwnerDown windows open and close continuously.
+	// A recover event with no dead peer to repair is skipped. Default 0.
+	RecoverPeers int
+	// AutoRecover starts the cluster's background repairer for the run:
+	// observed ErrOwnerDown errors queue the dead peer for repair without
+	// explicit Recover calls. Useful with KillPeers alone.
+	AutoRecover bool
 	// JoinPeers new peers join the cluster online at evenly spaced points
 	// of the run (full Section III-A membership: locate, range split, data
 	// migration). Default 0.
@@ -117,11 +129,13 @@ type Report struct {
 	Ops      int64
 	Errors   int64
 	NotFound int64
-	// Killed, Joined and Departed count the churn events that actually
-	// executed: abrupt kills, online joins and graceful departures.
+	// Killed, Joined, Departed and Recovered count the churn events that
+	// actually executed: abrupt kills, online joins, graceful departures
+	// and crash repairs.
 	Killed    int
 	Joined    int
 	Departed  int
+	Recovered int
 	Elapsed   time.Duration
 	OpsPerSec float64
 	// Latency maps an operation kind (plus "all") to its recorded latency
@@ -136,8 +150,8 @@ const OpAll Op = "all"
 // percentiles, the format cmd/batonsim prints in throughput mode.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed %d/%d/%d\n",
-		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed)
+	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed/recovered %d/%d/%d/%d\n",
+		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed, r.Recovered)
 	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
 	ops := make([]string, 0, len(r.Latency))
@@ -231,7 +245,11 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		churnKill churnKind = iota
 		churnJoin
 		churnDepart
+		churnRecover
 	)
+	if cfg.AutoRecover {
+		c.StartAutoRecover()
+	}
 	churnRng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	var events []churnKind
 	for i := 0; i < cfg.KillPeers; i++ {
@@ -244,8 +262,30 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		events = append(events, churnDepart)
 	}
 	churnRng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	// Recover events are interleaved after the shuffle so that, with
+	// matched counts, each repair tends to follow the crash that warranted
+	// it instead of firing first and finding nothing dead.
+	if cfg.RecoverPeers > 0 && len(events) > 0 {
+		mixed := make([]churnKind, 0, len(events)+cfg.RecoverPeers)
+		per := float64(cfg.RecoverPeers) / float64(len(events))
+		acc := 0.0
+		for _, ev := range events {
+			mixed = append(mixed, ev)
+			for acc += per; acc >= 1; acc-- {
+				mixed = append(mixed, churnRecover)
+			}
+		}
+		for len(mixed) < len(events)+cfg.RecoverPeers {
+			mixed = append(mixed, churnRecover)
+		}
+		events = mixed
+	} else {
+		for i := 0; i < cfg.RecoverPeers; i++ {
+			events = append(events, churnRecover)
+		}
+	}
 	var fired atomic.Int64 // events attempted (scheduler progress)
-	var killed, joined, departed atomic.Int64
+	var killed, joined, departed, recovered atomic.Int64
 	eventsDue := func(n int64) int64 {
 		if len(events) == 0 {
 			return 0
@@ -323,6 +363,17 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 						departed.Add(1)
 						refreshIDs()
 					}
+				}
+			case churnRecover:
+				for _, id := range *idsPtr.Load() {
+					if c.Alive(id) {
+						continue
+					}
+					if _, err := c.Recover(id); err == nil || errors.Is(err, p2p.ErrReplicaLost) {
+						recovered.Add(1)
+						refreshIDs()
+					}
+					break // one repair per event, like the other kinds
 				}
 			}
 		}
@@ -449,6 +500,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	report.Killed = int(killed.Load())
 	report.Joined = int(joined.Load())
 	report.Departed = int(departed.Load())
+	report.Recovered = int(recovered.Load())
 	if secs := report.Elapsed.Seconds(); secs > 0 {
 		report.OpsPerSec = float64(report.Ops) / secs
 	}

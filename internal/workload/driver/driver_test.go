@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -85,6 +86,107 @@ func TestDriverWithChurn(t *testing.T) {
 	}
 	// Errors are expected once peers die; the cluster as a whole must keep
 	// answering (the run completed, which the timeout above asserts).
+}
+
+// TestDriverFaultChurn runs matched kill/recover rates under load: crashes
+// open ErrOwnerDown windows, repairs close them, and by the end every dead
+// peer that a recover event found has been repaired — the counters must
+// report both sides, and the quiesced cluster must pass the structural
+// audit.
+func TestDriverFaultChurn(t *testing.T) {
+	c, keys := driverCluster(t, 60, 800, 23)
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(c, Config{
+			Clients:       10,
+			Ops:           4000,
+			GetFraction:   0.6,
+			PutFraction:   0.3,
+			RangeFraction: 0.1,
+			Keys:          keys,
+			KillPeers:     8,
+			RecoverPeers:  8,
+			Seed:          24,
+		})
+	}()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("driver hung under fault churn")
+	}
+	if rep.Killed == 0 {
+		t.Fatal("fault churn configured but no peer was killed")
+	}
+	if rep.Recovered == 0 {
+		t.Fatalf("%d peers killed but none recovered", rep.Killed)
+	}
+	// Repair any peer the interleaving left dead, then audit. A lost
+	// replica is tolerated here: with several concurrent crashes a peer and
+	// its holder can be down at once, which single-copy replication does
+	// not protect (the storm test in internal/p2p pins down the guarantee).
+	for _, id := range c.PeerIDs() {
+		if !c.Alive(id) {
+			if _, err := c.Recover(id); err != nil && !errors.Is(err, p2p.ErrReplicaLost) {
+				t.Fatalf("final repair of %d: %v", id, err)
+			}
+		}
+	}
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySnapshot(c.Domain(), snaps); err != nil {
+		t.Fatalf("post-fault-churn invariants: %v", err)
+	}
+}
+
+// TestDriverAutoRecover: with the background repairer enabled, kills alone
+// heal without explicit recover events.
+func TestDriverAutoRecover(t *testing.T) {
+	c, keys := driverCluster(t, 40, 400, 29)
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(c, Config{
+			Clients:     8,
+			Ops:         4000,
+			GetFraction: 0.7,
+			PutFraction: 0.3,
+			Keys:        keys,
+			KillPeers:   5,
+			AutoRecover: true,
+			Seed:        30,
+		})
+	}()
+	var rep Report
+	select {
+	case rep = <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("driver hung with auto-recover")
+	}
+	if rep.Killed == 0 {
+		t.Fatal("no peer was killed")
+	}
+	// The repairer is asynchronous; give the last observation time to land,
+	// then every killed peer must have been repaired out of the membership.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		dead := 0
+		for _, id := range c.PeerIDs() {
+			if !c.Alive(id) {
+				dead++
+				// Nudge the repairer: an observation is what queues repair.
+				c.Get(id, keys[0])
+			}
+		}
+		if dead == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d peers still dead %s after the run with auto-recover on", dead, "20s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // TestDriverSteadyChurn runs matched join/depart rates under load: the
