@@ -170,6 +170,20 @@ type Cluster = p2p.Cluster
 // BulkResult is the per-key outcome of a bulk operation on a Cluster.
 type BulkResult = p2p.BulkResult
 
+// RouteMode selects how a Cluster routes singleton Get/Put/Delete requests:
+// RouteOverlay (the default) walks the overlay per-hop exactly as the paper
+// describes, RouteDirect sends each request straight to the key's owner via
+// the epoch-validated route cache, falling back to overlay forwarding when
+// the cache is stale or the owner is down. Switch with Cluster.SetRouteMode;
+// Cluster.StaleRoutes counts direct requests that had to fall back.
+type RouteMode = p2p.RouteMode
+
+// Routing modes for Cluster.SetRouteMode.
+const (
+	RouteOverlay = p2p.RouteOverlay
+	RouteDirect  = p2p.RouteDirect
+)
+
 // NewCluster animates a snapshot of the simulated network as a live
 // cluster: every peer becomes a goroutine serving its share of the data.
 // Call Stop when done.

@@ -108,6 +108,68 @@ func BenchmarkClusterRangeParallel(b *testing.B) {
 	b.ReportMetric(float64(hops), "max-chain-hops")
 }
 
+// BenchmarkClusterGetOverlay looks keys up through the paper-faithful
+// per-hop overlay routing — the baseline the direct route cache is measured
+// against.
+func BenchmarkClusterGetOverlay(b *testing.B) {
+	c, keys := benchRangeCluster.get()
+	c.SetRouteMode(p2p.RouteOverlay)
+	ids := c.PeerIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _, err := c.Get(ids[i%len(ids)], keys[i%len(keys)]); err != nil || !ok {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkClusterGetDirect looks the same keys up through the
+// epoch-validated route cache: one delivered message per lookup instead of
+// the O(log N) hop chain, and no client-side allocation thanks to the
+// pooled reply channels.
+func BenchmarkClusterGetDirect(b *testing.B) {
+	c, keys := benchRangeCluster.get()
+	c.SetRouteMode(p2p.RouteDirect)
+	defer c.SetRouteMode(p2p.RouteOverlay)
+	ids := c.PeerIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _, err := c.Get(ids[i%len(ids)], keys[i%len(keys)]); err != nil || !ok {
+			b.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// TestDirectGetAllocsPerOp pins down the zero-alloc request path: a
+// direct-routed Get on a quiesced cluster must not allocate on either side
+// of the message exchange — the reply channel comes from the pool, the
+// request and response travel by value — so the whole-process allocation
+// count per operation stays at (amortised) zero. The bound of 2 leaves room
+// for scheduler and pool-refill noise while still failing loudly if a
+// per-op allocation sneaks back onto the path.
+func TestDirectGetAllocsPerOp(t *testing.T) {
+	c, keys := benchRangeCluster.get()
+	c.SetRouteMode(p2p.RouteDirect)
+	defer c.SetRouteMode(p2p.RouteOverlay)
+	via := c.PeerIDs()[0]
+	// Warm the reply-channel pool and the route cache path.
+	for i := 0; i < 100; i++ {
+		c.Get(via, keys[i%len(keys)])
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok, _, err := c.Get(via, keys[i%len(keys)]); err != nil || !ok {
+			t.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+		i++
+	})
+	if allocs > 2 {
+		t.Fatalf("direct get allocates %.1f objects per op, want (amortised) 0 — the pooled reply-channel path regressed", allocs)
+	}
+}
+
 // BenchmarkClusterPutRouted stores a batch of 64 keys one routed request at
 // a time — the baseline BulkPut amortises.
 func BenchmarkClusterPutRouted(b *testing.B) {

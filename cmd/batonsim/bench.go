@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"baton/internal/p2p"
+	"baton/internal/workload/driver"
+)
+
+type benchOptions struct {
+	peers, items, clients, ops int
+	seed                       int64
+	out                        string
+	requireSpeedup             float64
+}
+
+// benchCase is one cell of the fixed benchmark matrix.
+type benchCase struct {
+	name string
+	cfg  driver.Config
+}
+
+// benchResult is one row of the tracked baseline file.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Route       string  `json:"route"`
+	Ops         int64   `json:"ops"`
+	Errors      int64   `json:"errors"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	MsgsPerOp   float64 `json:"msgs_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	StaleRoutes int64   `json:"stale_routes,omitempty"`
+}
+
+// benchReport is the schema of BENCH_p2p.json: the run parameters plus one
+// result row per matrix cell, so successive PRs diff against a fixed shape.
+type benchReport struct {
+	Peers      int           `json:"peers"`
+	Items      int           `json:"items"`
+	Clients    int           `json:"clients"`
+	OpsPerCase int           `json:"ops_per_case"`
+	Seed       int64         `json:"seed"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// runBench is the batonsim bench mode: it runs a fixed performance matrix —
+// overlay-routed vs direct-routed singleton gets and puts, batched bulk
+// puts, serial vs parallel ranges, and the mixed workload under membership
+// churn and under crash/repair faults — against one live cluster and writes
+// the results to the tracked baseline file (BENCH_p2p.json), so every
+// future change has a trajectory to beat. With -requirespeedup X the mode
+// exits non-zero unless direct-mode singleton throughput beats overlay-mode
+// by at least that factor, which is what the CI bench-smoke step gates on.
+func runBench(o benchOptions) {
+	if o.clients <= 0 {
+		o.clients = 8
+	}
+	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
+	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+
+	base := driver.Config{
+		Clients: o.clients,
+		Ops:     o.ops,
+		Keys:    keys,
+		Seed:    o.seed,
+	}
+	with := func(mut func(*driver.Config)) driver.Config {
+		cfg := base
+		mut(&cfg)
+		return cfg
+	}
+	churn := max(1, o.peers/8)
+	// The quiesced comparisons run first; the churn and faultload cells
+	// mutate the composition, so they close the matrix.
+	cases := []benchCase{
+		{"get-overlay", with(func(c *driver.Config) { c.GetFraction = 1 })},
+		{"get-direct", with(func(c *driver.Config) { c.GetFraction = 1; c.Route = p2p.RouteDirect })},
+		{"put-overlay", with(func(c *driver.Config) { c.PutFraction = 1 })},
+		{"put-direct", with(func(c *driver.Config) { c.PutFraction = 1; c.Route = p2p.RouteDirect })},
+		{"bulkput-64", with(func(c *driver.Config) { c.PutFraction = 1; c.BulkSize = 64 })},
+		{"range-serial", with(func(c *driver.Config) {
+			c.RangeFraction = 1
+			c.RangeSelectivity = 0.05
+			c.SerialRange = true
+			c.Ops = max(1, o.ops/10) // serial chains are ~linear in covered peers
+		})},
+		{"range-parallel", with(func(c *driver.Config) {
+			c.RangeFraction = 1
+			c.RangeSelectivity = 0.05
+			c.Ops = max(1, o.ops/10)
+		})},
+		{"mixed-direct-churn", with(func(c *driver.Config) {
+			c.GetFraction, c.PutFraction, c.RangeFraction = 0.7, 0.2, 0.1
+			c.Route = p2p.RouteDirect
+			c.JoinPeers, c.DepartPeers = churn, churn
+		})},
+		{"mixed-direct-faultload", with(func(c *driver.Config) {
+			c.GetFraction, c.PutFraction, c.RangeFraction = 0.7, 0.2, 0.1
+			c.Route = p2p.RouteDirect
+			c.KillPeers, c.RecoverPeers = churn, churn
+		})},
+	}
+
+	// Warm both routing paths (scheduler, allocator, reply-channel pool) so
+	// the first measured cell does not absorb the cold-start cost.
+	driver.Run(cluster, with(func(c *driver.Config) { c.GetFraction = 1; c.Ops = 500 }))
+	driver.Run(cluster, with(func(c *driver.Config) { c.GetFraction = 1; c.Ops = 500; c.Route = p2p.RouteDirect }))
+
+	report := benchReport{
+		Peers:      o.peers,
+		Items:      o.items,
+		Clients:    o.clients,
+		OpsPerCase: o.ops,
+		Seed:       o.seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("%-24s %-8s %12s %10s %10s %10s %12s\n",
+		"case", "route", "ops/sec", "p50 µs", "p99 µs", "msgs/op", "allocs/op")
+	byName := map[string]benchResult{}
+	var mem runtime.MemStats
+	for _, bc := range cases {
+		staleBefore := cluster.StaleRoutes()
+		msgsBefore := cluster.Messages()
+		runtime.GC()
+		runtime.ReadMemStats(&mem)
+		mallocsBefore := mem.Mallocs
+		rep := driver.Run(cluster, bc.cfg)
+		runtime.ReadMemStats(&mem)
+		msgs := cluster.Messages() - msgsBefore
+		res := benchResult{
+			Name:        bc.name,
+			Route:       bc.cfg.Route.String(),
+			Ops:         rep.Ops,
+			Errors:      rep.Errors,
+			OpsPerSec:   rep.OpsPerSec,
+			P50us:       rep.Latency[driver.OpAll].Percentile(0.50),
+			P99us:       rep.Latency[driver.OpAll].Percentile(0.99),
+			StaleRoutes: cluster.StaleRoutes() - staleBefore,
+		}
+		if rep.Ops > 0 {
+			// Whole-process deltas: peer-side message handling and replication
+			// are part of an operation's true cost, so they belong in the
+			// per-op numbers the baseline tracks.
+			res.MsgsPerOp = float64(msgs) / float64(rep.Ops)
+			res.AllocsPerOp = float64(mem.Mallocs-mallocsBefore) / float64(rep.Ops)
+		}
+		report.Results = append(report.Results, res)
+		byName[bc.name] = res
+		fmt.Printf("%-24s %-8s %12.0f %10.0f %10.0f %10.2f %12.1f\n",
+			res.Name, res.Route, res.OpsPerSec, res.P50us, res.P99us, res.MsgsPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(o.out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline written to %s\n", o.out)
+
+	if o.requireSpeedup > 0 {
+		for _, pair := range [][2]string{{"get-direct", "get-overlay"}, {"put-direct", "put-overlay"}} {
+			direct, overlay := byName[pair[0]], byName[pair[1]]
+			if overlay.OpsPerSec <= 0 {
+				fatal(fmt.Errorf("bench gate: %s measured no throughput", pair[1]))
+			}
+			speedup := direct.OpsPerSec / overlay.OpsPerSec
+			fmt.Printf("speedup %s vs %s: %.2fx\n", pair[0], pair[1], speedup)
+			if speedup < o.requireSpeedup {
+				fatal(fmt.Errorf("bench gate FAILED: %s is %.2fx of %s, required ≥ %.2fx",
+					pair[0], speedup, pair[1], o.requireSpeedup))
+			}
+		}
+		fmt.Printf("bench gate passed (required ≥ %.2fx)\n", o.requireSpeedup)
+	}
+}

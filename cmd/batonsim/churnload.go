@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"baton/internal/core"
+	"baton/internal/p2p"
 	"baton/internal/workload/driver"
 )
 
@@ -12,6 +13,7 @@ type churnloadOptions struct {
 	getFrac, putFrac, delFrac, rangeFrac float64
 	selectivity                          float64
 	joins, departs, kill                 int
+	route                                p2p.RouteMode
 	seed                                 int64
 }
 
@@ -37,13 +39,14 @@ func runChurnLoad(o churnloadOptions) {
 		DeleteFraction:   o.delFrac,
 		RangeFraction:    o.rangeFrac,
 		RangeSelectivity: o.selectivity,
+		Route:            o.route,
 		Keys:             keys,
 		KillPeers:        o.kill,
 		JoinPeers:        o.joins,
 		DepartPeers:      o.departs,
 		Seed:             o.seed,
 	})
-	fmt.Printf("churnload run (joins %d, departs %d, kills %d requested)\n", o.joins, o.departs, o.kill)
+	fmt.Printf("churnload run (joins %d, departs %d, kills %d requested, route %s)\n", o.joins, o.departs, o.kill, o.route)
 	fmt.Print(rep.String())
 	fmt.Printf("cluster size: %d -> %d\n", startSize, cluster.Size())
 	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())

@@ -14,6 +14,7 @@ type faultloadOptions struct {
 	getFrac, putFrac, delFrac, rangeFrac float64
 	selectivity                          float64
 	kill, recovers                       int
+	route                                p2p.RouteMode
 	seed                                 int64
 }
 
@@ -41,12 +42,13 @@ func runFaultLoad(o faultloadOptions) {
 		DeleteFraction:   o.delFrac,
 		RangeFraction:    o.rangeFrac,
 		RangeSelectivity: o.selectivity,
+		Route:            o.route,
 		Keys:             keys,
 		KillPeers:        o.kill,
 		RecoverPeers:     o.recovers,
 		Seed:             o.seed,
 	})
-	fmt.Printf("faultload run (kills %d, recovers %d requested)\n", o.kill, o.recovers)
+	fmt.Printf("faultload run (kills %d, recovers %d requested, route %s)\n", o.kill, o.recovers, o.route)
 	fmt.Print(rep.String())
 	fmt.Printf("cluster size: %d -> %d\n", startSize, cluster.Size())
 	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())

@@ -7,7 +7,10 @@
 // percentiles; the churnload and faultload modes run the same workload
 // under membership churn and under crash-and-repair faults respectively,
 // ending with invariant audits; the rangecmp mode benchmarks the parallel
-// range fan-out against the sequential adjacent-chain walk.
+// range fan-out against the sequential adjacent-chain walk; the bench mode
+// runs the fixed performance matrix (overlay vs direct routing, bulk,
+// serial vs parallel range, throughput under churn and faults) and writes
+// the tracked baseline BENCH_p2p.json.
 //
 // Usage:
 //
@@ -16,10 +19,11 @@
 //	batonsim -full            # paper-scale parameters (1,000–10,000 peers)
 //	batonsim -sizes 500,1000  # custom network sizes
 //	batonsim -list            # list the reproducible figures
-//	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10
+//	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10 -route direct
 //	batonsim -mode churnload -peers 128 -joins 32 -departs 32 -ops 50000
 //	batonsim -mode faultload -peers 128 -kill 16 -recover 16 -ops 50000
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
+//	batonsim -mode bench -peers 64 -requirespeedup 1.0
 package main
 
 import (
@@ -30,11 +34,12 @@ import (
 	"strings"
 
 	"baton/internal/experiments"
+	"baton/internal/p2p"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "figures", "figures, throughput, churnload, faultload or rangecmp")
+		mode    = flag.String("mode", "figures", "figures, throughput, churnload, faultload, rangecmp or bench")
 		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
 		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
 		list    = flag.Bool("list", false, "list reproducible figures and exit")
@@ -62,9 +67,18 @@ func main() {
 		serialRange = flag.Bool("serialrange", false, "use the sequential chain walk for range queries")
 		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
+		route       = flag.String("route", "overlay", "singleton routing mode: overlay (paper-faithful per-hop) or direct (one-hop route cache)")
+
+		// Bench-mode flags.
+		benchOut       = flag.String("out", "BENCH_p2p.json", "bench mode: file the benchmark baseline is written to")
+		requireSpeedup = flag.Float64("requirespeedup", 0, "bench mode: fail unless direct-mode singleton ops/sec exceeds overlay-mode by this factor (0 = no gate)")
 	)
 	flag.Parse()
 	if err := validateModeFlags(*mode); err != nil {
+		fatal(err)
+	}
+	routeMode, err := parseRoute(*route)
+	if err != nil {
 		fatal(err)
 	}
 	// Flags the user set explicitly, so "-kill 0" (an intentional no-crash
@@ -80,7 +94,13 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, serialRange: *serialRange,
-			bulkSize: *bulkSize, seed: *seed,
+			bulkSize: *bulkSize, route: routeMode, seed: *seed,
+		})
+		return
+	case "bench":
+		runBench(benchOptions{
+			peers: *peers, items: *items, clients: *clients, ops: *ops,
+			seed: *seed, out: *benchOut, requireSpeedup: *requireSpeedup,
 		})
 		return
 	case "churnload":
@@ -88,7 +108,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
-			seed: *seed,
+			route: routeMode, seed: *seed,
 		}
 		if !explicit["joins"] && !explicit["departs"] && !explicit["kill"] {
 			// No churn flags at all: default to steady-state churn turning
@@ -104,7 +124,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, recovers: *recovers,
-			seed: *seed,
+			route: routeMode, seed: *seed,
 		}
 		if !explicit["kill"] {
 			// -kill not given: default to crashing (and repairing) ~1/4 of
@@ -122,7 +142,7 @@ func main() {
 		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
 		return
 	default:
-		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload or rangecmp)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload, rangecmp or bench)", *mode))
 	}
 
 	if *list {
@@ -181,14 +201,15 @@ func main() {
 // error. Only flags the user set explicitly are checked.
 func validateModeFlags(mode string) error {
 	allowed := map[string]map[string]bool{
-		"throughput": {"kill": true},
-		"churnload":  {"kill": true, "joins": true, "departs": true},
-		"faultload":  {"kill": true, "recover": true},
+		"throughput": {"kill": true, "route": true},
+		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true},
+		"faultload":  {"kill": true, "recover": true, "route": true},
+		"bench":      {"out": true, "requirespeedup": true},
 	}
 	var bad []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "kill", "joins", "departs", "recover":
+		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup":
 			if !allowed[mode][f.Name] {
 				bad = append(bad, "-"+f.Name)
 			}
@@ -198,16 +219,30 @@ func validateModeFlags(mode string) error {
 		return nil
 	}
 	modes := map[string][]string{
-		"kill":    {"throughput", "churnload", "faultload"},
-		"joins":   {"churnload"},
-		"departs": {"churnload"},
-		"recover": {"faultload"},
+		"kill":           {"throughput", "churnload", "faultload"},
+		"joins":          {"churnload"},
+		"departs":        {"churnload"},
+		"recover":        {"faultload"},
+		"route":          {"throughput", "churnload", "faultload"},
+		"out":            {"bench"},
+		"requirespeedup": {"bench"},
 	}
 	hints := make([]string, 0, len(bad))
 	for _, f := range bad {
 		hints = append(hints, fmt.Sprintf("%s (only meaningful in mode %s)", f, strings.Join(modes[strings.TrimPrefix(f, "-")], "/")))
 	}
 	return fmt.Errorf("mode %q ignores flag(s) %s; drop them or switch mode", mode, strings.Join(hints, ", "))
+}
+
+// parseRoute maps the -route flag to a routing mode.
+func parseRoute(s string) (p2p.RouteMode, error) {
+	switch s {
+	case "overlay":
+		return p2p.RouteOverlay, nil
+	case "direct":
+		return p2p.RouteDirect, nil
+	}
+	return p2p.RouteOverlay, fmt.Errorf("unknown route mode %q (want overlay or direct)", s)
 }
 
 func parseSizes(s string) ([]int, error) {

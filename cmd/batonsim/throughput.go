@@ -7,6 +7,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/p2p"
 	"baton/internal/stats"
 	"baton/internal/workload"
 	"baton/internal/workload/driver"
@@ -18,6 +19,7 @@ type throughputOptions struct {
 	selectivity                          float64
 	kill, bulkSize                       int
 	serialRange                          bool
+	route                                p2p.RouteMode
 	seed                                 int64
 }
 
@@ -42,6 +44,7 @@ func runThroughput(o throughputOptions) {
 		RangeSelectivity: o.selectivity,
 		SerialRange:      o.serialRange,
 		BulkSize:         o.bulkSize,
+		Route:            o.route,
 		Keys:             keys,
 		KillPeers:        o.kill,
 		Seed:             o.seed,
@@ -50,9 +53,12 @@ func runThroughput(o throughputOptions) {
 	if o.serialRange {
 		rangeMode = "serial chain walk"
 	}
-	fmt.Printf("throughput run (range mode: %s)\n", rangeMode)
+	fmt.Printf("throughput run (route mode: %s, range mode: %s)\n", o.route, rangeMode)
 	fmt.Print(rep.String())
 	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())
+	if o.route == p2p.RouteDirect {
+		fmt.Printf("stale direct routes (fell back to overlay): %d\n", cluster.StaleRoutes())
+	}
 }
 
 // runRangeCompare benchmarks the two range modes against each other on the

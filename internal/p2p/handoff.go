@@ -108,7 +108,13 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 		if _, existed := prev[id]; existed {
 			continue
 		}
-		p := &peer{id: id, data: store.New(), inbox: make(chan request, 256), quit: make(chan struct{})}
+		p := &peer{
+			id:        id,
+			data:      store.New(),
+			inbox:     make(chan request, 256),
+			spillWake: make(chan struct{}, 1),
+			quit:      make(chan struct{}),
+		}
 		p.installState(buildState(ns, next))
 		p.pending = gains[id]
 		p.alive.Store(true)
@@ -337,10 +343,12 @@ func (c *Cluster) waitAcks(chs []chan response) error {
 // publishTopology swaps in a new client-visible composition: member set,
 // key-ordered ring and sorted ID list. The peers map is carried over — it
 // already contains every member plus the tombstones and is never mutated
-// after publication.
+// after publication. The epoch bump invalidates every route-cache tag issued
+// under the old composition (routecache.go).
 func (c *Cluster) publishTopology(nextList []core.PeerSnapshot) {
 	old := c.topo.Load()
 	nt := old.clone()
+	nt.epoch = old.epoch + 1
 	nt.members = make(map[core.PeerID]bool, len(nextList))
 	nt.ring = make([]ringEntry, 0, len(nextList))
 	nt.ids = make([]core.PeerID, 0, len(nextList))

@@ -91,6 +91,26 @@
 //     channel precisely so that concurrent senders cannot hit a closed
 //     channel.
 //
+// # Routing modes
+//
+// Singleton Get/Put/Delete requests enter the overlay in one of two modes
+// (SetRouteMode). RouteOverlay, the default, routes per-hop through the
+// tree and sideways routing tables exactly as Algorithm search_exact
+// describes — the paper-faithful path whose hop counts the experiments
+// measure. RouteDirect is the fast data plane: the published topology's
+// key-ordered ring doubles as an epoch-validated route cache, and requests
+// go straight to the cached owner in one message, tagged with the ring's
+// epoch. A receiver that no longer owns the key validates the tag against
+// the live epoch: an older tag (the sender's ring predates a membership
+// change) is re-aimed once at the owner the current ring names, while a
+// current tag (the receiver's range moved under a publication still in
+// flight) falls back to classic overlay forwarding — and a key mid-handoff
+// is briefly buffered until its items land. Direct mode under churn
+// therefore pays extra hops, never correctness; StaleRoutes counts the
+// misses. A cached owner that is dead fails the delivery at the sender,
+// which re-enters the overlay path and its usual fail-over rules. See
+// routecache.go.
+//
 // Range queries come in two flavours: RangeSerial walks the right-adjacent
 // chain one peer at a time exactly as Section IV-B describes, while Range
 // (the default) scatters the uncovered remainder of the query across the
@@ -208,8 +228,9 @@ type request struct {
 	frac float64
 	// src names the peer whose items a replica message carries (or asks
 	// for); dels lists replicated deletions; seq orders replica messages
-	// from one source so a delta that a detached delivery reordered past a
-	// later wholesale sync is recognised as stale (see replication.go).
+	// from one source so a delta delivered after a later wholesale sync —
+	// the two travel from different goroutines — is recognised as stale
+	// (see replication.go).
 	src  core.PeerID
 	dels []keyspace.Key
 	seq  int64
@@ -217,7 +238,16 @@ type request struct {
 	// fail-over never loops; only one copy of the request is in flight at a
 	// time, so the map is never accessed concurrently.
 	visited map[core.PeerID]bool
-	reply   chan response
+	// epoch, when non-zero, marks a direct-routed request (RouteDirect fast
+	// path): the sender believed the target owned key under the tagged
+	// topology epoch. A receiver that does not own the key counts the miss
+	// and validates the tag against the live epoch — an older tag is
+	// re-aimed once via the current ring, a current one falls back to
+	// classic per-hop overlay forwarding (see handle) — so churn costs
+	// extra hops, never correctness. Zero is reserved to mean "not direct";
+	// topology epochs start at 1.
+	epoch uint64
+	reply chan response
 }
 
 // response is the terminal answer to a request.
@@ -268,6 +298,16 @@ type peer struct {
 	pending []keyspace.Range
 	held    []request
 
+	// spill absorbs deliveries that find the inbox full: instead of one
+	// transient goroutine per blocked send (unbounded when a peer is hot),
+	// the overflow queues here and the serving goroutine drains it after
+	// the older inbox entries, preserving per-peer FIFO delivery (see
+	// deliverTo). spillWake (buffered 1) nudges the goroutine when the
+	// queue goes non-empty.
+	spillMu   sync.Mutex
+	spill     []request
+	spillWake chan struct{}
+
 	// replicas holds, per source peer, a copy of that peer's items — the
 	// fault-tolerance layer of replication.go. replTo is the peer the last
 	// full replica sync went to, remembered so a later sync to a different
@@ -311,12 +351,16 @@ type ringEntry struct {
 // peers holds every delivery target including killed members and departed
 // tombstones; members, ring and ids describe the current overlay (killed
 // peers included — they remain part of the structure — departed peers not).
+// epoch counts ownership publications: it starts at 1 and is bumped by every
+// publishTopology, so a request tagged with an older epoch may have been
+// routed with a stale ring (see routecache.go).
 type topology struct {
 	peers   map[core.PeerID]*peer
 	members map[core.PeerID]bool
 	ring    []ringEntry
 	ids     []core.PeerID
 	hopCap  int
+	epoch   uint64
 }
 
 // clone copies the topology with a fresh peers map (the mutable part of a
@@ -338,7 +382,14 @@ type Cluster struct {
 	wg      sync.WaitGroup
 	done    chan struct{}
 	stopped atomic.Bool
-	msgs    atomic.Int64
+	msgs    msgCounter
+
+	// routeMode selects the entry path of singleton Get/Put/Delete requests
+	// (RouteOverlay or RouteDirect — see routecache.go); staleRoutes counts
+	// direct-routed requests that missed their target and fell back to
+	// overlay forwarding.
+	routeMode   atomic.Int32
+	staleRoutes atomic.Int64
 
 	// autoRecover and suspects feed the opt-in background repairer (see
 	// recovery.go): routing paths that observe a dead responsible peer
@@ -379,14 +430,16 @@ func NewCluster(nw *core.Network) *Cluster {
 		peers:   make(map[core.PeerID]*peer),
 		members: make(map[core.PeerID]bool),
 	}
+	t.epoch = 1
 	for _, ps := range snapshot {
 		p := &peer{
-			id:    ps.ID,
-			pos:   ps.Position,
-			rng:   ps.Range,
-			data:  store.New(),
-			inbox: make(chan request, 256),
-			quit:  make(chan struct{}),
+			id:        ps.ID,
+			pos:       ps.Position,
+			rng:       ps.Range,
+			data:      store.New(),
+			inbox:     make(chan request, 256),
+			spillWake: make(chan struct{}, 1),
+			quit:      make(chan struct{}),
 		}
 		p.data.Absorb(ps.Items)
 		p.alive.Store(true)
@@ -469,7 +522,31 @@ func snapshotMap(snaps []core.PeerSnapshot) map[core.PeerID]core.PeerSnapshot {
 func (c *Cluster) Size() int { return len(c.topo.Load().ids) }
 
 // Messages returns the total number of peer-to-peer messages delivered.
-func (c *Cluster) Messages() int64 { return c.msgs.Load() }
+func (c *Cluster) Messages() int64 { return c.msgs.total() }
+
+// msgCounter counts delivered messages across cache-line-padded shards so
+// that concurrent deliveries to different peers do not all serialise on one
+// atomic word — with hundreds of client goroutines the single cluster-wide
+// counter is a measurable contention hot spot. Deliveries to the same peer
+// hash to the same shard, which is the contention the inbox already imposes.
+type msgCounter struct {
+	shards [msgShardCount]struct {
+		n atomic.Int64
+		_ [56]byte // pad to a 64-byte cache line
+	}
+}
+
+const msgShardCount = 32
+
+func (m *msgCounter) add(slot uint64) { m.shards[slot%msgShardCount].n.Add(1) }
+
+func (m *msgCounter) total() int64 {
+	var t int64
+	for i := range m.shards {
+		t += m.shards[i].n.Load()
+	}
+	return t
+}
 
 // Domain returns the key domain the cluster partitions.
 func (c *Cluster) Domain() keyspace.Range { return c.domain }
@@ -547,15 +624,13 @@ func (c *Cluster) Stop() {
 
 // send delivers a request to the peer with the given ID. It reports false
 // when the target is dead or the cluster is stopped. A full inbox never
-// blocks the caller: the delivery is completed by a detached goroutine, so
-// a peer goroutine can never block on another peer's inbox — a cycle of
-// such sends is the classic message-system deadlock, and avoiding it is
-// what keeps the "calls never block indefinitely" contract true under any
-// client count. Detached deliveries abort at Stop (their clients observe
-// ErrStopped via issue's done select). The transient goroutines are
-// bounded by the number of in-flight messages — each client contributes at
-// most one routed request or one scatter sub-request per covering peer —
-// and every one retires as soon as its target inbox drains.
+// blocks the caller: the overflow is appended to the target's spill queue,
+// which the serving goroutine drains alongside the inbox, so a peer
+// goroutine can never block on another peer's inbox — a cycle of such sends
+// is the classic message-system deadlock, and avoiding it is what keeps the
+// "calls never block indefinitely" contract true under any client count.
+// The spill append is a short critical section on the target's own lock, so
+// delivery costs no goroutine spawn however saturated the peer is.
 func (c *Cluster) send(to core.PeerID, req request) bool {
 	return c.deliver(to, req, false)
 }
@@ -567,60 +642,99 @@ func (c *Cluster) sendAny(to core.PeerID, req request) bool {
 }
 
 func (c *Cluster) deliver(to core.PeerID, req request, evenDead bool) bool {
+	p, ok := c.topo.Load().peers[to]
+	if !ok {
+		return false
+	}
+	return c.deliverTo(p, req, evenDead)
+}
+
+// deliverTo is deliver for callers that already hold the peer object (the
+// direct-routing fast path resolves the owner once from the ring and skips
+// the second map lookup).
+func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 	if c.stopped.Load() {
 		return false
 	}
-	p, ok := c.topo.Load().peers[to]
-	if !ok || (!evenDead && !p.alive.Load()) {
+	if !evenDead && !p.alive.Load() {
 		return false
 	}
 	// The inflight count brackets the whole delivery so a tombstone is only
-	// retired once provably no send can still land in its inbox; a delivery
-	// beginning after gone is set backs out, and its caller fails over as
-	// if the peer were dead.
+	// retired once provably no send can still land in its inbox or spill
+	// queue; a delivery beginning after gone is set backs out, and its
+	// caller fails over as if the peer were dead.
 	p.inflight.Add(1)
 	if p.gone.Load() {
 		p.inflight.Add(-1)
 		return false
 	}
-	select {
-	case p.inbox <- req:
-		c.msgs.Add(1)
-		p.inflight.Add(-1)
-	default:
-		go func() {
-			defer p.inflight.Add(-1)
-			select {
-			case p.inbox <- req:
-				c.msgs.Add(1)
-			case <-c.done:
-			}
-		}()
+	// Deliveries to one peer are FIFO across the two lanes: once the spill
+	// queue is non-empty every delivery appends behind it (even if the inbox
+	// has drained room again), and the serving goroutine empties the inbox —
+	// which then only holds older messages — before each spill batch. The
+	// ordering matters beyond tidiness: replica deltas from one source rely
+	// on it to apply in the order they were acknowledged (replication.go).
+	overflow := false
+	p.spillMu.Lock()
+	if len(p.spill) > 0 {
+		p.spill = append(p.spill, req)
+		overflow = true
+	} else {
+		select {
+		case p.inbox <- req:
+		default:
+			p.spill = append(p.spill, req)
+			overflow = true
+		}
 	}
+	p.spillMu.Unlock()
+	if overflow {
+		// Nudge the serving goroutine; spillWake is buffered, so the nudge
+		// never blocks and a wake already pending covers this append too.
+		select {
+		case p.spillWake <- struct{}{}:
+		default:
+		}
+	}
+	c.msgs.add(uint64(p.id))
+	p.inflight.Add(-1)
 	return true
 }
 
-// Get looks up key starting at peer via.
+// takeSpill detaches and returns the current spill queue.
+func (p *peer) takeSpill() []request {
+	p.spillMu.Lock()
+	q := p.spill
+	p.spill = nil
+	p.spillMu.Unlock()
+	return q
+}
+
+// Get looks up key starting at peer via. Under RouteDirect the request is
+// sent straight to the key's owner instead (via is the fallback entry point
+// when the route cache is stale — see routecache.go).
 func (c *Cluster) Get(via core.PeerID, key keyspace.Key) ([]byte, bool, int, error) {
-	resp, err := c.issue(via, request{kind: kindGet, key: key})
+	resp, err := c.route(via, request{kind: kindGet, key: key})
 	if err != nil {
 		return nil, false, 0, err
 	}
 	return resp.value, resp.found, resp.hops, resp.err
 }
 
-// Put stores value under key starting at peer via.
+// Put stores value under key starting at peer via (owner-direct under
+// RouteDirect, like Get).
 func (c *Cluster) Put(via core.PeerID, key keyspace.Key, value []byte) (int, error) {
-	resp, err := c.issue(via, request{kind: kindPut, key: key, value: value})
+	resp, err := c.route(via, request{kind: kindPut, key: key, value: value})
 	if err != nil {
 		return 0, err
 	}
 	return resp.hops, resp.err
 }
 
-// Delete removes key starting at peer via, reporting whether it existed.
+// Delete removes key starting at peer via, reporting whether it existed
+// (owner-direct under RouteDirect, like Get).
 func (c *Cluster) Delete(via core.PeerID, key keyspace.Key) (bool, int, error) {
-	resp, err := c.issue(via, request{kind: kindDelete, key: key})
+	resp, err := c.route(via, request{kind: kindDelete, key: key})
 	if err != nil {
 		return false, 0, err
 	}
@@ -655,7 +769,11 @@ func (c *Cluster) RangeSerial(via core.PeerID, r keyspace.Range) ([]store.Item, 
 
 // issue sends the request into the overlay via the given peer and waits for
 // the answer. The wait also watches the cluster's done channel so a client
-// can never block across Stop.
+// can never block across Stop. Reply channels come from a pool: every
+// request is answered exactly once, so a channel whose answer has been
+// consumed is clean for reuse; a wait abandoned at Stop leaves its channel
+// to the garbage collector instead of returning it, so a late answer can
+// never surface under a later request.
 func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	if c.stopped.Load() {
 		return response{}, ErrStopped
@@ -663,8 +781,9 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	if _, ok := c.topo.Load().peers[via]; !ok {
 		return response{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
 	}
-	req.reply = make(chan response, 1)
+	req.reply = getReply()
 	if !c.send(via, req) {
+		putReply(req.reply)
 		if c.stopped.Load() {
 			return response{}, ErrStopped
 		}
@@ -673,6 +792,7 @@ func (c *Cluster) issue(via core.PeerID, req request) (response, error) {
 	}
 	select {
 	case resp := <-req.reply:
+		putReply(req.reply)
 		return resp, nil
 	case <-c.done:
 		return response{}, ErrStopped
@@ -695,19 +815,51 @@ func (c *Cluster) serve(p *peer) {
 		case <-p.quit:
 			// Retired tombstone: no new delivery can land (gone is set and
 			// the in-flight count drained to zero before quit was closed),
-			// so forward whatever is still queued and exit.
+			// so forward whatever is still queued — inbox and spill — and
+			// exit.
 			for {
 				select {
 				case req := <-p.inbox:
 					if !c.send(p.departTo, req) {
 						c.refuse(req, ErrOwnerDown)
 					}
+					continue
 				default:
+				}
+				q := p.takeSpill()
+				if len(q) == 0 {
 					return
+				}
+				for _, req := range q {
+					if !c.send(p.departTo, req) {
+						c.refuse(req, ErrOwnerDown)
+					}
 				}
 			}
 		case req := <-p.inbox:
 			c.handle(p, req)
+		case <-p.spillWake:
+			// Drain in FIFO order: everything in the inbox predates the
+			// spill overflow (deliveries bypass the inbox while the spill
+			// queue is non-empty), so empty the inbox before each spill
+			// batch. The loop runs until the spill queue is observed empty;
+			// a delivery that appends mid-drain leaves another wake pending,
+			// so nothing is stranded.
+			for {
+				select {
+				case req := <-p.inbox:
+					c.handle(p, req)
+					continue
+				default:
+				}
+				q := p.takeSpill()
+				if len(q) == 0 {
+					break
+				}
+				for _, req := range q {
+					c.handle(p, req)
+				}
+			}
 		}
 	}
 }
@@ -840,6 +992,28 @@ func (c *Cluster) handle(p *peer, req request) {
 			req.reply <- response{found: ok, hops: req.hops}
 		}
 		return
+	}
+	if req.epoch != 0 {
+		// A direct-routed request reached a peer that does not own its key.
+		// Validate the tag against the live epoch to pick the recovery: a
+		// tag from an older publication means the sender's ring was stale,
+		// so the current ring is strictly newer information — re-aim the
+		// request at the owner it names, one extra hop instead of a per-hop
+		// walk. A current tag means the miss races an in-flight publication
+		// (this peer's range moved before the new ring went out), so the
+		// ring that just missed cannot help; fall through to classic
+		// overlay forwarding. Either way the request degrades to a plain
+		// overlay request (epoch cleared), so a second miss walks per-hop
+		// and no re-aim loop is possible.
+		t := c.topo.Load()
+		stale := req.epoch != t.epoch
+		req.epoch = 0
+		c.staleRoutes.Add(1)
+		if stale {
+			if e := t.entryOf(req.key); e != nil && e.p != p && e.p.alive.Load() && c.deliverTo(e.p, req, false) {
+				return
+			}
+		}
 	}
 	c.forward(p, req)
 }

@@ -61,12 +61,15 @@ func (p *peer) replicaFor(src core.PeerID) *store.Store {
 // replicateWrite fires the write-path delta (upserts and deletions this
 // peer just applied to its own store) at the replica holder. It is
 // asynchronous and unacknowledged: a dead holder simply drops the message,
-// and the next structural resync re-ships the full set. Every message is
-// stamped with the source's monotonically increasing sequence number: a
-// full inbox diverts deliveries to detached goroutines, which can reorder
-// them, and without the stamp a delta reordered past a later wholesale
-// sync would silently resurrect a deleted key (or regress a value) in the
-// holder's set.
+// and the next structural resync re-ships the full set. Deltas from one
+// source apply in order — the source's goroutine sends them sequentially
+// and delivery to a peer is FIFO across the inbox and its spill queue
+// (deliverTo) — but a wholesale sync travels from a different goroutine
+// (the structural coordinator's resync), so a delta sent before the sync
+// was taken can still be delivered after it. Every message is therefore
+// stamped with the source's monotonically increasing sequence number;
+// without the stamp such a late delta would silently resurrect a deleted
+// key (or regress a value) in the freshly synced set.
 func (c *Cluster) replicateWrite(p *peer, ups []store.Item, dels []keyspace.Key) {
 	to := p.replicaTarget()
 	if to == core.NoPeer {
@@ -83,7 +86,7 @@ func (c *Cluster) replicateWrite(p *peer, ups []store.Item, dels []keyspace.Key)
 // holder's goroutine.
 func (c *Cluster) applyReplicate(p *peer, req request) {
 	if req.seq < p.replicaMin[req.src] {
-		return // stale: reordered past a later sync by a detached delivery
+		return // stale: delivered after a later wholesale sync was absorbed
 	}
 	st := p.replicaFor(req.src)
 	for _, it := range req.bulk {

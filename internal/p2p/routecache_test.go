@@ -1,0 +1,407 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"baton/internal/core"
+	"baton/internal/keyspace"
+	"baton/internal/store"
+)
+
+// TestDirectRouteQuiescedOneHop checks the point of the fast path: on a
+// quiesced cluster every direct-routed singleton operation reaches its owner
+// in exactly one hop and costs exactly one delivered message, with zero
+// stale-route fallbacks.
+func TestDirectRouteQuiescedOneHop(t *testing.T) {
+	c, keys := liveCluster(t, 64, 400, 83)
+	ids := c.PeerIDs()
+	c.SetRouteMode(RouteDirect)
+	if c.RouteMode() != RouteDirect {
+		t.Fatal("route mode did not switch")
+	}
+	msgsBefore := c.Messages()
+	for i, k := range keys {
+		v, ok, hops, err := c.Get(ids[i%len(ids)], k)
+		if err != nil || !ok {
+			t.Fatalf("direct get %d: ok=%v err=%v", k, ok, err)
+		}
+		if string(v) != fmt.Sprint(k) {
+			t.Fatalf("direct get %d: wrong value %q", k, v)
+		}
+		if hops != 1 {
+			t.Fatalf("direct get %d took %d hops, want 1", k, hops)
+		}
+	}
+	if got, want := c.Messages()-msgsBefore, int64(len(keys)); got != want {
+		t.Fatalf("%d direct gets delivered %d messages, want exactly %d (msgs/op = 1)", len(keys), got, want)
+	}
+	// Writes ride the same fast path; each costs the request plus its
+	// asynchronous replica update.
+	for i := 0; i < 50; i++ {
+		k := keyspace.Key(1 + int64(i)*17_000_001)
+		if hops, err := c.Put(ids[i%len(ids)], k, []byte("d")); err != nil || hops != 1 {
+			t.Fatalf("direct put %d: hops=%d err=%v", k, hops, err)
+		}
+		if _, hops, err := c.Delete(ids[i%len(ids)], k); err != nil || hops != 1 {
+			t.Fatalf("direct delete %d: hops=%d err=%v", k, hops, err)
+		}
+	}
+	if n := c.StaleRoutes(); n != 0 {
+		t.Fatalf("quiesced direct traffic recorded %d stale routes, want 0", n)
+	}
+	if c.Epoch() == 0 {
+		t.Fatal("topology epoch must start above zero")
+	}
+	// The two modes differ only in message count, never in call semantics:
+	// an unknown via is rejected identically.
+	if _, _, _, err := c.Get(99_999, keys[0]); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("direct get with unknown via: err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+// TestOverlayHopsUnchangedByDirectMode asserts that the fast path leaves the
+// paper-faithful overlay untouched: the hop count of every overlay-routed
+// lookup is identical before direct mode is used, while it is the active
+// mode for other traffic, and after switching back.
+func TestOverlayHopsUnchangedByDirectMode(t *testing.T) {
+	c, keys := liveCluster(t, 64, 300, 89)
+	ids := c.PeerIDs()
+	sample := keys
+	if len(sample) > 200 {
+		sample = sample[:200]
+	}
+	record := func() []int {
+		out := make([]int, len(sample))
+		for i, k := range sample {
+			_, ok, hops, err := c.Get(ids[i%len(ids)], k)
+			if err != nil || !ok {
+				t.Fatalf("overlay get %d: ok=%v err=%v", k, ok, err)
+			}
+			out[i] = hops
+		}
+		return out
+	}
+	before := record()
+
+	c.SetRouteMode(RouteDirect)
+	for i, k := range sample {
+		if _, _, hops, err := c.Get(ids[i%len(ids)], k); err != nil || hops != 1 {
+			t.Fatalf("direct get %d: hops=%d err=%v", k, hops, err)
+		}
+	}
+	c.SetRouteMode(RouteOverlay)
+
+	after := record()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("overlay hop count for key %d changed: %d before direct mode, %d after",
+				sample[i], before[i], after[i])
+		}
+	}
+}
+
+// TestStaleEpochDirectRequestReaims pins down the epoch validation: a
+// direct request tagged with an epoch older than the live one, delivered to
+// a peer that does not own its key, must be re-aimed once at the owner the
+// current ring names — answered in exactly two hops, with the miss counted
+// — instead of walking the overlay per-hop.
+func TestStaleEpochDirectRequestReaims(t *testing.T) {
+	c, keys := liveCluster(t, 48, 200, 103)
+	// Bump the epoch past its starting value so a tag of 1 is provably old.
+	if _, err := c.Join(c.PeerIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() < 2 {
+		t.Fatalf("epoch after a join = %d, want >= 2", c.Epoch())
+	}
+	key := keys[0]
+	owner := c.ownerOf(key)
+	var wrong *peer
+	for _, e := range c.topo.Load().ring {
+		if e.p != owner {
+			wrong = e.p
+			break
+		}
+	}
+	before := c.StaleRoutes()
+	req := request{kind: kindGet, key: key, epoch: 1, reply: make(chan response, 1)}
+	if !c.deliverTo(wrong, req, false) {
+		t.Fatal("delivery to the wrong peer refused")
+	}
+	resp := <-req.reply
+	if resp.err != nil || !resp.found {
+		t.Fatalf("stale-tagged get: found=%v err=%v", resp.found, resp.err)
+	}
+	if resp.hops != 2 {
+		t.Fatalf("stale-tagged get took %d hops, want exactly 2 (miss + re-aim)", resp.hops)
+	}
+	if got := c.StaleRoutes() - before; got != 1 {
+		t.Fatalf("stale-route counter moved by %d, want 1", got)
+	}
+}
+
+// TestDirectRouteChurnNoLostWrite is the -race stress test of route-cache
+// invalidation: direct-mode Get/Put traffic runs while the membership churns
+// through every structural operation — online joins, graceful departures,
+// crashes and repairs — and the test asserts that every acknowledged write
+// recorded before each replication barrier survives and is readable through
+// the direct path afterwards: requests either land on the true owner or
+// fall back through the overlay, so no acknowledged write is lost or
+// misrouted whatever the cache staleness.
+func TestDirectRouteChurnNoLostWrite(t *testing.T) {
+	const (
+		peers   = 28
+		preload = 300
+		writers = 3
+		rounds  = 5
+	)
+	c, keys := liveCluster(t, peers, preload, 101)
+	c.SetRouteMode(RouteDirect)
+
+	var acked sync.Map // key -> value, recorded only after the Put was acknowledged
+	for _, k := range keys {
+		acked.Store(k, fmt.Sprint(k))
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	liveVia := func(rng *rand.Rand) (core.PeerID, bool) {
+		ids := c.PeerIDs()
+		for tries := 0; tries < 16; tries++ {
+			id := ids[rng.Intn(len(ids))]
+			if c.Alive(id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(700 + w)))
+			// Monotonic per-writer keys in disjoint slices of the domain, so
+			// every key is written at most once and "the acknowledged value"
+			// is unambiguous.
+			for i := 0; !stop.Load() && int64(i)*41 < 240_000_000; i++ {
+				k := keyspace.Key(2 + int64(w)*250_000_000 + int64(i)*41)
+				via, ok := liveVia(rng)
+				if !ok {
+					continue
+				}
+				val := fmt.Sprintf("w%d-%d", w, i)
+				if _, err := c.Put(via, k, []byte(val)); err == nil {
+					acked.Store(k, val)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+		}(w)
+	}
+	// Readers keep the direct read path hot across every churn event;
+	// transient errors during crash windows are expected, wrong values are
+	// not.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(800))
+		for !stop.Load() {
+			via, ok := liveVia(rng)
+			if !ok {
+				continue
+			}
+			k := keys[rng.Intn(len(keys))]
+			if v, found, _, err := c.Get(via, k); err == nil && found && string(v) != fmt.Sprint(k) {
+				t.Errorf("direct get %d returned wrong value %q", k, v)
+				return
+			}
+		}
+	}()
+
+	churnRng := rand.New(rand.NewSource(900))
+	randAlive := func() (core.PeerID, bool) {
+		ids := c.PeerIDs()
+		for tries := 0; tries < 20; tries++ {
+			id := ids[churnRng.Intn(len(ids))]
+			if c.Alive(id) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	for round := 0; round < rounds; round++ {
+		if via, ok := randAlive(); ok {
+			if _, err := c.Join(via); err != nil {
+				t.Fatalf("round %d: join: %v", round, err)
+			}
+		}
+		if id, ok := randAlive(); ok {
+			if err := c.Depart(id); err != nil && !errors.Is(err, core.ErrLastPeer) {
+				t.Fatalf("round %d: depart %d: %v", round, id, err)
+			}
+		}
+		// Close the asynchronous replication window, then freeze the set of
+		// writes the crash below must not lose.
+		if err := c.SyncReplicas(); err != nil {
+			t.Fatalf("round %d: sync replicas: %v", round, err)
+		}
+		mustSurvive := map[keyspace.Key]string{}
+		acked.Range(func(k, v any) bool {
+			mustSurvive[k.(keyspace.Key)] = v.(string)
+			return true
+		})
+		victim, ok := randAlive()
+		if !ok {
+			t.Fatalf("round %d: no alive victim", round)
+		}
+		if err := c.Kill(victim); err != nil {
+			t.Fatalf("round %d: kill %d: %v", round, victim, err)
+		}
+		if _, err := c.Recover(victim); err != nil {
+			t.Fatalf("round %d: recover %d: %v", round, victim, err)
+		}
+		// Sample the frozen set through the direct path: every key must be
+		// readable with its acknowledged value, wherever churn moved it.
+		checkRng := rand.New(rand.NewSource(int64(1000 + round)))
+		checked := 0
+		for k, want := range mustSurvive {
+			if checked >= 150 {
+				break
+			}
+			if checkRng.Intn(4) != 0 {
+				continue
+			}
+			checked++
+			via, ok := randAlive()
+			if !ok {
+				t.Fatalf("round %d: no alive via", round)
+			}
+			v, found, _, err := c.Get(via, k)
+			if err != nil || !found || string(v) != want {
+				t.Fatalf("round %d: acknowledged write %d lost or wrong after churn: found=%v v=%q err=%v",
+					round, k, found, v, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// Full sweep on the quiesced cluster, then the structural audit.
+	ids := c.PeerIDs()
+	i := 0
+	var failed error
+	acked.Range(func(k, v any) bool {
+		got, found, _, err := c.Get(ids[i%len(ids)], k.(keyspace.Key))
+		i++
+		if err != nil || !found || string(got) != v.(string) {
+			failed = fmt.Errorf("acknowledged write %d: found=%v v=%q err=%v", k, found, got, err)
+			return false
+		}
+		return true
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifySnapshot(c.Domain(), snaps); err != nil {
+		t.Fatalf("structural invariants after direct-mode churn: %v", err)
+	}
+	t.Logf("stale direct routes under churn: %d (epoch %d)", c.StaleRoutes(), c.Epoch())
+}
+
+// TestDeliverFloodBoundedGoroutines is the regression test for the
+// unbounded transient-goroutine spawn in deliver: every send that found the
+// inbox full used to launch its own goroutine, so a saturated peer's
+// overflow depth became the process's goroutine count. The test floods a
+// peer whose goroutine is guaranteed not to drain — one registered for
+// delivery but never served — far past its inbox capacity and asserts the
+// overflow lands in the spill queue with no goroutine growth at all.
+func TestDeliverFloodBoundedGoroutines(t *testing.T) {
+	c, _ := liveCluster(t, 4, 0, 97)
+	// A ghost peer: a valid delivery target with no serving goroutine, so
+	// the inbox can never drain and every send past its capacity must take
+	// the overflow path deterministically.
+	ghost := &peer{
+		id:        9999,
+		data:      store.New(),
+		inbox:     make(chan request, 256),
+		spillWake: make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+	}
+	ghost.alive.Store(true)
+	nt := c.topo.Load().clone()
+	nt.peers[ghost.id] = ghost
+	c.topo.Store(nt)
+
+	const flood = 4096
+	runtime.GC() // retire any straggler goroutines from cluster construction
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < flood; i++ {
+		if !c.send(ghost.id, request{kind: kindGet, key: 1, reply: make(chan response, 1)}) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	if grew := runtime.NumGoroutine() - baseline; grew > 8 {
+		t.Fatalf("flooding a saturated peer grew the goroutine count by %d: deliver is spawning per-send goroutines again", grew)
+	}
+	spilled := len(ghost.takeSpill())
+	if want := flood - cap(ghost.inbox); spilled != want {
+		t.Fatalf("spill queue holds %d requests, want %d (flood %d past inbox capacity %d)",
+			spilled, want, flood, cap(ghost.inbox))
+	}
+	if got := int64(flood); c.Messages() < got {
+		t.Fatalf("delivered-message counter %d below flood size %d", c.Messages(), got)
+	}
+}
+
+// TestDeliverFIFOWhileSpilled pins the per-peer delivery order the replica
+// protocol relies on: while the spill queue is non-empty, a new delivery
+// must append behind it even if the inbox has drained room again —
+// otherwise the newer message would jump the queue and messages from one
+// sender could apply out of order.
+func TestDeliverFIFOWhileSpilled(t *testing.T) {
+	c, _ := liveCluster(t, 4, 0, 107)
+	ghost := &peer{
+		id:        9998,
+		data:      store.New(),
+		inbox:     make(chan request, 256),
+		spillWake: make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+	}
+	ghost.alive.Store(true)
+	nt := c.topo.Load().clone()
+	nt.peers[ghost.id] = ghost
+	c.topo.Store(nt)
+
+	// Fill the inbox exactly, then overflow by one.
+	for i := 0; i <= cap(ghost.inbox); i++ {
+		if !c.send(ghost.id, request{kind: kindGet, key: keyspace.Key(i)}) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	// Simulate the serving goroutine draining one inbox slot, then deliver
+	// again: the newcomer must join the spill queue behind the earlier
+	// overflow, not slip into the freed inbox slot ahead of it.
+	<-ghost.inbox
+	if !c.send(ghost.id, request{kind: kindGet, key: 9_000_001}) {
+		t.Fatal("send refused")
+	}
+	if got := len(ghost.inbox); got != cap(ghost.inbox)-1 {
+		t.Fatalf("inbox holds %d messages, want %d: a delivery jumped the spill queue", got, cap(ghost.inbox)-1)
+	}
+	q := ghost.takeSpill()
+	if len(q) != 2 {
+		t.Fatalf("spill queue holds %d messages, want 2", len(q))
+	}
+	if q[0].key != keyspace.Key(cap(ghost.inbox)) || q[1].key != 9_000_001 {
+		t.Fatalf("spill order [%d %d], want [%d %d]", q[0].key, q[1].key, cap(ghost.inbox), 9_000_001)
+	}
+}

@@ -233,10 +233,18 @@ func (a *Accumulator) StdDev() float64 {
 
 // Histogram counts integer-valued samples in unit-width buckets. It backs
 // Figure 8(h): the distribution of the number of nodes displaced by one load
-// balancing operation.
+// balancing operation. It is not safe for concurrent use — including
+// concurrent read-only calls: Percentile and Buckets lazily (re)build the
+// sorted-bucket cache. Latency is the concurrent sampler.
 type Histogram struct {
 	counts map[int]int64
 	total  int64
+	// sorted caches the ascending bucket values for Percentile and Buckets,
+	// invalidated only when an Add opens a new bucket — incrementing an
+	// existing bucket leaves the value set unchanged. Without the cache,
+	// every Percentile call re-collected and re-sorted the whole map, which
+	// made percentile reporting over a long run quadratic.
+	sorted []int
 }
 
 // NewHistogram returns an empty histogram.
@@ -246,6 +254,9 @@ func NewHistogram() *Histogram { return &Histogram{counts: make(map[int]int64)} 
 func (h *Histogram) Add(v int) {
 	if h.counts == nil {
 		h.counts = make(map[int]int64)
+	}
+	if _, ok := h.counts[v]; !ok {
+		h.sorted = nil
 	}
 	h.counts[v]++
 	h.total++
@@ -257,14 +268,23 @@ func (h *Histogram) Count(v int) int64 { return h.counts[v] }
 // Total returns the total number of samples.
 func (h *Histogram) Total() int64 { return h.total }
 
-// Buckets returns the sorted distinct sample values.
+// Buckets returns the sorted distinct sample values. The returned slice is
+// the caller's to keep.
 func (h *Histogram) Buckets() []int {
-	out := make([]int, 0, len(h.counts))
-	for v := range h.counts {
-		out = append(out, v)
+	return append([]int(nil), h.sortedBuckets()...)
+}
+
+// sortedBuckets returns the cached ascending bucket values, rebuilding the
+// cache if a new bucket invalidated it.
+func (h *Histogram) sortedBuckets() []int {
+	if h.sorted == nil {
+		h.sorted = make([]int, 0, len(h.counts))
+		for v := range h.counts {
+			h.sorted = append(h.sorted, v)
+		}
+		sort.Ints(h.sorted)
 	}
-	sort.Ints(out)
-	return out
+	return h.sorted
 }
 
 // Fraction returns the fraction of samples with value v.
@@ -304,13 +324,13 @@ func (h *Histogram) Percentile(p float64) int {
 		target = 1
 	}
 	var cum int64
-	for _, v := range h.Buckets() {
+	buckets := h.sortedBuckets()
+	for _, v := range buckets {
 		cum += h.counts[v]
 		if cum >= target {
 			return v
 		}
 	}
-	buckets := h.Buckets()
 	return buckets[len(buckets)-1]
 }
 

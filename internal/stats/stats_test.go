@@ -136,6 +136,45 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramSortedCacheInvalidation exercises the cached sorted-bucket
+// path: percentiles queried between Adds must stay correct whether an Add
+// reuses an existing bucket (cache kept) or opens a new one (cache
+// invalidated), and Buckets must hand out a private copy the caller may
+// mutate without corrupting the cache.
+func TestHistogramSortedCacheInvalidation(t *testing.T) {
+	h := NewHistogram()
+	h.Add(10)
+	h.Add(20)
+	if got := h.Percentile(1); got != 20 {
+		t.Fatalf("P100 = %d, want 20", got)
+	}
+	// Same-bucket Adds keep the cache valid; the distribution still shifts.
+	for i := 0; i < 8; i++ {
+		h.Add(10)
+	}
+	if got := h.Percentile(0.9); got != 10 {
+		t.Fatalf("P90 after same-bucket adds = %d, want 10", got)
+	}
+	// A new bucket must invalidate the cache: 5 sorts before 10 and 20.
+	h.Add(5)
+	if got := h.Percentile(0.01); got != 5 {
+		t.Fatalf("P1 after new low bucket = %d, want 5", got)
+	}
+	if got := h.Buckets(); len(got) != 3 || got[0] != 5 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("Buckets = %v, want [5 10 20]", got)
+	}
+	// Mutating the returned slice must not corrupt later queries.
+	b := h.Buckets()
+	b[0] = 999
+	if got := h.Percentile(0.01); got != 5 {
+		t.Fatalf("P1 after caller mutation = %d, want 5 (Buckets leaked the cache)", got)
+	}
+	h.Add(30)
+	if got := h.Percentile(1); got != 30 {
+		t.Fatalf("P100 after new high bucket = %d, want 30", got)
+	}
+}
+
 func TestLevelLoad(t *testing.T) {
 	l := NewLevelLoad()
 	l.Record(OpInsert, 0)

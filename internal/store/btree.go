@@ -307,9 +307,17 @@ func (s *Store) AscendRange(r keyspace.Range, fn func(Item) bool) {
 	}
 }
 
-// Scan returns all items with keys in r, in ascending order.
+// Scan returns all items with keys in r, in ascending order. The result is
+// sized exactly with a counting pre-pass (CountRange): the second leaf walk
+// costs no allocation, whereas appending into an unsized slice pays a
+// grow-and-copy reallocation per doubling — the dominant allocation of a
+// wide range query.
 func (s *Store) Scan(r keyspace.Range) []Item {
-	var out []Item
+	n := s.CountRange(r)
+	if n == 0 {
+		return nil
+	}
+	out := make([]Item, 0, n)
 	s.AscendRange(r, func(it Item) bool {
 		out = append(out, it)
 		return true

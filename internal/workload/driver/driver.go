@@ -84,6 +84,11 @@ type Config struct {
 	// SerialRange walks ranges with the sequential adjacent-chain protocol
 	// instead of the parallel fan-out.
 	SerialRange bool
+	// Route selects how singleton Get/Put/Delete requests are routed: the
+	// zero value p2p.RouteOverlay is the paper-faithful per-hop walk,
+	// p2p.RouteDirect the one-hop epoch-validated fast path. Run installs
+	// the mode on the cluster for the whole run.
+	Route p2p.RouteMode
 	// BulkSize batches puts through BulkPut in groups of this size when > 1;
 	// gets and ranges are unaffected.
 	BulkSize int
@@ -194,6 +199,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 8
 	}
+	c.SetRouteMode(cfg.Route)
 	total := cfg.GetFraction + cfg.PutFraction + cfg.DeleteFraction + cfg.RangeFraction
 	getCut := cfg.GetFraction / total
 	putCut := getCut + cfg.PutFraction/total
