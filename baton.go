@@ -157,6 +157,14 @@ var (
 // dropped. Snapshot exports the quiesced structure for auditing with
 // VerifySnapshot or rebuilding with NetworkFromSnapshot.
 //
+// Load management is adaptive: Loads meters every peer (stored items plus a
+// request-rate EWMA), ImbalanceRatio condenses a snapshot into the
+// max/average load ratio, and StartAutoBalance runs the background balancer
+// — adjacent shuffles when a hot peer's lighter neighbour has room, forced
+// depart-and-rejoins of the globally lightest leaf (ForceRejoin, the
+// Section III-E restructuring) when both neighbours are loaded — so a
+// Zipf-skewed workload no longer piles onto a handful of peers.
+//
 // The cluster is fault-tolerant end to end: every peer's items are
 // replicated at its adjacent peer (asynchronously on the write path,
 // synchronously across membership changes; SyncReplicas is the barrier),
@@ -169,6 +177,33 @@ type Cluster = p2p.Cluster
 
 // BulkResult is the per-key outcome of a bulk operation on a Cluster.
 type BulkResult = p2p.BulkResult
+
+// PeerLoad is one peer's slice of a Cluster.Loads snapshot: its stored-item
+// count (the paper's load measure) and the request-rate EWMA of the data
+// messages it handles.
+type PeerLoad = p2p.PeerLoad
+
+// AutoBalanceConfig tunes Cluster.StartAutoBalance / Cluster.BalanceOnce:
+// the overload trigger θ (a peer is overloaded when it stores more than θ
+// times its lighter adjacent peer, or θ times the cluster average), the
+// check cadence, and the load floor below which peers are left alone.
+type AutoBalanceConfig = p2p.AutoBalanceConfig
+
+// BalanceAction reports what one balancing pass did: nothing, an
+// adjacent-peer shuffle, or a forced depart-and-rejoin.
+type BalanceAction = p2p.BalanceAction
+
+// Balancing actions reported by Cluster.BalanceOnce.
+const (
+	BalanceNone    = p2p.BalanceNone
+	BalanceShuffle = p2p.BalanceShuffle
+	BalanceRejoin  = p2p.BalanceRejoin
+)
+
+// ImbalanceRatio condenses a load snapshot into the max/average stored-item
+// ratio: 1.0 is perfectly balanced. The skewed-workload experiments track
+// it before and after balancing.
+func ImbalanceRatio(loads []PeerLoad) float64 { return p2p.ImbalanceRatio(loads) }
 
 // RouteMode selects how a Cluster routes singleton Get/Put/Delete requests:
 // RouteOverlay (the default) walks the overlay per-hop exactly as the paper

@@ -2,6 +2,7 @@ package baton_test
 
 import (
 	"testing"
+	"time"
 
 	"baton"
 )
@@ -203,5 +204,70 @@ func TestPublicAPILiveMembership(t *testing.T) {
 		if err != nil || !found {
 			t.Fatalf("key %d after membership changes: found=%v err=%v", k, found, err)
 		}
+	}
+}
+
+// TestPublicAPIAdaptiveLoadBalancing exercises the re-exported load
+// management surface: Loads/ImbalanceRatio metering, one manual BalanceOnce
+// pass, and the background balancer on a deliberately skewed cluster.
+func TestPublicAPIAdaptiveLoadBalancing(t *testing.T) {
+	nw := baton.NewNetwork(baton.Config{Seed: 77})
+	for nw.Size() < 20 {
+		if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cluster := baton.NewCluster(nw)
+	defer cluster.Stop()
+	// Pile every write onto one narrow slice of the domain.
+	via := cluster.PeerIDs()[0]
+	lo := baton.FullDomain().Lower + baton.Key(baton.FullDomain().Size()/2)
+	for i := 0; i < 800; i++ {
+		if _, err := cluster.Put(via, lo+baton.Key(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads, err := cluster.Loads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 20 {
+		t.Fatalf("Loads reported %d peers, want 20", len(loads))
+	}
+	before := baton.ImbalanceRatio(loads)
+	if before < 4 {
+		t.Fatalf("skew setup too tame: ratio %.2f", before)
+	}
+	act, moved, err := cluster.BalanceOnce(baton.AutoBalanceConfig{Theta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act == baton.BalanceNone || moved == 0 {
+		t.Fatalf("BalanceOnce on a skewed cluster: action %v, moved %d", act, moved)
+	}
+	cluster.StartAutoBalance(baton.AutoBalanceConfig{Theta: 2, Interval: time.Millisecond})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := cluster.ImbalanceRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < before/2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background balancer left ratio at %.2f (was %.2f)", r, before)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if cluster.BalanceEvents() == 0 {
+		t.Fatal("no balance events counted")
+	}
+	snaps, err := cluster.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := baton.VerifySnapshot(cluster.Domain(), snaps); err != nil {
+		t.Fatalf("audit after balancing: %v", err)
 	}
 }

@@ -6,11 +6,15 @@
 // live goroutine-per-peer cluster and reports ops/sec plus latency
 // percentiles; the churnload and faultload modes run the same workload
 // under membership churn and under crash-and-repair faults respectively,
-// ending with invariant audits; the rangecmp mode benchmarks the parallel
-// range fan-out against the sequential adjacent-chain walk; the bench mode
-// runs the fixed performance matrix (overlay vs direct routing, bulk,
-// serial vs parallel range, throughput under churn and faults) and writes
-// the tracked baseline BENCH_p2p.json.
+// ending with invariant audits; the skewload mode drives a Zipf-skewed
+// data set and key stream at the cluster, optionally with the background
+// load balancer shedding the skew (-autobalance), and reports the
+// max/average load-imbalance ratio (-compare gates balancer-on against
+// balancer-off); the rangecmp mode benchmarks the parallel range fan-out
+// against the sequential adjacent-chain walk; the bench mode runs the
+// fixed performance matrix (overlay vs direct routing, bulk, serial vs
+// parallel range, throughput under churn, faults and skew) and writes the
+// tracked baseline BENCH_p2p.json.
 //
 // Usage:
 //
@@ -22,6 +26,7 @@
 //	batonsim -mode throughput -peers 256 -clients 32 -ops 50000 -kill 10 -route direct
 //	batonsim -mode churnload -peers 128 -joins 32 -departs 32 -ops 50000
 //	batonsim -mode faultload -peers 128 -kill 16 -recover 16 -ops 50000
+//	batonsim -mode skewload -peers 64 -theta 1.0 -autobalance -compare
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
 //	batonsim -mode bench -peers 64 -requirespeedup 1.0
 package main
@@ -39,7 +44,7 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "figures", "figures, throughput, churnload, faultload, rangecmp or bench")
+		mode    = flag.String("mode", "figures", "figures, throughput, churnload, faultload, skewload, rangecmp or bench")
 		figure  = flag.String("figure", "", "figure to reproduce (8a..8i); empty means all")
 		full    = flag.Bool("full", false, "use the paper-scale parameters (slow: tens of minutes)")
 		list    = flag.Bool("list", false, "list reproducible figures and exit")
@@ -68,6 +73,11 @@ func main() {
 		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
 		route       = flag.String("route", "overlay", "singleton routing mode: overlay (paper-faithful per-hop) or direct (one-hop route cache)")
+
+		// Skewload-mode flags.
+		theta       = flag.Float64("theta", 1.0, "skewload mode: Zipf skew parameter of the data set and key stream")
+		autobalance = flag.Bool("autobalance", false, "skewload mode: run the background load balancer during the workload")
+		compare     = flag.Bool("compare", false, "skewload mode: run balancer-off then balancer-on and fail unless the final imbalance ratio improves")
 
 		// Bench-mode flags.
 		benchOut       = flag.String("out", "BENCH_p2p.json", "bench mode: file the benchmark baseline is written to")
@@ -138,11 +148,19 @@ func main() {
 		}
 		runFaultLoad(o)
 		return
+	case "skewload":
+		runSkewLoad(skewloadOptions{
+			peers: *peers, items: *items, clients: *clients, ops: *ops,
+			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
+			selectivity: *selectivity, theta: *theta, autobalance: *autobalance,
+			compare: *compare, route: routeMode, seed: *seed,
+		})
+		return
 	case "rangecmp":
 		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
 		return
 	default:
-		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload, rangecmp or bench)", *mode))
+		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload, skewload, rangecmp or bench)", *mode))
 	}
 
 	if *list {
@@ -200,17 +218,31 @@ func main() {
 // clean pass of a scenario that never executed, which is worse than an
 // error. Only flags the user set explicitly are checked.
 func validateModeFlags(mode string) error {
+	workloadModes := map[string]bool{"throughput": true, "churnload": true, "faultload": true, "skewload": true}
 	allowed := map[string]map[string]bool{
-		"throughput": {"kill": true, "route": true},
+		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true},
 		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true},
 		"faultload":  {"kill": true, "recover": true, "route": true},
+		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true},
 		"bench":      {"out": true, "requirespeedup": true},
 	}
 	var bad []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup":
+		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup",
+			"theta", "autobalance", "compare", "bulk", "serialrange":
 			if !allowed[mode][f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		case "get", "put", "del", "range":
+			// The mix fractions are honoured by every workload mode; bench,
+			// rangecmp and figures run fixed mixes and would silently drop
+			// them.
+			if !workloadModes[mode] {
+				bad = append(bad, "-"+f.Name)
+			}
+		case "selectivity":
+			if !workloadModes[mode] && mode != "rangecmp" {
 				bad = append(bad, "-"+f.Name)
 			}
 		}
@@ -218,14 +250,25 @@ func validateModeFlags(mode string) error {
 	if len(bad) == 0 {
 		return nil
 	}
+	workloads := []string{"throughput", "churnload", "faultload", "skewload"}
 	modes := map[string][]string{
 		"kill":           {"throughput", "churnload", "faultload"},
 		"joins":          {"churnload"},
 		"departs":        {"churnload"},
 		"recover":        {"faultload"},
-		"route":          {"throughput", "churnload", "faultload"},
+		"route":          workloads,
 		"out":            {"bench"},
 		"requirespeedup": {"bench"},
+		"theta":          {"skewload"},
+		"autobalance":    {"skewload"},
+		"compare":        {"skewload"},
+		"bulk":           {"throughput"},
+		"serialrange":    {"throughput"},
+		"get":            workloads,
+		"put":            workloads,
+		"del":            workloads,
+		"range":          workloads,
+		"selectivity":    append(append([]string{}, workloads...), "rangecmp"),
 	}
 	hints := make([]string, 0, len(bad))
 	for _, f := range bad {

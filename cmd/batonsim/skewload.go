@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+
+	"baton/internal/core"
+	"baton/internal/p2p"
+	"baton/internal/workload"
+	"baton/internal/workload/driver"
+)
+
+type skewloadOptions struct {
+	peers, items, clients, ops           int
+	getFrac, putFrac, delFrac, rangeFrac float64
+	selectivity                          float64
+	theta                                float64
+	autobalance, compare                 bool
+	route                                p2p.RouteMode
+	seed                                 int64
+}
+
+// skewResult summarises one skewload run for the comparison gate.
+type skewResult struct {
+	opsPerSec float64
+	imbBefore float64
+	imbAfter  float64
+	balanced  int64
+}
+
+// runSkewLoad is the batonsim skewload mode: the cluster is pre-loaded with
+// Zipf(theta)-distributed items (so a few peers own nearly all the data, the
+// configuration the paper's Section V exists for), the closed-loop workload
+// drives Zipf-distributed traffic at it, and — with -autobalance — the
+// background balancer sheds the skew while the workload runs. The run ends
+// with the usual structural and replication audits plus the max/average
+// load-imbalance ratio before and after. With -compare the mode runs the
+// balancer-off and balancer-on scenarios back to back on identical clusters
+// and exits non-zero unless the balancer cut the final imbalance ratio —
+// the CI smoke gate for the adaptive load-management layer.
+func runSkewLoad(o skewloadOptions) {
+	if o.compare {
+		fmt.Printf("=== balancer OFF ===\n")
+		off := skewRun(o, false)
+		fmt.Printf("\n=== balancer ON ===\n")
+		on := skewRun(o, true)
+		fmt.Printf("\nimbalance ratio: %.2f (off) vs %.2f (on)  |  ops/sec: %.0f (off) vs %.0f (on)  |  balance actions: %d\n",
+			off.imbAfter, on.imbAfter, off.opsPerSec, on.opsPerSec, on.balanced)
+		if on.imbAfter >= off.imbAfter {
+			fatal(fmt.Errorf("skewload gate FAILED: auto-balance imbalance %.2f not below balancer-off %.2f", on.imbAfter, off.imbAfter))
+		}
+		fmt.Println("skewload gate passed: the auto-balancer cut the imbalance ratio")
+		return
+	}
+	skewRun(o, o.autobalance)
+}
+
+// skewRun executes one skewload scenario on a fresh cluster and returns its
+// summary.
+func skewRun(o skewloadOptions, autobalance bool) skewResult {
+	fmt.Printf("building live cluster: %d peers, %d Zipf(%.2f) items ...\n", o.peers, o.items, o.theta)
+	cluster, keys, err := driver.BuildClusterDist(o.peers, o.items, o.seed, workload.Zipf, o.theta)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+
+	var res skewResult
+	if res.imbBefore, err = cluster.ImbalanceRatio(); err != nil {
+		fatal(err)
+	}
+	rep := driver.Run(cluster, driver.Config{
+		Clients:          o.clients,
+		Ops:              o.ops,
+		GetFraction:      o.getFrac,
+		PutFraction:      o.putFrac,
+		DeleteFraction:   o.delFrac,
+		RangeFraction:    o.rangeFrac,
+		RangeSelectivity: o.selectivity,
+		Route:            o.route,
+		Keys:             keys,
+		Distribution:     workload.Zipf,
+		ZipfTheta:        o.theta,
+		AutoBalance:      autobalance,
+		Seed:             o.seed,
+	})
+	if autobalance {
+		// Quiesce the balancer before auditing: a short run can end between
+		// ticker fires.
+		if _, err := cluster.BalanceUntilStable(p2p.AutoBalanceConfig{}, 8*o.peers); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("skewload run (zipf theta %.2f, autobalance %v, route %s)\n", o.theta, autobalance, o.route)
+	fmt.Print(rep.String())
+
+	// Audit the quiesced cluster: structure, then replication.
+	snaps, err := cluster.Snapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.VerifySnapshot(cluster.Domain(), snaps); err != nil {
+		fatal(fmt.Errorf("post-skewload structural invariants FAILED: %w", err))
+	}
+	if err := cluster.SyncReplicas(); err != nil {
+		fatal(err)
+	}
+	replicas, err := cluster.Replicas()
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.VerifyReplication(snaps, replicas); err != nil {
+		fatal(fmt.Errorf("post-skewload replication invariants FAILED: %w", err))
+	}
+	if res.imbAfter, err = cluster.ImbalanceRatio(); err != nil {
+		fatal(err)
+	}
+	res.opsPerSec = rep.OpsPerSec
+	res.balanced = cluster.BalanceEvents()
+	fmt.Printf("imbalance ratio (max/avg stored items): %.2f -> %.2f  (balance actions: %d)\n",
+		res.imbBefore, res.imbAfter, res.balanced)
+	fmt.Printf("post-quiesce audit: %d peers, structural + replication invariants OK\n", len(snaps))
+	return res
+}

@@ -239,6 +239,117 @@ func (nw *Network) ShiftBoundary(id PeerID, side Side, at keyspace.Key) (stats.O
 	return cost, nil
 }
 
+// ForcedRejoin moves the lightly loaded peer light out of its current
+// position and re-inserts it as a child of the (overloaded) peer hot, with
+// the boundary between hot and light placed at the given key. It is the
+// second load-balancing scheme of Section V — vacate, restructure
+// (Section III-E) and forced re-join — exposed as a primitive for the live
+// cluster in package p2p, which measures the loads, picks light, hot and the
+// boundary itself, and uses the network only as the structural authority:
+//
+//  1. light's range (and, when the network carries data, its items) is
+//     absorbed by its adjacent heir — the right adjacent peer, or the left
+//     one for the rightmost peer — keeping the range tiling gap-free.
+//  2. light vacates its tree position; occupants shift along the in-order
+//     chain (forcedRemoveAt) if the removal would unbalance the tree.
+//  3. light re-joins as a child of hot: it takes the part of hot's range on
+//     the free child side of the boundary, and occupants shift again
+//     (forcedInsertAt) if the forced join lands on an occupied slot.
+//
+// The boundary must lie strictly inside hot's range so neither side ends up
+// empty. Validation happens before any mutation, so a failed ForcedRejoin
+// leaves the network untouched and the caller can retry with different
+// peers. light may not be the root, must have an adjacent heir, and that
+// heir may not be hot itself (adjacent peers balance with ShiftBoundary —
+// the cheap shuffle — not a forced rejoin).
+func (nw *Network) ForcedRejoin(lightID, hotID PeerID, boundary keyspace.Key) (stats.OpCost, error) {
+	light, err := nw.node(lightID)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	hot, err := nw.node(hotID)
+	if err != nil {
+		return stats.OpCost{}, err
+	}
+	if lightID == hotID {
+		return stats.OpCost{}, fmt.Errorf("baton: peer %d cannot rejoin under itself", lightID)
+	}
+	if light.pos.IsRoot() {
+		return stats.OpCost{}, fmt.Errorf("baton: the root peer %d cannot be recruited for a forced rejoin", lightID)
+	}
+	heir := light.rightAdj
+	if heir == nil {
+		heir = light.leftAdj
+	}
+	if heir == nil {
+		return stats.OpCost{}, fmt.Errorf("baton: peer %d has no adjacent peer to absorb its range", lightID)
+	}
+	if heir == hot {
+		return stats.OpCost{}, fmt.Errorf("baton: peers %d and %d are adjacent; balance with ShiftBoundary instead", lightID, hotID)
+	}
+	if boundary <= hot.nodeRange.Lower || boundary >= hot.nodeRange.Upper {
+		return stats.OpCost{}, fmt.Errorf("baton: boundary %d outside peer %d's range %v", boundary, hotID, hot.nodeRange)
+	}
+
+	nw.beginOp(stats.OpLoadBalance)
+	nw.send(light, stats.MsgLoadBalance, catOther)
+	nodesInvolved := nw.vacateAndRejoin(light, hot, heir, func(side Side) (keyspace.Range, keyspace.Range) {
+		// The free child side decides which part of hot's range light takes,
+		// preserving the in-order ordering of ranges.
+		if side == Left {
+			return keyspace.NewRange(hot.nodeRange.Lower, boundary), keyspace.NewRange(boundary, hot.nodeRange.Upper)
+		}
+		return keyspace.NewRange(boundary, hot.nodeRange.Upper), keyspace.NewRange(hot.nodeRange.Lower, boundary)
+	})
+	cost := nw.endOp()
+	cost.NodesInvolved = nodesInvolved
+	nw.lbEvents++
+	nw.lbMessages += int64(cost.Messages)
+	nw.lbShiftSizes.Add(cost.NodesInvolved)
+	return cost, nil
+}
+
+// vacateAndRejoin is the shared body of the forced depart-and-rejoin
+// (rejoinUnderOverloaded and ForcedRejoin): the heir absorbs light's range
+// and items, light vacates its position — occupants shift into the gap if
+// the removal would unbalance the tree — and re-joins as a child of hot on
+// hot's free child side, taking the light-side range that split returns for
+// that side (with both slots occupied the forced insert restructures
+// again). It returns the number of peers that changed position or
+// exchanged data.
+func (nw *Network) vacateAndRejoin(light, hot, heir *Node, split func(side Side) (lightRange, hotRange keyspace.Range)) int {
+	// 1. The heir absorbs light's range and items.
+	merged, err := heir.nodeRange.Union(light.nodeRange)
+	if err != nil {
+		// The heir is adjacent to light, so the union is always contiguous;
+		// failure indicates corruption.
+		panic("core: adjacent ranges not contiguous during forced rejoin")
+	}
+	heir.nodeRange = merged
+	heir.data.Absorb(light.data.ExtractAll())
+	nw.send(heir, stats.MsgTransferData, catData)
+	nw.notifyRangeChange(heir)
+
+	// 2. light vacates its position.
+	vacated := light.pos
+	delete(nw.positions, vacated)
+	movedOut := nw.forcedRemoveAt(vacated)
+
+	// 3. light re-joins as a child of hot with the caller's range split.
+	side, _ := hot.freeChildSide()
+	light.nodeRange, hot.nodeRange = split(side)
+	light.data.Absorb(hot.data.ExtractRange(light.nodeRange))
+	nw.send(light, stats.MsgTransferData, catData)
+
+	movedIn := nw.forcedInsertAt(hot, light, side)
+	nw.notifyRangeChange(hot)
+	nw.notifyRangeChange(light)
+
+	// Peers involved: light, the heir, hot, and every peer displaced by the
+	// two restructurings.
+	return 3 + movedOut + (movedIn - 1)
+}
+
 // notifyRangeChange counts the messages needed to refresh the cached range
 // held by every peer that links to n (parent, children, adjacent peers and
 // routing-table neighbours).
@@ -295,8 +406,8 @@ func (nw *Network) findLightLeaf(x *Node) *Node {
 func (nw *Network) rejoinUnderOverloaded(x, light *Node) int {
 	nw.send(light, stats.MsgLoadBalance, catOther)
 
-	// 1. The light peer passes its range and items to an adjacent peer
-	//    (preferring the right adjacent, as in the paper's example).
+	// The light peer passes its range and items to an adjacent peer
+	// (preferring the right adjacent, as in the paper's example).
 	heir := light.rightAdj
 	if heir == nil || !heir.alive {
 		heir = light.leftAdj
@@ -304,55 +415,19 @@ func (nw *Network) rejoinUnderOverloaded(x, light *Node) int {
 	if heir == nil {
 		return 0 // cannot vacate: no peer can absorb the range
 	}
-	merged, err := heir.nodeRange.Union(light.nodeRange)
-	if err != nil {
-		// The adjacent peer's range is always contiguous with the light
-		// peer's range; failure indicates corruption.
-		panic("core: adjacent ranges not contiguous during load balancing")
-	}
-	heir.nodeRange = merged
-	heir.data.Absorb(light.data.ExtractAll())
-	nw.send(heir, stats.MsgTransferData, catData)
-	nw.notifyRangeChange(heir)
-
-	// 2. The light peer vacates its position; occupants shift into the gap
-	//    if its removal would unbalance the tree.
-	vacated := light.pos
-	delete(nw.positions, vacated)
-	movedOut := nw.forcedRemoveAt(vacated)
-
-	// 3. The light peer re-joins as a child of the overloaded peer, taking
-	//    half of its range and items.
-	// The overloaded peer is a leaf (this scheme is only used for leaves),
-	// but restructuring in step 2 may have given it a child; the forced
-	// insert below handles an occupied child slot by restructuring again.
-	side, _ := x.freeChildSide()
-	lower, upper, splitErr := x.nodeRange.SplitHalf()
-	if splitErr == nil {
-		if side == Left {
-			light.nodeRange = lower
-			x.nodeRange = upper
-		} else {
-			light.nodeRange = upper
-			x.nodeRange = lower
+	return nw.vacateAndRejoin(light, x, heir, func(side Side) (keyspace.Range, keyspace.Range) {
+		lower, upper, err := x.nodeRange.SplitHalf()
+		if err != nil {
+			// Overloaded peer's range is a single key: give the light peer
+			// an empty slice at the boundary.
+			if side == Left {
+				return keyspace.NewRange(x.nodeRange.Lower, x.nodeRange.Lower), x.nodeRange
+			}
+			return keyspace.NewRange(x.nodeRange.Upper, x.nodeRange.Upper), x.nodeRange
 		}
-	} else {
-		// Overloaded peer's range is a single key: give the light peer an
-		// empty slice at the boundary.
 		if side == Left {
-			light.nodeRange = keyspace.NewRange(x.nodeRange.Lower, x.nodeRange.Lower)
-		} else {
-			light.nodeRange = keyspace.NewRange(x.nodeRange.Upper, x.nodeRange.Upper)
+			return lower, upper
 		}
-	}
-	light.data.Absorb(x.data.ExtractRange(light.nodeRange))
-	nw.send(light, stats.MsgTransferData, catData)
-
-	movedIn := nw.forcedInsertAt(x, light, side)
-	nw.notifyRangeChange(x)
-	nw.notifyRangeChange(light)
-
-	// Peers involved: the overloaded peer, the light peer, the heir, and
-	// every peer displaced by the two restructurings.
-	return 3 + movedOut + (movedIn - 1)
+		return upper, lower
+	})
 }

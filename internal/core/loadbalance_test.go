@@ -153,6 +153,143 @@ func TestLoadBalanceShiftHistogram(t *testing.T) {
 	}
 }
 
+// buildPlainNetwork grows an unbalanced-load network of the given size with
+// no automatic load balancing, so tests can skew it deliberately.
+func buildPlainNetwork(t *testing.T, peers int, seed int64) *Network {
+	t.Helper()
+	nw := NewNetwork(Config{Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	for nw.Size() < peers {
+		ids := nw.PeerIDs()
+		if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nw
+}
+
+// forcedRejoinPair picks an overloaded target and a light leaf that is not
+// adjacent to it (and not the root), the configuration ForcedRejoin accepts.
+func forcedRejoinPair(t *testing.T, nw *Network) (light, hot *Node) {
+	t.Helper()
+	for _, n := range nw.inOrderNodes() {
+		if !n.IsLeaf() || n.pos.IsRoot() {
+			continue
+		}
+		heir := n.rightAdj
+		if heir == nil {
+			heir = n.leftAdj
+		}
+		for _, h := range nw.inOrderNodes() {
+			if h == n || h == heir || h == n.leftAdj || h == n.rightAdj || h.nodeRange.Size() < 4 {
+				continue
+			}
+			return n, h
+		}
+	}
+	t.Fatal("no viable (light, hot) pair in the network")
+	return nil, nil
+}
+
+// TestForcedRejoin: the light peer's range merges into its heir, the light
+// peer re-appears as a neighbour of the hot peer holding the hot peer's
+// items on its side of the boundary, every invariant still holds and no
+// item is lost.
+func TestForcedRejoin(t *testing.T) {
+	nw := buildPlainNetwork(t, 40, 11)
+	light, hot := forcedRejoinPair(t, nw)
+
+	// Load the hot peer with items spread over its range, and give the light
+	// peer a couple of its own so the heir handoff is visible.
+	hotRange := hot.nodeRange
+	var keys []keyspace.Key
+	for i := int64(0); i < 100; i++ {
+		k := hotRange.Lower + keyspace.Key(i*(hotRange.Size()/100))
+		if !hotRange.Contains(k) {
+			continue
+		}
+		keys = append(keys, k)
+		hot.data.Put(k, nil)
+	}
+	lightKey := light.nodeRange.Lower
+	light.data.Put(lightKey, nil)
+	total := nw.TotalItems()
+
+	boundary, ok := hot.data.KeyAtFraction(0.5)
+	if !ok || boundary <= hotRange.Lower || boundary >= hotRange.Upper {
+		t.Fatalf("no interior median for hot range %v", hotRange)
+	}
+	cost, err := nw.ForcedRejoin(light.id, hot.id, boundary)
+	if err != nil {
+		t.Fatalf("forced rejoin: %v", err)
+	}
+	if cost.NodesInvolved < 3 {
+		t.Fatalf("forced rejoin involved %d peers, want >= 3 (light, heir, hot)", cost.NodesInvolved)
+	}
+	if err := nw.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after forced rejoin: %v", err)
+	}
+	if got := nw.TotalItems(); got != total {
+		t.Fatalf("forced rejoin lost data: %d items, want %d", got, total)
+	}
+	// The pair now shares the hot peer's old range, split at the boundary.
+	union, err := hot.nodeRange.Union(light.nodeRange)
+	if err != nil || union != hotRange {
+		t.Fatalf("light %v + hot %v do not retile the old hot range %v", light.nodeRange, hot.nodeRange, hotRange)
+	}
+	if hot.nodeRange.Contains(boundary) == light.nodeRange.Contains(boundary) {
+		t.Fatal("boundary must belong to exactly one side of the split")
+	}
+	// About half the hot load changed hands, and every key is still found.
+	if light.data.Len() < len(keys)/4 || hot.data.Len() < len(keys)/4 {
+		t.Fatalf("split too lopsided: light holds %d, hot holds %d of %d", light.data.Len(), hot.data.Len(), len(keys))
+	}
+	for _, k := range append(keys, lightKey) {
+		if _, found, _, err := nw.SearchExact(nw.RandomPeer(), k); err != nil || !found {
+			t.Fatalf("key %d unreachable after forced rejoin: found=%v err=%v", k, found, err)
+		}
+	}
+	if nw.LoadBalanceStats().Events == 0 {
+		t.Fatal("forced rejoin must count as a load-balance event")
+	}
+}
+
+// TestForcedRejoinRejections: every invalid configuration is rejected before
+// any mutation, leaving the network untouched.
+func TestForcedRejoinRejections(t *testing.T) {
+	nw := buildPlainNetwork(t, 24, 13)
+	light, hot := forcedRejoinPair(t, nw)
+	boundary := hot.nodeRange.Lower + keyspace.Key(hot.nodeRange.Size()/2)
+	cases := []struct {
+		name       string
+		light, hot PeerID
+		boundary   keyspace.Key
+	}{
+		{"unknown light", PeerID(99_999), hot.id, boundary},
+		{"unknown hot", light.id, PeerID(99_999), boundary},
+		{"self", hot.id, hot.id, boundary},
+		{"root recruited", nw.root.id, hot.id, boundary},
+		{"boundary at lower edge", light.id, hot.id, hot.nodeRange.Lower},
+		{"boundary above range", light.id, hot.id, hot.nodeRange.Upper},
+	}
+	// An adjacent pair must be redirected to ShiftBoundary.
+	if adj := light.rightAdj; adj != nil && adj.nodeRange.Size() >= 2 {
+		cases = append(cases, struct {
+			name       string
+			light, hot PeerID
+			boundary   keyspace.Key
+		}{"adjacent heir", light.id, adj.id, adj.nodeRange.Lower + keyspace.Key(adj.nodeRange.Size()/2)})
+	}
+	for _, tc := range cases {
+		if _, err := nw.ForcedRejoin(tc.light, tc.hot, tc.boundary); err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
+		}
+		if err := nw.CheckInvariants(); err != nil {
+			t.Fatalf("%s: failed rejoin mutated the network: %v", tc.name, err)
+		}
+	}
+}
+
 func TestTriggerLoadBalanceManually(t *testing.T) {
 	nw := NewNetwork(Config{Seed: 9, LoadBalance: LoadBalanceConfig{OverloadThreshold: 50}})
 	rng := rand.New(rand.NewSource(9))

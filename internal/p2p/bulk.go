@@ -218,5 +218,6 @@ func (c *Cluster) handleBulk(p *peer, req request) {
 			results[i] = BulkResult{Key: it.Key, Found: ok}
 		}
 	}
+	p.noteItems()
 	req.reply <- response{results: results, hops: req.hops}
 }

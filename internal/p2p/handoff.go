@@ -280,6 +280,51 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 			c.send(h, request{kind: kindReplicaDrop, src: id})
 		}
 	}
+	// A dead member cannot re-ship its replica. If this operation moved its
+	// adjacent links (a shuffle, rejoin or restructuring next to the crash,
+	// or the departure of its holder), the surviving copy of its items is
+	// still at the old holder while a later Recover will look for it at the
+	// new one — so the coordinator moves the set itself: fetch from the old
+	// holder (a holder departing in this very operation answers from its
+	// tombstone, which retains its replica sets), install at the new
+	// holder, then drop the stale copy. Synchronous like the resyncs. The
+	// migration only runs when the fetch succeeds: when the old holder is
+	// dead too the data is already gone (the double-crash case), and
+	// installing an empty set while dropping the original would turn a
+	// retrievable copy into a lost one. The drop is only sent to a holder
+	// that is still a member — a tombstone would forward it, and the
+	// forwarding target can be the new holder itself, which must not
+	// discard the set just installed; tombstone-held sets die at the reap.
+	for _, ns := range nextList {
+		ps, existed := prev[ns.ID]
+		if !existed || c.Alive(ns.ID) {
+			continue
+		}
+		oldHolder, newHolder := core.ReplicaHolderOf(ps), core.ReplicaHolderOf(ns)
+		if oldHolder == newHolder || newHolder == core.NoPeer || !c.Alive(newHolder) {
+			continue
+		}
+		var moved []store.Item
+		fetched := false
+		if oldHolder != core.NoPeer && c.Alive(oldHolder) {
+			if resp, err := c.control(oldHolder, request{kind: kindReplicaFetch, src: ns.ID}); err == nil {
+				moved, fetched = resp.items, true
+			}
+		}
+		if !fetched {
+			continue
+		}
+		ch := make(chan response, 1)
+		if !c.send(newHolder, request{kind: kindReplicaSync, src: ns.ID, bulk: moved, reply: ch}) {
+			continue
+		}
+		if err := c.waitAcks([]chan response{ch}); err != nil {
+			return migrated, err
+		}
+		if _, stillMember := next[oldHolder]; stillMember {
+			c.send(oldHolder, request{kind: kindReplicaDrop, src: ns.ID})
+		}
+	}
 	if len(resync) > 0 {
 		if err := c.resyncReplicas(resync); err != nil {
 			return migrated, err
@@ -489,9 +534,12 @@ func (c *Cluster) applyUpdate(p *peer, req request) {
 		p.installState(req.state)
 	}
 	p.pending = append(p.pending, req.gains...)
-	for _, mv := range req.moves {
-		items := p.data.ExtractRange(mv.region)
-		c.sendAny(mv.dst, request{kind: kindHandoff, rng: mv.region, bulk: items, reply: mv.ack})
+	if len(req.moves) > 0 {
+		for _, mv := range req.moves {
+			items := p.data.ExtractRange(mv.region)
+			c.sendAny(mv.dst, request{kind: kindHandoff, rng: mv.region, bulk: items, reply: mv.ack})
+		}
+		p.noteItems()
 	}
 	if req.departTo != core.NoPeer {
 		p.departed = true
@@ -522,6 +570,7 @@ func (c *Cluster) applyHandoff(p *peer, req request) {
 		return
 	}
 	p.data.Absorb(req.bulk)
+	p.noteItems()
 	// The absorbed items are new local writes as far as replication is
 	// concerned: ship the delta to the holder (the synchronous phase-6
 	// resync of the coordinating operation makes it exact afterwards).

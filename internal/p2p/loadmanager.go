@@ -1,0 +1,505 @@
+// Adaptive load management for the live cluster: cheap per-peer load
+// metering and the opt-in background balancer of Section V.
+//
+// Metering is two numbers per peer. The stored-item count is the paper's
+// load measure and what every balancing decision uses; the request-rate
+// EWMA (data messages handled per second, exponentially smoothed across
+// Loads calls) is the traffic-side signal, fed by a single atomic increment
+// on the peer's message loop. Loads snapshots both without taking the
+// membership lock, and ImbalanceRatio condenses a snapshot into the
+// max/average stored-load ratio — 1.0 is perfectly balanced; the paper's
+// skew experiments are about keeping this bounded where Chord's grows.
+//
+// The balancer (StartAutoBalance / BalanceOnce) applies the paper's two
+// schemes. When the most loaded peer exceeds θ times its lighter adjacent
+// peer — the Section V trigger — and that neighbour has room (at or below
+// the cluster average), the adjacent-peer shuffle moves about half the
+// imbalance across the boundary (LoadBalance's machinery). When both
+// neighbours are themselves loaded, shuffling would only push the bulge
+// around, so the balancer recruits the globally lightest leaf instead: a
+// forced depart-and-rejoin (ForceRejoin) in which the light peer hands its
+// range to its adjacent heir, vacates its position — restructuring the tree
+// along the in-order chain if the removal unbalances it (Section III-E,
+// core.ForcedRejoin on the mirror) — and re-joins as a child of the hot
+// peer, taking the half of its items above or below the median key. Both
+// actions run through the same prepare→extract→handoff→link-update message
+// phases as Join and Depart, so traffic keeps flowing, mid-handoff keys are
+// buffered, and no acknowledged write is lost.
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"baton/internal/core"
+)
+
+// PeerLoad is one peer's slice of a Loads snapshot.
+type PeerLoad struct {
+	// ID is the peer.
+	ID core.PeerID
+	// Items is the peer's stored-item count — the paper's load measure.
+	Items int
+	// Requests is the cumulative number of data requests (singleton, range,
+	// scatter and bulk messages) the peer has handled.
+	Requests int64
+	// Rate is the exponentially weighted moving average of the peer's
+	// request rate in requests/second, smoothed across Loads calls. It is
+	// zero until a second call gives the meter a time base.
+	Rate float64
+}
+
+// loadRateAlpha weights the newest rate sample in the EWMA.
+const loadRateAlpha = 0.5
+
+// Loads returns a load snapshot of every alive member peer, in ascending
+// peer-ID order. It is message-free and never takes the membership lock —
+// item counts and request counters are atomics the peers publish
+// (noteItems), so metering can run on a tight cadence without queueing
+// behind data traffic or structural operations. A concurrent membership
+// change can make the snapshot catch a migration in flight; callers that
+// need a decision-grade view serialise via BalanceOnce.
+func (c *Cluster) Loads() ([]PeerLoad, error) {
+	if c.stopped.Load() {
+		return nil, ErrStopped
+	}
+	t := c.topo.Load()
+	now := time.Now()
+	out := make([]PeerLoad, 0, len(t.ids))
+	for _, id := range t.ids {
+		p := t.peers[id]
+		if p == nil || !p.alive.Load() {
+			continue
+		}
+		out = append(out, PeerLoad{ID: id, Items: int(p.items.Load()), Requests: p.reqs.Load()})
+	}
+	// Fold the cumulative counters into per-peer rate EWMAs. The state is
+	// keyed by peer and survives between calls; entries for departed peers
+	// are dropped so a long-lived churning cluster does not leak them.
+	c.loadMu.Lock()
+	dt := now.Sub(c.loadLastAt).Seconds()
+	if c.loadLastReqs == nil {
+		c.loadLastReqs = make(map[core.PeerID]int64)
+		c.loadRates = make(map[core.PeerID]float64)
+	}
+	seen := make(map[core.PeerID]bool, len(out))
+	for i := range out {
+		id := out[i].ID
+		seen[id] = true
+		last, known := c.loadLastReqs[id]
+		if known && !c.loadLastAt.IsZero() && dt > 0 {
+			inst := float64(out[i].Requests-last) / dt
+			c.loadRates[id] = loadRateAlpha*inst + (1-loadRateAlpha)*c.loadRates[id]
+		}
+		c.loadLastReqs[id] = out[i].Requests
+		out[i].Rate = c.loadRates[id]
+	}
+	for id := range c.loadLastReqs {
+		if !seen[id] {
+			delete(c.loadLastReqs, id)
+			delete(c.loadRates, id)
+		}
+	}
+	c.loadLastAt = now
+	c.loadMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// ImbalanceRatio condenses a load snapshot into the max/average stored-item
+// ratio: 1.0 means perfectly balanced, N means the hottest peer carries N
+// times its fair share. An empty or item-less snapshot reports 1.0.
+func ImbalanceRatio(loads []PeerLoad) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	total, maxItems := 0, 0
+	for _, l := range loads {
+		total += l.Items
+		if l.Items > maxItems {
+			maxItems = l.Items
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(maxItems) / (float64(total) / float64(len(loads)))
+}
+
+// ImbalanceRatio reports the cluster's current max/average stored-load
+// ratio over the alive peers.
+func (c *Cluster) ImbalanceRatio() (float64, error) {
+	loads, err := c.Loads()
+	if err != nil {
+		return 0, err
+	}
+	return ImbalanceRatio(loads), nil
+}
+
+// BalanceEvents returns how many balancing actions (adjacent shuffles and
+// forced rejoins) the cluster has completed, manual calls included.
+func (c *Cluster) BalanceEvents() int64 { return c.balanceEvents.Load() }
+
+// AutoBalanceConfig tunes the background balancer. The zero value picks the
+// defaults noted per field.
+type AutoBalanceConfig struct {
+	// Theta is the Section V trigger: a peer is considered overloaded when
+	// its stored-item count exceeds Theta times its lighter alive adjacent
+	// peer's. Values <= 1 default to 2.
+	Theta float64
+	// Interval is the cadence of the background balancer's checks. Values
+	// <= 0 default to 50ms.
+	Interval time.Duration
+	// MinItems is the load floor: peers holding fewer items are never
+	// considered overloaded, whatever the ratio — rebalancing a handful of
+	// items is churn for nothing. Values <= 0 default to 16.
+	MinItems int
+}
+
+func (cfg AutoBalanceConfig) withDefaults() AutoBalanceConfig {
+	if cfg.Theta <= 1 {
+		cfg.Theta = 2
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.MinItems <= 0 {
+		cfg.MinItems = 16
+	}
+	return cfg
+}
+
+// BalanceAction reports what a BalanceOnce pass did.
+type BalanceAction int
+
+const (
+	// BalanceNone: no peer exceeded the trigger, or no profitable action
+	// existed.
+	BalanceNone BalanceAction = iota
+	// BalanceShuffle: the hot peer ran the adjacent-peer shuffle.
+	BalanceShuffle
+	// BalanceRejoin: a light peer was recruited for a forced
+	// depart-and-rejoin next to the hot peer.
+	BalanceRejoin
+)
+
+// String names the action for logs and reports.
+func (a BalanceAction) String() string {
+	switch a {
+	case BalanceShuffle:
+		return "shuffle"
+	case BalanceRejoin:
+		return "rejoin"
+	default:
+		return "none"
+	}
+}
+
+// BalanceOnce runs one pass of the balancing policy: measure every alive
+// peer, find the most loaded one, and — if it exceeds cfg.Theta times its
+// lighter alive adjacent peer and holds at least cfg.MinItems — balance it,
+// with the adjacent shuffle when the lighter neighbour has room (at or
+// below the cluster average) and a forced rejoin of the globally lightest
+// viable leaf when both neighbours are themselves loaded. It returns the
+// action taken and the number of items that moved. BalanceOnce is one
+// structural operation: it serialises with Join/Depart/Kill/Recover on the
+// membership lock while data traffic keeps flowing.
+func (c *Cluster) BalanceOnce(cfg AutoBalanceConfig) (BalanceAction, int, error) {
+	cfg = cfg.withDefaults()
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return BalanceNone, 0, ErrStopped
+	}
+
+	// Measure under the lock so the decision and the action see the same
+	// composition. One retry per probe (peerCountRetry); a peer that still
+	// errs is skipped for this pass, the next tick re-measures.
+	counts := make(map[core.PeerID]int, len(c.states))
+	total, alive := 0, 0
+	hot := core.NoPeer
+	for _, id := range c.topo.Load().ids {
+		if !c.Alive(id) {
+			continue
+		}
+		n, err := c.peerCountRetry(id)
+		if err != nil {
+			continue
+		}
+		counts[id] = n
+		total += n
+		alive++
+		if hot == core.NoPeer || n > counts[hot] || (n == counts[hot] && id < hot) {
+			hot = id
+		}
+	}
+	if hot == core.NoPeer || alive < 2 || counts[hot] < cfg.MinItems {
+		return BalanceNone, 0, nil
+	}
+	avg := float64(total) / float64(alive)
+
+	// The Section V trigger: compare against the lighter alive adjacent.
+	ps := c.states[hot]
+	lighter := -1
+	for _, aid := range []core.PeerID{ps.LeftAdjacent, ps.RightAdjacent} {
+		if aid == core.NoPeer || !c.Alive(aid) {
+			continue
+		}
+		if n, ok := counts[aid]; ok && (lighter < 0 || n < lighter) {
+			lighter = n
+		}
+	}
+	if lighter < 0 {
+		return BalanceNone, 0, nil // both neighbours dead: recovery's job first
+	}
+	// Two triggers: the paper's local one (θ times the lighter adjacent
+	// peer), and a global one (θ times the cluster average) for the plateau
+	// case — a block of equally hot peers never trips the local ratio even
+	// when each carries many times its fair share, and only a rejoin that
+	// recruits from outside the plateau can spread it.
+	overAdjacent := float64(counts[hot]) > cfg.Theta*math.Max(float64(lighter), 1)
+	overAverage := float64(counts[hot]) > cfg.Theta*math.Max(avg, 1)
+	if !overAdjacent && !overAverage {
+		return BalanceNone, 0, nil
+	}
+
+	// Scheme 1 — adjacent shuffle — when the lighter neighbour has room:
+	// pushing half the imbalance at a peer already above the average only
+	// moves the bulge one slot over.
+	if overAdjacent && float64(lighter) <= avg {
+		moved, err := c.loadBalanceLocked(hot)
+		if err != nil {
+			return BalanceNone, 0, err
+		}
+		if moved == 0 {
+			return BalanceNone, 0, nil
+		}
+		c.balanceEvents.Add(1)
+		return BalanceShuffle, moved, nil
+	}
+
+	// Scheme 2 — forced rejoin — both neighbours loaded: recruit the
+	// globally lightest viable leaf, provided it is genuinely light (under
+	// half the hot load, so the rejoin strictly improves the spread).
+	light := c.lightestRecruit(hot, counts)
+	if light == core.NoPeer || 2*counts[light] >= counts[hot] {
+		// No viable recruit: fall back to the shuffle even though the
+		// neighbours are moderately loaded, like the simulator does.
+		moved, err := c.loadBalanceLocked(hot)
+		if err != nil || moved == 0 {
+			return BalanceNone, 0, err
+		}
+		c.balanceEvents.Add(1)
+		return BalanceShuffle, moved, nil
+	}
+	moved, err := c.forceRejoinLocked(light, hot)
+	if err != nil {
+		return BalanceNone, 0, err
+	}
+	c.balanceEvents.Add(1)
+	return BalanceRejoin, moved, nil
+}
+
+// lightestRecruit returns the alive leaf with the fewest stored items that
+// ForceRejoin can legally recruit for the hot peer: not the hot peer, not
+// the root, and with an alive adjacent heir that is not the hot peer itself
+// (adjacent pairs balance with the shuffle). NoPeer when none qualifies.
+func (c *Cluster) lightestRecruit(hot core.PeerID, counts map[core.PeerID]int) core.PeerID {
+	best := core.NoPeer
+	for id, ps := range c.states {
+		n, measured := counts[id]
+		if !measured || id == hot || !c.Alive(id) {
+			continue
+		}
+		if ps.LeftChild != core.NoPeer || ps.RightChild != core.NoPeer || ps.Position.IsRoot() {
+			continue
+		}
+		heir := ps.RightAdjacent
+		if heir == core.NoPeer {
+			heir = ps.LeftAdjacent
+		}
+		if heir == core.NoPeer || heir == hot || !c.Alive(heir) {
+			continue
+		}
+		if best == core.NoPeer || n < counts[best] || (n == counts[best] && id < best) {
+			best = id
+		}
+	}
+	return best
+}
+
+// ForceRejoin recruits the lightly loaded peer light for the overloaded
+// peer hot: light hands its range and items to its adjacent heir, vacates
+// its tree position (restructuring along the in-order chain if the removal
+// would unbalance the tree — Section III-E, computed on the mirror), and
+// re-joins as a child of hot, taking the half of hot's items on one side of
+// hot's median key. The change is pushed out through the same message
+// phases as Depart and Join — gaining peers buffer before sources shrink,
+// handoffs are batched and acknowledged — so traffic keeps flowing and no
+// acknowledged write is lost. It returns the number of items that migrated
+// (light's handoff to its heir plus hot's handoff to light).
+func (c *Cluster) ForceRejoin(light, hot core.PeerID) (int, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	if c.stopped.Load() {
+		return 0, ErrStopped
+	}
+	return c.forceRejoinLocked(light, hot)
+}
+
+// forceRejoinLocked is the body of ForceRejoin; the caller holds memberMu.
+func (c *Cluster) forceRejoinLocked(light, hot core.PeerID) (int, error) {
+	t := c.topo.Load()
+	for _, id := range []core.PeerID{light, hot} {
+		if !t.members[id] {
+			return 0, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
+		}
+		if !t.peers[id].alive.Load() {
+			return 0, fmt.Errorf("%w: %d", ErrOwnerDown, id)
+		}
+	}
+	// The heir that will absorb light's range must be alive to receive the
+	// handoff; it is the same adjacent peer the mirror's ForcedRejoin picks.
+	ls := c.states[light]
+	heir := ls.RightAdjacent
+	if heir == core.NoPeer {
+		heir = ls.LeftAdjacent
+	}
+	if heir == core.NoPeer {
+		return 0, fmt.Errorf("p2p: peer %d has no adjacent peer to absorb its range: %w", light, ErrUnreachable)
+	}
+	if heir == hot {
+		return 0, fmt.Errorf("p2p: peers %d and %d are adjacent; use LoadBalance's shuffle instead", light, hot)
+	}
+	if !c.Alive(heir) {
+		return 0, fmt.Errorf("%w: heir %d of peer %d", ErrOwnerDown, heir, light)
+	}
+	// The boundary: hot's median item, so the recruit takes half the load.
+	boundary, ok, err := c.peerSplitKey(hot, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	hs := c.states[hot]
+	if !ok || !validShuffleBoundary(boundary, hs.Range) {
+		// Hot's items cluster at a range edge (or outside the domain): no
+		// interior key splits the load, so the rejoin cannot help.
+		return 0, fmt.Errorf("p2p: no key strictly inside peer %d's range %v splits its load", hot, hs.Range)
+	}
+	if _, err := c.mirror.ForcedRejoin(light, hot, boundary); err != nil {
+		return 0, err
+	}
+	return c.applyMirrorDiff(nil)
+}
+
+// BalanceUntilStable runs BalanceOnce passes until one takes no action, an
+// error occurs, or maxPasses have run, and returns the number of actions
+// performed along with the first error. It quiesces the balancer's
+// remaining work deterministically — a short workload can end between the
+// background ticker's fires — so audits and imbalance measurements see the
+// policy's converged result rather than a race against the timer.
+func (c *Cluster) BalanceUntilStable(cfg AutoBalanceConfig, maxPasses int) (int, error) {
+	actions := 0
+	for i := 0; i < maxPasses; i++ {
+		act, _, err := c.BalanceOnce(cfg)
+		if err != nil || act == BalanceNone {
+			return actions, err
+		}
+		actions++
+	}
+	return actions, nil
+}
+
+// balanceLikely is the background balancer's lock-free pre-check: it
+// measures through Loads (which never takes the membership lock) and
+// applies the same θ triggers BalanceOnce uses, reading adjacency off the
+// published ring — the ring is key-ordered and key order is the adjacency
+// chain. Only when a trigger plausibly fires does the background loop pay
+// for BalanceOnce's serialised re-measurement, so on a balanced cluster the
+// timer never blocks structural operations at all. A pre-check that races
+// a membership change and misses is harmless: the next tick re-measures.
+func (c *Cluster) balanceLikely(cfg AutoBalanceConfig) bool {
+	loads, err := c.Loads()
+	if err != nil || len(loads) < 2 {
+		return false
+	}
+	counts := make(map[core.PeerID]int, len(loads))
+	total := 0
+	hot, hotItems := core.NoPeer, -1
+	for _, l := range loads {
+		counts[l.ID] = l.Items
+		total += l.Items
+		if l.Items > hotItems {
+			hot, hotItems = l.ID, l.Items
+		}
+	}
+	if hotItems < cfg.MinItems {
+		return false
+	}
+	avg := float64(total) / float64(len(loads))
+	if float64(hotItems) > cfg.Theta*math.Max(avg, 1) {
+		return true
+	}
+	ring := c.topo.Load().ring
+	for i := range ring {
+		if ring[i].id != hot {
+			continue
+		}
+		lighter := -1
+		for _, j := range []int{i - 1, i + 1} {
+			if j < 0 || j >= len(ring) {
+				continue
+			}
+			if n, ok := counts[ring[j].id]; ok && (lighter < 0 || n < lighter) {
+				lighter = n
+			}
+		}
+		return lighter >= 0 && float64(hotItems) > cfg.Theta*math.Max(float64(lighter), 1)
+	}
+	return false
+}
+
+// StartAutoBalance starts the opt-in background balancer: a dedicated
+// goroutine checks the cluster on the configured cadence until the cluster
+// stops, shuffling or force-rejoining whenever the Section V trigger fires.
+// Each tick first runs a lock-free measurement (balanceLikely); only when a
+// trigger plausibly fires does it run BalanceOnce, which re-measures and
+// acts under the membership lock — so an idle, balanced cluster's ticks
+// never serialise against Join/Depart/Kill/Recover. Balancing errors are
+// dropped — a hot peer may have been killed between the measurement and
+// the action, and the next tick re-measures — except that the loop backs
+// off for an extra interval after an error so a persistently unbalanceable
+// cluster is not hammered. StartAutoBalance is idempotent: the first
+// configuration wins and later calls are no-ops; the balancer stops with
+// the cluster.
+func (c *Cluster) StartAutoBalance(cfg AutoBalanceConfig) {
+	if c.autoBalance.Swap(true) {
+		return
+	}
+	cfg = cfg.withDefaults()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-tick.C:
+				if !c.balanceLikely(cfg) {
+					continue
+				}
+				if _, _, err := c.BalanceOnce(cfg); err != nil && !errors.Is(err, ErrStopped) {
+					select {
+					case <-c.done:
+						return
+					case <-tick.C:
+					}
+				}
+			}
+		}
+	}()
+}

@@ -153,7 +153,9 @@ func (c *Cluster) Depart(id core.PeerID) error {
 // stored-item counts, and if the peer holds at least two more items than
 // its lighter neighbour, moves the boundary between them so that about half
 // the imbalance changes hands. It returns the number of items that moved
-// (zero when the loads were already balanced).
+// (zero when the loads were already balanced, or when no key strictly
+// inside the peer's range separates the two shares — the shuffle never
+// leaves either side of the boundary with an empty range).
 func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
@@ -167,12 +169,20 @@ func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 	if !t.peers[id].alive.Load() {
 		return 0, fmt.Errorf("%w: %d", ErrOwnerDown, id)
 	}
+	return c.loadBalanceLocked(id)
+}
+
+// loadBalanceLocked is the body of LoadBalance; the caller holds memberMu
+// and has validated that id is an alive member.
+func (c *Cluster) loadBalanceLocked(id core.PeerID) (int, error) {
 	ps := c.states[id]
-	cx, err := c.peerCount(id)
+	cx, err := c.peerCountRetry(id)
 	if err != nil {
 		return 0, err
 	}
-	// Pick the lighter alive adjacent peer.
+	// Pick the lighter alive adjacent peer. A neighbour whose count probe
+	// fails transiently is retried once (peerCountRetry) before it is
+	// excluded — silently skipping it would shuffle towards the wrong side.
 	bestSide, bestCount := core.Left, math.MaxInt
 	for _, cand := range []struct {
 		side core.Side
@@ -181,7 +191,7 @@ func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 		if cand.id == core.NoPeer || !c.Alive(cand.id) {
 			continue
 		}
-		ca, err := c.peerCount(cand.id)
+		ca, err := c.peerCountRetry(cand.id)
 		if err != nil {
 			continue
 		}
@@ -193,29 +203,48 @@ func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 		return 0, fmt.Errorf("p2p: peer %d has no alive adjacent peer to balance with: %w", id, ErrUnreachable)
 	}
 	shift := (cx - bestCount) / 2
-	if shift < 1 || cx == 0 {
+	if shift < 1 {
+		// Loads already balanced. (shift < 1 implies cx <= bestCount+1, so a
+		// separate cx == 0 guard would be dead code.)
 		return 0, nil
 	}
-	// The boundary key: keep the local items on the peer's own side of it.
-	var frac float64
-	if bestSide == core.Right {
-		frac = float64(cx-shift) / float64(cx)
-	} else {
-		frac = float64(shift) / float64(cx)
-	}
-	boundary, ok, err := c.peerSplitKey(id, frac)
+	boundary, ok, err := c.peerSplitKey(id, shuffleFrac(cx, shift, bestSide))
 	if err != nil {
 		return 0, err
 	}
-	if !ok || boundary <= ps.Range.Lower || boundary >= ps.Range.Upper {
-		// The local items cluster at the range edge; no boundary inside the
-		// range separates them.
+	if !ok || !validShuffleBoundary(boundary, ps.Range) {
+		// The local items cluster at the range edge (or lie outside the
+		// domain, which the extreme peers store): no key strictly inside the
+		// range separates the shares, and shifting to the edge would leave
+		// one side with an empty range — reject rather than shuffle nothing.
 		return 0, nil
 	}
 	if _, err := c.mirror.ShiftBoundary(id, bestSide, boundary); err != nil {
 		return 0, err
 	}
 	return c.applyMirrorDiff(nil)
+}
+
+// shuffleFrac returns the KeyAtFraction argument that selects the boundary
+// item of the shuffle: for a right-hand shuffle the peer keeps its lowest
+// cx-shift items, for a left-hand shuffle it gives away its lowest shift
+// items, so the boundary is the item at index cx-shift resp. shift. The
+// +0.5 centres the fraction inside that index's cell: a bare target/cx can
+// round down across the float64 round-trip (int(float64(1)/3*3) == 0) and
+// silently select the neighbouring index, shuffling one item too few — or,
+// at index 0, nothing at all.
+func shuffleFrac(cx, shift int, side core.Side) float64 {
+	target := shift
+	if side == core.Right {
+		target = cx - shift
+	}
+	return (float64(target) + 0.5) / float64(cx)
+}
+
+// validShuffleBoundary reports whether the boundary key splits the range
+// into two non-empty sides, the precondition of ShiftBoundary.
+func validShuffleBoundary(boundary keyspace.Key, rng keyspace.Range) bool {
+	return boundary > rng.Lower && boundary < rng.Upper
 }
 
 // --- live locate protocols -------------------------------------------------
@@ -520,6 +549,19 @@ func (c *Cluster) peerCount(id core.PeerID) (int, error) {
 		return 0, err
 	}
 	return resp.count, nil
+}
+
+// peerCountRetry is peerCount with one retry: a count probe can fail
+// transiently (the peer died and was repaired between the topology load and
+// the delivery, or a tombstone was retired mid-send), and load-balancing
+// decisions that silently exclude a peer on a transient error would shuffle
+// data towards the wrong neighbour.
+func (c *Cluster) peerCountRetry(id core.PeerID) (int, error) {
+	n, err := c.peerCount(id)
+	if err == nil || c.stopped.Load() {
+		return n, err
+	}
+	return c.peerCount(id)
 }
 
 // peerSplitKey asks the peer for the key at the given fraction of its

@@ -39,14 +39,32 @@
 //     stragglers (requests addressed to it by stale routing state) to the
 //     peer that took over its range.
 //
-// Structural operations (Join, Depart, LoadBalance, Kill, Recover,
-// Snapshot) serialise with each other on a membership lock, mirroring how
-// the paper's protocol serialises structural changes around the affected
-// region, while Get/Put/Delete/Range/Bulk traffic keeps flowing throughout
-// — data requests never take the membership lock. LoadBalance performs the
-// adjacent-peer data shuffle of Section V: the peer measures its own and
-// its adjacent peers' loads and moves the boundary so that about half the
-// imbalance changes hands.
+// Structural operations (Join, Depart, LoadBalance, ForceRejoin, Kill,
+// Recover, Snapshot) serialise with each other on a membership lock,
+// mirroring how the paper's protocol serialises structural changes around
+// the affected region, while Get/Put/Delete/Range/Bulk traffic keeps
+// flowing throughout — data requests never take the membership lock.
+// LoadBalance performs the adjacent-peer data shuffle of Section V: the
+// peer measures its own and its adjacent peers' loads and moves the
+// boundary so that about half the imbalance changes hands.
+//
+// # Load management
+//
+// The cluster meters its own load (loadmanager.go): every peer counts the
+// data requests it handles on an atomic, Loads snapshots per-peer
+// stored-item counts plus a request-rate EWMA, and ImbalanceRatio condenses
+// a snapshot into the max/average stored-load ratio. StartAutoBalance runs
+// the opt-in background balancer: whenever the most loaded peer exceeds θ
+// times its lighter adjacent peer (the Section V trigger), it either runs
+// the adjacent-peer shuffle or — when both neighbours are themselves
+// loaded — recruits the globally lightest leaf for a forced depart-and-
+// rejoin next to the hot peer (ForceRejoin, the Section III-E restructuring
+// on the mirror plumbed through the same prepare→extract→handoff→link-update
+// phases as Depart and Join, so no acknowledged write is lost). Each
+// balancing action is one structural operation: it takes the membership
+// lock like Join or Depart and therefore serialises with every other
+// membership change, while data traffic keeps flowing and keys in
+// mid-handoff are buffered, never dropped.
 //
 // # Fault tolerance
 //
@@ -130,6 +148,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
@@ -308,6 +327,15 @@ type peer struct {
 	spill     []request
 	spillWake chan struct{}
 
+	// reqs counts the data requests (singleton, range, scatter and bulk
+	// messages) this peer has handled — served or forwarded — the cheap
+	// per-peer load signal behind Cluster.Loads' request-rate EWMA. items
+	// mirrors the store's size, published by the owning goroutine after
+	// every mutation (noteItems), so the load meter reads stored-item
+	// counts without a control message per peer.
+	reqs  atomic.Int64
+	items atomic.Int64
+
 	// replicas holds, per source peer, a copy of that peer's items — the
 	// fault-tolerance layer of replication.go. replTo is the peer the last
 	// full replica sync went to, remembered so a later sync to a different
@@ -397,6 +425,16 @@ type Cluster struct {
 	autoRecover atomic.Bool
 	suspects    chan core.PeerID
 
+	// autoBalance marks the opt-in background balancer as started and
+	// balanceEvents counts its successful actions; loadMu guards the
+	// request-rate EWMA state Loads maintains between calls (loadmanager.go).
+	autoBalance   atomic.Bool
+	balanceEvents atomic.Int64
+	loadMu        sync.Mutex
+	loadLastAt    time.Time
+	loadLastReqs  map[core.PeerID]int64
+	loadRates     map[core.PeerID]float64
+
 	// memberMu serialises structural operations — Join, Depart,
 	// LoadBalance, Kill, Snapshot — against each other, the live
 	// counterpart of the paper's serialisation of restructuring around the
@@ -442,6 +480,7 @@ func NewCluster(nw *core.Network) *Cluster {
 			quit:      make(chan struct{}),
 		}
 		p.data.Absorb(ps.Items)
+		p.noteItems()
 		p.alive.Store(true)
 		t.peers[p.id] = p
 		t.members[p.id] = true
@@ -701,6 +740,11 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 	return true
 }
 
+// noteItems publishes the store's current size for the lock-free load
+// meter (Cluster.Loads); called by the owning goroutine after every
+// mutation of p.data.
+func (p *peer) noteItems() { p.items.Store(int64(p.data.Len())) }
+
 // takeSpill detaches and returns the current spill queue.
 func (p *peer) takeSpill() []request {
 	p.spillMu.Lock()
@@ -909,6 +953,15 @@ func (c *Cluster) handle(p *peer, req request) {
 	// range now. This is checked before aliveness so a crashed peer that
 	// recovery has repaired forwards stragglers instead of refusing them.
 	if p.departed {
+		if req.kind == kindReplicaFetch {
+			// Exception: a tombstone still holds the replica sets it
+			// accumulated as a holder, and for a dead source they are the
+			// only surviving copy — the peer that absorbed the tombstone's
+			// range never held them, so forwarding the fetch would answer
+			// with an empty set and the dead range's data would be lost.
+			req.reply <- response{items: p.replicaFor(req.src).Items(), hops: req.hops}
+			return
+		}
 		if !c.send(p.departTo, req) {
 			c.refuse(req, ErrOwnerDown)
 		}
@@ -925,6 +978,16 @@ func (c *Cluster) handle(p *peer, req request) {
 	if p.touchesPending(req) {
 		p.held = append(p.held, req)
 		return
+	}
+	// Count data requests for the load meter: everything this peer serves
+	// or forwards is work it performs (routing load included), which is
+	// what the request-rate EWMA of Cluster.Loads reports. Counted after
+	// the buffering check so a held request is tallied exactly once, when
+	// its replay finally handles it — not once per buffer-and-replay round.
+	switch req.kind {
+	case kindGet, kindPut, kindDelete, kindRange, kindRangeScatter,
+		kindBulkGet, kindBulkPut, kindBulkDelete:
+		p.reqs.Add(1)
 	}
 	switch req.kind {
 	case kindReplicate:
@@ -982,11 +1045,13 @@ func (c *Cluster) handle(p *peer, req request) {
 			req.reply <- response{value: v, found: ok, hops: req.hops}
 		case kindPut:
 			p.data.Put(req.key, req.value)
+			p.noteItems()
 			c.replicateWrite(p, []store.Item{{Key: req.key, Value: req.value}}, nil)
 			req.reply <- response{hops: req.hops}
 		case kindDelete:
 			ok := p.data.Delete(req.key)
 			if ok {
+				p.noteItems()
 				c.replicateWrite(p, nil, []keyspace.Key{req.key})
 			}
 			req.reply <- response{found: ok, hops: req.hops}

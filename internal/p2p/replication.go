@@ -163,6 +163,7 @@ func (c *Cluster) handleReplicaDump(p *peer, req request) {
 // serialises with those, but be defensive) are refused rather than dropped.
 func (c *Cluster) applyCrash(p *peer, req request) {
 	p.data.Clear()
+	p.noteItems()
 	p.replicas = nil
 	p.replicaMin = nil
 	p.replTo = core.NoPeer

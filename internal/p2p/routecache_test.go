@@ -147,6 +147,95 @@ func TestStaleEpochDirectRequestReaims(t *testing.T) {
 	}
 }
 
+// TestStaleEpochDirectPutReaimsAcrossShuffle pins the LoadBalance ×
+// RouteDirect interaction: a direct-routed write tagged with the epoch from
+// before an adjacent-peer shuffle, delivered to the key's pre-shuffle owner,
+// must land on the post-shuffle owner after exactly one re-aim (two hops
+// total, miss counted) — the write is never lost and never walks the
+// overlay per-hop.
+func TestStaleEpochDirectPutReaimsAcrossShuffle(t *testing.T) {
+	c, _ := liveCluster(t, 32, 0, 109)
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := snaps[len(snaps)/2]
+	if victim.Range.Size() < 400 {
+		t.Fatalf("victim range too narrow: %v", victim.Range)
+	}
+	// Skew the victim so the shuffle has something to move.
+	var keys []keyspace.Key
+	for i := int64(0); i < 200; i++ {
+		k := victim.Range.Lower + keyspace.Key(i*(victim.Range.Size()/200))
+		keys = append(keys, k)
+		if _, err := c.Put(victim.ID, k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochBefore := c.Epoch()
+	moved, err := c.LoadBalance(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("shuffle moved nothing; the scenario needs a boundary shift")
+	}
+	if c.Epoch() == epochBefore {
+		t.Fatal("a boundary shift must publish a new topology epoch")
+	}
+	// A key that changed hands: owned by the victim under the old ring,
+	// by the adjacent peer under the new one.
+	var movedKey keyspace.Key
+	found := false
+	for _, k := range keys {
+		if c.ownerOf(k).id != victim.ID {
+			movedKey, found = k, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key changed owner across the shuffle")
+	}
+	old := c.peerByID(victim.ID)
+	newOwner := c.ownerOf(movedKey)
+
+	// The in-flight write: tagged with the pre-shuffle epoch, addressed to
+	// the pre-shuffle owner — exactly what a client racing the shuffle sends.
+	before := c.StaleRoutes()
+	req := request{kind: kindPut, key: movedKey, value: []byte("shuffled"), epoch: epochBefore, reply: make(chan response, 1)}
+	if !c.deliverTo(old, req, false) {
+		t.Fatal("delivery to the pre-shuffle owner refused")
+	}
+	resp := <-req.reply
+	if resp.err != nil {
+		t.Fatalf("stale-tagged put failed: %v", resp.err)
+	}
+	if resp.hops != 2 {
+		t.Fatalf("stale-tagged put took %d hops, want exactly 2 (miss + one re-aim)", resp.hops)
+	}
+	if got := c.StaleRoutes() - before; got != 1 {
+		t.Fatalf("stale-route counter moved by %d, want 1", got)
+	}
+	// The write landed on the post-shuffle owner and is readable everywhere.
+	if v, ok := func() ([]byte, bool) {
+		ch := make(chan response, 1)
+		if !c.deliverTo(newOwner, request{kind: kindGet, key: movedKey, reply: ch}, false) {
+			return nil, false
+		}
+		r := <-ch
+		return r.value, r.found
+	}(); !ok || string(v) != "shuffled" {
+		t.Fatalf("write not on the post-shuffle owner: found=%v value=%q", ok, v)
+	}
+	for _, via := range c.PeerIDs()[:4] {
+		v, ok, _, err := c.Get(via, movedKey)
+		if err != nil || !ok || string(v) != "shuffled" {
+			t.Fatalf("stale-tagged write lost via %d: found=%v value=%q err=%v", via, ok, v, err)
+		}
+	}
+	verifyCluster(t, c)
+}
+
 // TestDirectRouteChurnNoLostWrite is the -race stress test of route-cache
 // invalidation: direct-mode Get/Put traffic runs while the membership churns
 // through every structural operation — online joins, graceful departures,

@@ -32,6 +32,16 @@ import (
 // examples and the benchmarks. The returned keys are the inserted ones
 // (reads drawn from them hit). The caller owns the cluster and must Stop it.
 func BuildCluster(peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key, error) {
+	return BuildClusterDist(peers, items, seed, workload.Uniform, 0)
+}
+
+// BuildClusterDist is BuildCluster with a key distribution: the pre-loaded
+// items are drawn from dist (workload.Zipf with the given theta skews the
+// stored data the way the paper's skew experiments do, concentrating the
+// hot ranks in a contiguous region of the key space). The overlay's ranges
+// are grown by uniform joins either way, so a skewed load lands on a few
+// peers — the configuration the load balancer exists for.
+func BuildClusterDist(peers, items int, seed int64, dist workload.Distribution, theta float64) (*p2p.Cluster, []keyspace.Key, error) {
 	nw := core.NewNetwork(core.Config{Seed: seed})
 	rng := rand.New(rand.NewSource(seed))
 	for nw.Size() < peers {
@@ -40,7 +50,7 @@ func BuildCluster(peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key, e
 			return nil, nil, fmt.Errorf("grow cluster: %w", err)
 		}
 	}
-	gen := workload.NewGenerator(workload.Config{Seed: seed + 1})
+	gen := workload.NewGenerator(workload.Config{Seed: seed + 1, Distribution: dist, ZipfTheta: theta})
 	keys := gen.Keys(items)
 	for _, k := range keys {
 		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
@@ -123,6 +133,23 @@ type Config struct {
 	DepartPeers int
 	// ValueSize is the payload size of writes in bytes. Default 8.
 	ValueSize int
+	// Distribution selects the key distribution of generated keys (writes,
+	// read misses and range-query positions): workload.Uniform (the default)
+	// or workload.Zipf, whose hot ranks cluster in a contiguous region of
+	// the key space — the paper's skewed workload, which piles both data and
+	// traffic onto a few peers.
+	Distribution workload.Distribution
+	// ZipfTheta is the skew parameter when Distribution is workload.Zipf.
+	// Values <= 0 default to 1.0, the paper's setting.
+	ZipfTheta float64
+	// AutoBalance starts the cluster's background load balancer for the run
+	// (p2p.Cluster.StartAutoBalance): hot peers shed load via adjacent
+	// shuffles and forced rejoins while the workload executes. The report's
+	// Rebalanced counter tallies the actions.
+	AutoBalance bool
+	// BalanceTheta is the balancer's overload trigger θ when AutoBalance is
+	// set. Values <= 1 default to 2.
+	BalanceTheta float64
 	// Seed seeds the deterministic per-client random sources.
 	Seed int64
 }
@@ -136,13 +163,15 @@ type Report struct {
 	NotFound int64
 	// Killed, Joined, Departed and Recovered count the churn events that
 	// actually executed: abrupt kills, online joins, graceful departures
-	// and crash repairs.
-	Killed    int
-	Joined    int
-	Departed  int
-	Recovered int
-	Elapsed   time.Duration
-	OpsPerSec float64
+	// and crash repairs. Rebalanced counts the background balancer's
+	// actions (adjacent shuffles and forced rejoins) during the run.
+	Killed     int
+	Joined     int
+	Departed   int
+	Recovered  int
+	Rebalanced int
+	Elapsed    time.Duration
+	OpsPerSec  float64
 	// Latency maps an operation kind (plus "all") to its recorded latency
 	// samples in microseconds.
 	Latency map[Op]*stats.Latency
@@ -155,8 +184,8 @@ const OpAll Op = "all"
 // percentiles, the format cmd/batonsim prints in throughput mode.
 func (r Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed/recovered %d/%d/%d/%d\n",
-		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed, r.Recovered)
+	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed/recovered %d/%d/%d/%d  rebalanced %d\n",
+		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed, r.Recovered, r.Rebalanced)
 	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
 	ops := make([]string, 0, len(r.Latency))
@@ -199,7 +228,14 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	if cfg.ValueSize <= 0 {
 		cfg.ValueSize = 8
 	}
+	if cfg.Distribution == "" {
+		cfg.Distribution = workload.Uniform
+	}
 	c.SetRouteMode(cfg.Route)
+	balanceEventsBefore := c.BalanceEvents()
+	if cfg.AutoBalance {
+		c.StartAutoBalance(p2p.AutoBalanceConfig{Theta: cfg.BalanceTheta})
+	}
 	total := cfg.GetFraction + cfg.PutFraction + cfg.DeleteFraction + cfg.RangeFraction
 	getCut := cfg.GetFraction / total
 	putCut := getCut + cfg.PutFraction/total
@@ -403,11 +439,19 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		go func(cl int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)*7919))
+			// Every freshly generated key — writes, read misses, range-query
+			// positions — comes from the configured distribution; under
+			// workload.Zipf the stream hammers the hot region.
+			gen := workload.NewGenerator(workload.Config{
+				Distribution: cfg.Distribution,
+				ZipfTheta:    cfg.ZipfTheta,
+				Seed:         cfg.Seed + int64(cl)*104729,
+			})
 			randKey := func() keyspace.Key {
 				if len(cfg.Keys) > 0 && rng.Float64() < 0.9 {
 					return cfg.Keys[rng.Intn(len(cfg.Keys))]
 				}
-				return domain.Lower + keyspace.Key(rng.Int63n(domain.Size()))
+				return gen.NextKey()
 			}
 			liveVia := func() (core.PeerID, bool) {
 				ids := *idsPtr.Load()
@@ -462,7 +506,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 					_, found, _, err := c.Get(via, randKey())
 					record(OpGet, 1, time.Since(t0), err, found)
 				case roll < putCut:
-					k := domain.Lower + keyspace.Key(rng.Int63n(domain.Size()))
+					k := gen.NextKey()
 					if cfg.BulkSize > 1 {
 						// Batch appends are free; flushBulk stamps its own
 						// timer around the actual BulkPut.
@@ -480,9 +524,14 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 					found, _, err := c.Delete(via, randKey())
 					record(OpDelete, 1, time.Since(t0), err, found)
 				default:
-					lo := domain.Lower
-					if span := domain.Size() - width; span > 0 {
-						lo += keyspace.Key(rng.Int63n(span))
+					// Range queries positioned by the distribution too, so a
+					// skewed run scans the hot region as often as it reads it.
+					lo := gen.NextKey()
+					if ceil := domain.Upper - keyspace.Key(width); lo > ceil {
+						lo = ceil
+					}
+					if lo < domain.Lower {
+						lo = domain.Lower
 					}
 					r := keyspace.NewRange(lo, lo+keyspace.Key(width))
 					var err error
@@ -507,6 +556,7 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	report.Joined = int(joined.Load())
 	report.Departed = int(departed.Load())
 	report.Recovered = int(recovered.Load())
+	report.Rebalanced = int(c.BalanceEvents() - balanceEventsBefore)
 	if secs := report.Elapsed.Seconds(); secs > 0 {
 		report.OpsPerSec = float64(report.Ops) / secs
 	}

@@ -8,6 +8,7 @@ import (
 	"baton/internal/core"
 	"baton/internal/keyspace"
 	"baton/internal/p2p"
+	"baton/internal/workload"
 )
 
 // driverCluster builds a loaded live cluster for driver tests.
@@ -353,6 +354,88 @@ func TestDriverFullDomainSelectivity(t *testing.T) {
 	}
 	if rep.Latency[OpRange].Count() == 0 {
 		t.Fatal("no range queries recorded")
+	}
+}
+
+// TestDriverZipfSkewsLoad: with Distribution=Zipf the generated write
+// stream piles items onto a few peers — the skewed-workload scenario — and
+// the uniform stream does not.
+func TestDriverZipfSkewsLoad(t *testing.T) {
+	ratioAfter := func(dist workload.Distribution) float64 {
+		c, _ := driverCluster(t, 24, 0, 13)
+		rep := Run(c, Config{
+			Clients:      4,
+			Ops:          3000,
+			PutFraction:  1,
+			Distribution: dist,
+			ZipfTheta:    1.0,
+			Seed:         14,
+		})
+		if rep.Errors != 0 {
+			t.Fatalf("%s run errored %d times", dist, rep.Errors)
+		}
+		r, err := c.ImbalanceRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	uniform := ratioAfter(workload.Uniform)
+	zipf := ratioAfter(workload.Zipf)
+	t.Logf("imbalance after uniform %.2f, after zipf %.2f", uniform, zipf)
+	if zipf < 2*uniform {
+		t.Fatalf("zipf writes should skew the stored load: uniform ratio %.2f, zipf ratio %.2f", uniform, zipf)
+	}
+}
+
+// TestDriverAutoBalance: the AutoBalance knob starts the cluster's
+// background balancer, the report tallies its actions, and the run ends
+// with a visibly lower imbalance than the balancer-off twin.
+func TestDriverAutoBalance(t *testing.T) {
+	run := func(balance bool) (Report, int64, float64) {
+		c, _, err := BuildClusterDist(24, 3000, 15, workload.Zipf, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Stop()
+		rep := Run(c, Config{
+			Clients:      4,
+			Ops:          2000,
+			GetFraction:  0.6,
+			PutFraction:  0.4,
+			Distribution: workload.Zipf,
+			ZipfTheta:    1.0,
+			AutoBalance:  balance,
+			Seed:         16,
+		})
+		// Quiesce the balancer's remaining work so the comparison is not a
+		// race against the ticker (a short run can end between ticks; the
+		// report only tallies actions that landed inside the run).
+		if balance {
+			if _, err := c.BalanceUntilStable(p2p.AutoBalanceConfig{}, 200); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := c.ImbalanceRatio()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, c.BalanceEvents(), r
+	}
+	repOff, eventsOff, off := run(false)
+	repOn, eventsOn, on := run(true)
+	t.Logf("imbalance off %.2f (events %d), on %.2f (events %d, in-run %d)", off, eventsOff, on, eventsOn, repOn.Rebalanced)
+	if repOff.Rebalanced != 0 || eventsOff != 0 {
+		t.Fatalf("balancer-off run rebalanced (%d in-run, %d events)", repOff.Rebalanced, eventsOff)
+	}
+	if eventsOn == 0 {
+		t.Fatal("balancer-on run performed no balancing actions on a skewed cluster")
+	}
+	if repOn.Rebalanced < 0 || int64(repOn.Rebalanced) > eventsOn {
+		t.Fatalf("in-run rebalance tally %d outside [0, %d]", repOn.Rebalanced, eventsOn)
+	}
+	if on >= off {
+		t.Fatalf("auto-balance did not reduce the imbalance: off %.2f, on %.2f", off, on)
 	}
 }
 
