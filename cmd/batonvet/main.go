@@ -1,0 +1,87 @@
+// Command batonvet is the project's protocol linter: a multichecker running
+// the analyzers under internal/analysis over the module, the way `go vet`
+// runs its passes. It enforces the concurrency conventions the cluster's
+// correctness rests on — conventions the compiler cannot see:
+//
+//	kindexhaustive  switches over message-kind enums cover every constant
+//	                or default loudly
+//	lockedsuffix    *Locked functions run under memberMu held by the caller
+//	atomicfield     fields touched via sync/atomic are atomic everywhere
+//	topoimmutable   no writes through a topology snapshot from Load()
+//	replypool       pooled reply channels released on every return path
+//
+// Usage:
+//
+//	go run ./cmd/batonvet ./...
+//
+// Exit status is 0 when the tree is clean, 1 when any diagnostic fired, 2 on
+// internal errors (load or type-check failure). Findings print in the
+// go vet format, one "path:line:col: analyzer: message" per line.
+// Deliberate, documented exceptions are silenced per site with a
+// `//batonvet:ignore <analyzer> <reason>` comment on the flagged line or the
+// line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"baton/internal/analysis"
+	"baton/internal/analysis/atomicfield"
+	"baton/internal/analysis/kindexhaustive"
+	"baton/internal/analysis/lockedsuffix"
+	"baton/internal/analysis/replypool"
+	"baton/internal/analysis/topoimmutable"
+)
+
+// analyzers is the suite, in diagnostic-name order.
+var analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	kindexhaustive.Analyzer,
+	lockedsuffix.Analyzer,
+	replypool.Analyzer,
+	topoimmutable.Analyzer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tests := flag.Bool("tests", true, "also analyze test files")
+	list := flag.Bool("list", false, "print the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: batonvet [-tests=false] [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batonvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(dir, flag.Args(), *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batonvet:", err)
+		return 2
+	}
+	diags, err := analysis.Check(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batonvet:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	analysis.Fprint(os.Stderr, pkgs[0].Fset, diags, dir)
+	return 1
+}

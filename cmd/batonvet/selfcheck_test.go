@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"baton/internal/analysis"
+)
+
+// TestModuleClean runs the full batonvet suite over the module — test files
+// included — and fails on any diagnostic. This is the check that keeps the
+// tree conformant between CI runs: a switch that drops a new kind, a
+// *Locked call without the lock, a write through a shared topology snapshot
+// all fail `go test ./...` right here, with the same output batonvet would
+// print.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, []string{"baton/..."}, true)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.Check(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	var out strings.Builder
+	analysis.Fprint(&out, pkgs[0].Fset, diags, dir)
+	t.Errorf("batonvet found %d violation(s) in the tree:\n%s", len(diags), out.String())
+}

@@ -1,0 +1,190 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer / Pass /
+// Diagnostic surface to host batonvet, the project's protocol linter
+// (cmd/batonvet), without pulling x/tools into a module that is otherwise
+// standard-library only.
+//
+// The shape deliberately mirrors the real framework — an Analyzer is a named
+// Run function over a Pass carrying the package's syntax and type
+// information, diagnostics are (position, message) pairs — so the analyzers
+// under internal/analysis/* would port to a real multichecker by swapping
+// the import. What is intentionally missing: facts (cross-package state),
+// suggested fixes, and sub-analyzer dependencies; batonvet's analyzers are
+// all single-package and self-contained.
+//
+// # Suppression directives
+//
+// Some of the invariants batonvet enforces have deliberate, documented
+// exceptions in the code (a switch that is a partial filter by design, a
+// reply channel abandoned at shutdown on purpose). Those sites carry a
+// directive comment on the flagged line or the line directly above it:
+//
+//	//batonvet:ignore <analyzer> <reason>
+//
+// The reason is mandatory by convention (the directive is greppable either
+// way), and the directive only silences the one named analyzer at that one
+// site — there is no file- or package-wide opt-out.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check: a named Run function over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //batonvet:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-line invariant this analyzer enforces.
+	Doc string
+	// Run inspects the pass's package and reports diagnostics via
+	// pass.Reportf. The returned error aborts the whole check (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed syntax and type information to an
+// analyzer, plus the reporting hooks.
+type Pass struct {
+	// Analyzer is the check currently running.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files is the package's syntax, test files included when the loader
+	// was asked for them.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression/object tables.
+	TypesInfo *types.Info
+
+	diags      *[]Diagnostic
+	directives map[string]map[int]bool // analyzer -> set of suppressed lines
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it and
+// the message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos unless a //batonvet:ignore directive for
+// this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether an ignore directive for the current analyzer
+// sits on pos's line or the line directly above it.
+func (p *Pass) suppressed(pos token.Pos) bool {
+	lines, ok := p.directives[p.Analyzer.Name]
+	if !ok {
+		return false
+	}
+	line := p.Fset.Position(pos).Line
+	return lines[line] || lines[line-1]
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "batonvet:ignore"
+
+// buildDirectives indexes every //batonvet:ignore comment by analyzer name
+// and line, so Reportf can honour them in O(1).
+func buildDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				text := strings.TrimPrefix(cm.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name := fields[0]
+				if out[name] == nil {
+					out[name] = make(map[int]bool)
+				}
+				out[name][fset.Position(cm.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// WalkFuncs visits every function body in the pass — declarations and
+// literals — handing each to fn together with the enclosing chain:
+// enclosing[0] is the outermost enclosing function node (always a FuncDecl
+// for nested literals), enclosing[len-1] the function itself. Analyzers use
+// the chain to answer "is this call site inside a function that ...".
+func WalkFuncs(files []*ast.File, fn func(node ast.Node, body *ast.BlockStmt, enclosing []ast.Node)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			stack := []ast.Node{fd}
+			fn(fd, fd.Body, stack)
+			walkLits(fd.Body, stack, fn)
+		}
+	}
+}
+
+// walkLits recurses into function literals below node, growing the chain.
+func walkLits(node ast.Node, stack []ast.Node, fn func(ast.Node, *ast.BlockStmt, []ast.Node)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		inner := append(append([]ast.Node{}, stack...), lit)
+		fn(lit, lit.Body, inner)
+		walkLits(lit.Body, inner, fn)
+		return false // walkLits recursed; don't double-visit deeper literals
+	})
+}
+
+// FuncName names a function node for diagnostics: the declared name for a
+// FuncDecl, "function literal" otherwise.
+func FuncName(node ast.Node) string {
+	if fd, ok := node.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return "function literal"
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,112 @@
+// Package analysistest runs an analyzer over fixture packages and compares
+// its findings against expectations written in the fixture source — the
+// dependency-free counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live in the analyzer's testdata directory using the same layout
+// as the real harness:
+//
+//	testdata/src/<importpath>/*.go
+//
+// An expectation is a comment on the offending line:
+//
+//	x := t.peers // want `mutation of shared \*topology`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message. Every reported diagnostic must match a want on its
+// line and every want must be matched by a diagnostic — over-reporting and
+// under-reporting both fail, which is what makes a green fixture (no wants,
+// no findings) a real test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"baton/internal/analysis"
+)
+
+// wantRe extracts the expectation regexp from a trailing comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run loads the fixture package at testdata/src/<path>, runs the analyzer,
+// and reports any mismatch between findings and // want comments as test
+// errors.
+func Run(t *testing.T, testdata, path string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadFixture(testdata+"/src", path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := analysis.RunPass(pkg, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	key := func(pos token.Position) string {
+		return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := wantRe.FindStringSubmatch(cm.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(cm.Pos())
+				wants[key(pos)] = append(wants[key(pos)], &want{re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants[key(pos)] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", shortPos(pos), d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", shortKey(k), w.re)
+			}
+		}
+	}
+}
+
+// shortPos trims the fixture path down to its final elements for readable
+// failures.
+func shortPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", shortName(pos.Filename), pos.Line, pos.Column)
+}
+
+func shortKey(k string) string {
+	i := strings.LastIndexByte(k, ':')
+	return fmt.Sprintf("%s:%s", shortName(k[:i]), k[i+1:])
+}
+
+func shortName(name string) string {
+	parts := strings.Split(name, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}

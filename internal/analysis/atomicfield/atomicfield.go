@@ -1,0 +1,116 @@
+// Package atomicfield enforces all-or-nothing atomicity for struct fields:
+// a field passed to sync/atomic functions anywhere in the package must be
+// accessed through sync/atomic everywhere in the package.
+//
+// Mixing the two access modes is the classic torn-counter bug — a plain
+// `c.hits = 0` racing atomic.AddInt64(&c.hits, 1) is a data race the race
+// detector only catches when the schedule cooperates. The analyzer catches
+// it structurally: pass one collects every field whose address is taken in a
+// sync/atomic call (the "atomic fields"); pass two flags every other
+// selection of those fields.
+//
+// Typed atomics (atomic.Int64, atomic.Pointer[T]) are immune by
+// construction — every access is a method call — which is why the rest of
+// this codebase prefers them. The analyzer exists for the raw-function style
+// so that one never creeps back in half-converted.
+//
+// Composite-literal initialisation (`counter{hits: 3}`) is not flagged: the
+// value is unpublished while it is being built.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"baton/internal/analysis"
+)
+
+// Analyzer is the atomicfield check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := make(map[*types.Var]bool) // fields used in sync/atomic calls
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+
+	// Pass one: find `atomic.F(&x.f, ...)` arguments and record f.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := arg.(*ast.UnaryExpr)
+				if !ok || unary.Op.String() != "&" {
+					continue
+				}
+				sel, ok := unary.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, sel); fld != nil {
+					atomicFields[fld] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass two: every other selection of an atomic field is a torn access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fld := fieldOf(pass, sel)
+			if fld == nil || !atomicFields[fld] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"non-atomic access to %s, which is accessed with sync/atomic elsewhere: use the atomic API on every access",
+				fieldName(fld))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic.
+// Resolution goes through the type-checker, so aliased imports count and
+// same-named local packages do not.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil when sel is
+// not a field selection (method, package member, ...).
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// fieldName names a field for the diagnostic.
+func fieldName(fld *types.Var) string {
+	return fld.Name()
+}

@@ -1,0 +1,58 @@
+// The checker: run a set of analyzers over a set of loaded packages and
+// collect the findings — the engine behind cmd/batonvet.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+)
+
+// Check runs every analyzer over every package and returns the combined
+// findings sorted by position. Analyzer errors (internal failures, not
+// findings) abort the run.
+func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		directives := buildDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				diags:      &diags,
+				directives: directives,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	if len(pkgs) > 0 {
+		SortDiagnostics(pkgs[0].Fset, diags)
+	}
+	return diags, nil
+}
+
+// Fprint writes the findings in the go vet style — one
+// "path:line:col: analyzer: message" line each — with paths relative to dir
+// when possible.
+func Fprint(w io.Writer, fset *token.FileSet, diags []Diagnostic, dir string) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(dir, name); err == nil && !filepath.IsAbs(rel) && rel[0] != '.' {
+			name = rel
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+}
+
+// RunPass wraps one ad-hoc pass of a single analyzer over a single package —
+// the entry point the analysistest harness uses.
+func RunPass(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	return Check([]*Package{pkg}, []*Analyzer{a})
+}

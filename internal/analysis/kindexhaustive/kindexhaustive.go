@@ -1,0 +1,132 @@
+// Package kindexhaustive enforces that switches over message-kind-style
+// enums cannot silently drop a newly added constant.
+//
+// The invariant: the serve loop's dispatch (and every other switch over the
+// p2p `kind` type, or any enum declared in the package under analysis) must
+// either cover every declared constant of the type or carry an explicit
+// non-empty default arm, so that adding a message kind forces a decision at
+// every dispatch site instead of a request vanishing without a reply. An
+// empty default — `default:` with no body — is flagged too: it is exactly
+// the silent drop the check exists to prevent, dressed up as handling.
+//
+// Switches that are deliberately partial filters (a membership test over a
+// subset of kinds, falling through to further handling) opt out per site
+// with `//batonvet:ignore kindexhaustive <reason>`.
+package kindexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"baton/internal/analysis"
+)
+
+// Analyzer is the kindexhaustive check.
+var Analyzer = &analysis.Analyzer{
+	Name: "kindexhaustive",
+	Doc:  "switches over package-local enums must cover every constant or default loudly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+// enumConstants returns the named constants of typ declared in its defining
+// package, or nil when typ is not an enum this analyzer cares about: a
+// defined integer type, declared in the package under analysis, with at
+// least two constants. Restricting to the current package keeps the check
+// sharp — the declaring package is where a new constant lands, and its own
+// switches are the ones a forgotten arm breaks.
+func enumConstants(pass *analysis.Pass, typ types.Type) (*types.Named, []*types.Const) {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil, nil
+	}
+	if named.Obj().Pkg() != pass.Pkg {
+		return nil, nil
+	}
+	scope := pass.Pkg.Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) < 2 {
+		return nil, nil
+	}
+	return named, consts
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, consts := enumConstants(pass, tagType)
+	if named == nil {
+		return
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+				covered[constKey(tv.Value)] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[constKey(c.Val())] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+
+	switch {
+	case len(missing) == 0:
+		// Exhaustive. An empty default underneath full coverage is dead
+		// code, not a drop; leave that to other tools.
+	case defaultClause == nil:
+		pass.Reportf(sw.Switch,
+			"switch over %s is missing cases %s and has no default: a new %s constant would be silently dropped",
+			named.Obj().Name(), strings.Join(missing, ", "), named.Obj().Name())
+	case len(defaultClause.Body) == 0:
+		pass.Reportf(defaultClause.Case,
+			"switch over %s has an empty default: cases %s (and any future constant) are silently dropped — fail loudly instead",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// constKey folds a constant value to a comparable string so two spellings
+// of the same value count as one case.
+func constKey(v constant.Value) string { return v.ExactString() }

@@ -1,0 +1,12 @@
+package kindexhaustive_test
+
+import (
+	"testing"
+
+	"baton/internal/analysis/analysistest"
+	"baton/internal/analysis/kindexhaustive"
+)
+
+func TestKindExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", kindexhaustive.Analyzer)
+}

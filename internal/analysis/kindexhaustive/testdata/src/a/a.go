@@ -1,0 +1,115 @@
+// Fixture for kindexhaustive: switches over the local enum `kind` must be
+// exhaustive or default loudly.
+package a
+
+import "fmt"
+
+type kind int
+
+const (
+	kindGet kind = iota
+	kindPut
+	kindDelete
+	kindRange
+)
+
+// otherEnum has only one constant: not an enum the analyzer cares about.
+type otherEnum int
+
+const onlyValue otherEnum = 0
+
+// exhaustive covers every constant: fine without a default.
+func exhaustive(k kind) string {
+	switch k {
+	case kindGet:
+		return "get"
+	case kindPut:
+		return "put"
+	case kindDelete:
+		return "delete"
+	case kindRange:
+		return "range"
+	}
+	return ""
+}
+
+// loudDefault misses cases but fails loudly: fine.
+func loudDefault(k kind) string {
+	switch k {
+	case kindGet:
+		return "get"
+	default:
+		panic(fmt.Sprintf("unhandled kind %d", int(k)))
+	}
+}
+
+// missingNoDefault drops kindDelete and kindRange on the floor.
+func missingNoDefault(k kind) string {
+	switch k { // want `missing cases kindDelete, kindRange and has no default`
+	case kindGet:
+		return "get"
+	case kindPut:
+		return "put"
+	}
+	return ""
+}
+
+// emptyDefault dresses the silent drop up as handling.
+func emptyDefault(k kind) string {
+	switch k {
+	case kindGet:
+		return "get"
+	default: // want `empty default: cases kindDelete, kindPut, kindRange .* silently dropped`
+	}
+	return ""
+}
+
+// ignored is a deliberate partial filter, opted out per site.
+func ignored(k kind) bool {
+	//batonvet:ignore kindexhaustive deliberate membership test, falls through to caller
+	switch k {
+	case kindGet, kindRange:
+		return true
+	}
+	return false
+}
+
+// grouped covers constants in grouped case lists: fine.
+func grouped(k kind) bool {
+	switch k {
+	case kindGet, kindPut:
+		return true
+	case kindDelete, kindRange:
+		return false
+	}
+	return false
+}
+
+// tagInit handles the init-statement form too.
+func tagInit(f func() kind) string {
+	switch k := f(); k { // want `missing cases kindPut, kindRange and has no default`
+	case kindGet:
+		return "get"
+	case kindDelete:
+		return "delete"
+	}
+	return ""
+}
+
+// singleConstant is not checked: one constant is a marker, not an enum.
+func singleConstant(o otherEnum) bool {
+	switch o {
+	case onlyValue:
+		return true
+	}
+	return false
+}
+
+// plainInt is not checked: untyped/basic switch tags are out of scope.
+func plainInt(i int) bool {
+	switch i {
+	case 0:
+		return true
+	}
+	return false
+}

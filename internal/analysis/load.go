@@ -1,0 +1,373 @@
+// Package loading for the dependency-free analysis framework: resolve
+// patterns with `go list`, parse with go/parser, type-check with go/types.
+// Module-internal imports are type-checked from source recursively; standard
+// library imports are delegated to the compiler's source importer, so the
+// whole pipeline works offline with nothing but the Go toolchain.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("baton/internal/p2p"); external test
+	// packages carry their real path with a "_test" suffix.
+	PkgPath string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files is the parsed syntax the analyzers inspect.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo is the checker's expression/object tables for Files.
+	TypesInfo *types.Info
+}
+
+// pkgFiles is a resolved package: where it lives and which files build it.
+type pkgFiles struct {
+	path  string
+	dir   string
+	files []string // absolute paths, build-constraint filtered
+	tests []string // in-package _test.go files (module targets only)
+	xtest []string // external test package files (package foo_test)
+}
+
+// resolver maps an import path to source files. Returning (nil, nil) means
+// "not mine": the loader falls back to the standard-library source importer.
+type resolver interface {
+	resolvePkg(path string) (*pkgFiles, error)
+}
+
+// Loader type-checks packages on demand, memoising results so a package
+// imported by several targets is checked once.
+type Loader struct {
+	fset *token.FileSet
+	std  types.Importer
+	res  resolver
+	// cache holds pure (no test files) package objects keyed by import
+	// path; these are what imports resolve to, mirroring how the compiler
+	// never sees a dependency's test files.
+	cache map[string]*types.Package
+	// checking guards against import cycles while a package is mid-check.
+	checking map[string]bool
+}
+
+// newLoader builds a loader over the given resolver.
+func newLoader(res resolver) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		res:      res,
+		cache:    make(map[string]*types.Package),
+		checking: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer for the type-checker's dependency
+// requests.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	pf, err := l.res.resolvePkg(path)
+	if err != nil {
+		return nil, err
+	}
+	if pf == nil {
+		return l.std.Import(path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	pkg, _, _, err := l.check(pf, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// overrideImporter makes one import path resolve to a pre-built package —
+// how an external test package sees the test-augmented variant of the
+// package under test instead of the pure one.
+type overrideImporter struct {
+	base     *Loader
+	path     string
+	override *types.Package
+}
+
+func (o *overrideImporter) Import(path string) (*types.Package, error) {
+	if path == o.path {
+		return o.override, nil
+	}
+	return o.base.Import(path)
+}
+
+// check parses and type-checks one package. withTests additionally merges
+// the in-package _test.go files. A non-nil importOverride is used instead of
+// the loader for import resolution (external test packages).
+func (l *Loader) check(pf *pkgFiles, withTests bool, importOverride types.Importer) (*types.Package, []*ast.File, *types.Info, error) {
+	l.checking[pf.path] = true
+	defer delete(l.checking, pf.path)
+
+	names := pf.files
+	if withTests {
+		names = append(append([]string{}, pf.files...), pf.tests...)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var imp types.Importer = l
+	if importOverride != nil {
+		imp = importOverride
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(pf.path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %v", pf.path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking %s: %w", pf.path, err)
+	}
+	return pkg, files, info, nil
+}
+
+// loadTarget builds the analysis view of one resolved package: the package
+// itself (test-augmented when asked and test files exist), plus the external
+// test package as a second Package when present.
+func (l *Loader) loadTarget(pf *pkgFiles, includeTests bool) ([]*Package, error) {
+	var out []*Package
+	withTests := includeTests && len(pf.tests) > 0
+	pkg, files, info, err := l.check(pf, withTests, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !withTests {
+		// The pure variant doubles as the import target for other packages.
+		l.cache[pf.path] = pkg
+	}
+	out = append(out, &Package{PkgPath: pf.path, Fset: l.fset, Files: files, Types: pkg, TypesInfo: info})
+
+	if includeTests && len(pf.xtest) > 0 {
+		xpf := &pkgFiles{path: pf.path + "_test", dir: pf.dir, files: pf.xtest}
+		xpkg, xfiles, xinfo, err := l.check(xpf, false, &overrideImporter{base: l, path: pf.path, override: pkg})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{PkgPath: xpf.path, Fset: l.fset, Files: xfiles, Types: xpkg, TypesInfo: xinfo})
+	}
+	return out, nil
+}
+
+// --- module resolver (go list) ---------------------------------------------
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// moduleResolver resolves import paths inside one Go module using the go
+// command, so build constraints and file selection match a real build.
+type moduleResolver struct {
+	modPath string
+	modDir  string
+	meta    map[string]*listPkg
+}
+
+// goList runs `go list -json` with the given arguments in dir and decodes
+// the stream of package objects.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// toPkgFiles converts go list metadata to absolute file lists.
+func (p *listPkg) toPkgFiles() *pkgFiles {
+	abs := func(names []string) []string {
+		out := make([]string, len(names))
+		for i, n := range names {
+			out[i] = filepath.Join(p.Dir, n)
+		}
+		return out
+	}
+	return &pkgFiles{
+		path:  p.ImportPath,
+		dir:   p.Dir,
+		files: abs(p.GoFiles),
+		tests: abs(p.TestGoFiles),
+		xtest: abs(p.XTestGoFiles),
+	}
+}
+
+func (r *moduleResolver) resolvePkg(path string) (*pkgFiles, error) {
+	if p, ok := r.meta[path]; ok {
+		return p.toPkgFiles(), nil
+	}
+	if path != r.modPath && !strings.HasPrefix(path, r.modPath+"/") {
+		return nil, nil // not in this module: standard library importer's job
+	}
+	pkgs, err := goList(r.modDir, path)
+	if err != nil || len(pkgs) == 0 {
+		return nil, fmt.Errorf("resolving module package %q: %w", path, err)
+	}
+	r.meta[path] = pkgs[0]
+	return pkgs[0].toPkgFiles(), nil
+}
+
+// Load resolves the patterns (e.g. "./...") against the module containing
+// dir and returns every matched package type-checked for analysis, in
+// import-path order. With includeTests, in-package test files are merged
+// into their package and external test packages are returned as packages of
+// their own.
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := goModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	res := &moduleResolver{modPath: mod.Path, modDir: mod.Dir, meta: make(map[string]*listPkg)}
+
+	// One -deps listing seeds the resolver with every module-internal
+	// dependency's file list, so later import resolution rarely shells out.
+	deps, err := goList(mod.Dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range deps {
+		if !p.Standard {
+			res.meta[p.ImportPath] = p
+		}
+	}
+	targets, err := goList(mod.Dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	l := newLoader(res)
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		pkgs, err := l.loadTarget(t.toPkgFiles(), includeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkgs...)
+	}
+	return out, nil
+}
+
+// goModule reports the path and root directory of the module containing dir.
+func goModule(dir string) (struct{ Path, Dir string }, error) {
+	var mod struct{ Path, Dir string }
+	cmd := exec.Command("go", "list", "-m", "-json")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return mod, fmt.Errorf("go list -m in %s: %w", dir, err)
+	}
+	if err := json.Unmarshal(out, &mod); err != nil {
+		return mod, fmt.Errorf("decoding module info: %w", err)
+	}
+	return mod, nil
+}
+
+// --- directory resolver (fixtures) -----------------------------------------
+
+// dirResolver resolves import paths as directories under a root — the
+// analysistest layout, testdata/src/<importpath>/*.go.
+type dirResolver struct{ root string }
+
+func (r *dirResolver) resolvePkg(path string) (*pkgFiles, error) {
+	dir := filepath.Join(r.root, filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		return nil, nil // fall through to the standard library
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files in %s", path, dir)
+	}
+	sort.Strings(names)
+	return &pkgFiles{path: path, dir: dir, files: names}, nil
+}
+
+// LoadFixture type-checks the fixture package at root/<path> (analysistest
+// layout: imports between fixtures resolve under root, everything else
+// against the standard library).
+func LoadFixture(root, path string) (*Package, error) {
+	l := newLoader(&dirResolver{root: root})
+	pf, err := l.res.resolvePkg(path)
+	if err != nil {
+		return nil, err
+	}
+	if pf == nil {
+		return nil, fmt.Errorf("fixture package %q not found under %s", path, root)
+	}
+	pkgs, err := l.loadTarget(pf, false)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}

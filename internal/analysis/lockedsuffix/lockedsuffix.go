@@ -1,0 +1,158 @@
+// Package lockedsuffix enforces the cluster's lock-suffix convention for
+// memberMu, the mutex serialising structural membership operations.
+//
+// The convention: a function whose name ends in "Locked" runs with memberMu
+// already held by its caller. Two rules fall out:
+//
+//  1. A *Locked function must never lock or unlock memberMu itself — doing
+//     so self-deadlocks (sync.Mutex is not reentrant) or releases a lock it
+//     does not own.
+//  2. A call to a *Locked function is only legal from a function that is
+//     itself *Locked, or whose body visibly locks memberMu.
+//
+// The check is lexical and intraprocedural: "visibly locks" means a
+// memberMu.Lock() call in the calling function's own body (not inside nested
+// function literals, which have their own lock context only if they inherit
+// it — a literal is treated as holding the lock when some enclosing function
+// does). That matches how the code under internal/p2p is written — lock at
+// the top, defer unlock, call the *Locked core — and keeps the analyzer
+// honest about what it can prove.
+package lockedsuffix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"baton/internal/analysis"
+)
+
+// Analyzer is the lockedsuffix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedsuffix",
+	Doc:  "*Locked functions require memberMu held by the caller and must not lock it themselves",
+	Run:  run,
+}
+
+// mutexName is the field the convention guards.
+const mutexName = "memberMu"
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkFuncs(pass.Files, func(node ast.Node, body *ast.BlockStmt, enclosing []ast.Node) {
+		locked := contextHoldsLock(enclosing)
+		inspectBody(body, func(call *ast.CallExpr) {
+			switch {
+			case isLockedFuncDecl(node) && mutexOp(call) != "":
+				pass.Reportf(call.Pos(),
+					"%s must not call memberMu.%s: the *Locked suffix means the caller already holds memberMu",
+					analysis.FuncName(node), mutexOp(call))
+			case !locked:
+				if callee := lockedCallee(pass, call); callee != "" {
+					pass.Reportf(call.Pos(),
+						"call to %s from %s, which neither ends in Locked nor locks memberMu",
+						callee, analysis.FuncName(node))
+				}
+			}
+		})
+	})
+	return nil
+}
+
+// inspectBody visits every call expression directly in body, skipping nested
+// function literals — WalkFuncs hands those to the callback separately, with
+// their own enclosing chain.
+func inspectBody(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// contextHoldsLock reports whether the innermost function of the chain runs
+// with memberMu held: some enclosing function (innermost first) either ends
+// in Locked or locks memberMu in its own body.
+func contextHoldsLock(enclosing []ast.Node) bool {
+	for i := len(enclosing) - 1; i >= 0; i-- {
+		if isLockedFuncDecl(enclosing[i]) {
+			return true
+		}
+		var body *ast.BlockStmt
+		switch n := enclosing[i].(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+		case *ast.FuncLit:
+			body = n.Body
+		}
+		acquired := false
+		inspectBody(body, func(call *ast.CallExpr) {
+			if mutexOp(call) == "Lock" {
+				acquired = true
+			}
+		})
+		if acquired {
+			return true
+		}
+	}
+	return false
+}
+
+// isLockedFuncDecl reports whether node is a function declaration following
+// the *Locked naming convention. Function literals are never *Locked — the
+// suffix is a contract on a name, and literals have none.
+func isLockedFuncDecl(node ast.Node) bool {
+	fd, ok := node.(*ast.FuncDecl)
+	return ok && isLockedName(fd.Name.Name)
+}
+
+func isLockedName(name string) bool {
+	return strings.HasSuffix(name, "Locked") && name != "Locked"
+}
+
+// mutexOp returns "Lock" or "Unlock" when call is memberMu.Lock() /
+// memberMu.Unlock() (through any receiver chain), "" otherwise.
+func mutexOp(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		if x.Name == mutexName {
+			return sel.Sel.Name
+		}
+	case *ast.SelectorExpr:
+		if x.Sel.Name == mutexName {
+			return sel.Sel.Name
+		}
+	}
+	return ""
+}
+
+// lockedCallee returns the name of the *Locked function call resolves to, or
+// "" when the callee is not a *Locked function of this package. Resolving
+// through the type-checker (rather than matching the syntax alone) rules out
+// conversions and same-named functions from other packages.
+func lockedCallee(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if !isLockedName(id.Name) {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return ""
+	}
+	return fn.Name()
+}

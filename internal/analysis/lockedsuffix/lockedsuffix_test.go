@@ -1,0 +1,12 @@
+package lockedsuffix_test
+
+import (
+	"testing"
+
+	"baton/internal/analysis/analysistest"
+	"baton/internal/analysis/lockedsuffix"
+)
+
+func TestLockedSuffix(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", lockedsuffix.Analyzer)
+}

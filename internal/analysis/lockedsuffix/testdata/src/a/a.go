@@ -1,0 +1,81 @@
+// Fixture for lockedsuffix: *Locked functions run with memberMu held by the
+// caller, never lock it themselves, and are only callable from locked
+// contexts.
+package a
+
+import "sync"
+
+type cluster struct {
+	memberMu sync.Mutex
+	members  []string
+}
+
+// addLocked is the *Locked core: mutates under the caller's lock.
+func (c *cluster) addLocked(m string) {
+	c.members = append(c.members, m)
+}
+
+// rebalanceLocked calling addLocked is fine: Locked to Locked.
+func (c *cluster) rebalanceLocked() {
+	c.addLocked("seed")
+}
+
+// Add is the canonical caller: lock, defer unlock, call the core.
+func (c *cluster) Add(m string) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	c.addLocked(m)
+}
+
+// AddFast skips the lock: the call races every locked mutation.
+func (c *cluster) AddFast(m string) {
+	c.addLocked(m) // want `call to addLocked from AddFast, which neither ends in Locked nor locks memberMu`
+}
+
+// badLocked breaks rule one twice: self-deadlock, then releasing the
+// caller's lock.
+func (c *cluster) badLocked() {
+	c.memberMu.Lock()         // want `badLocked must not call memberMu\.Lock`
+	defer c.memberMu.Unlock() // want `badLocked must not call memberMu\.Unlock`
+	c.members = nil
+}
+
+// Sweep shows literals inheriting the enclosing lock context.
+func (c *cluster) Sweep() {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	apply := func() {
+		c.addLocked("swept") // inherits Sweep's lock: fine
+	}
+	apply()
+}
+
+// Leak shows a literal NOT inheriting a lock that is never taken.
+func (c *cluster) Leak() {
+	go func() {
+		c.addLocked("leak") // want `call to addLocked from function literal`
+	}()
+}
+
+// Audited is a reviewed exception, silenced per site.
+func (c *cluster) Audited(m string) {
+	//batonvet:ignore lockedsuffix constructor path, no concurrent access yet
+	c.addLocked(m)
+}
+
+// otherLock guards nothing the convention covers: untouched.
+type otherLock struct {
+	mu sync.Mutex
+}
+
+func (o *otherLock) Toggle() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+}
+
+// Locked on its own is not the convention — the suffix needs a stem.
+func Locked() {}
+
+func callsBareLocked() {
+	Locked() // the bare name is not a *Locked function: fine
+}

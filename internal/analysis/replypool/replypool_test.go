@@ -1,0 +1,12 @@
+package replypool_test
+
+import (
+	"testing"
+
+	"baton/internal/analysis/analysistest"
+	"baton/internal/analysis/replypool"
+)
+
+func TestReplyPool(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", replypool.Analyzer)
+}

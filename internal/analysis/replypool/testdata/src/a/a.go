@@ -1,0 +1,107 @@
+// Fixture for replypool: every getReply() paired with putReply() on all
+// return paths.
+package a
+
+import "sync"
+
+type response struct {
+	val string
+	err error
+}
+
+var replyPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
+func getReply() chan response {
+	return replyPool.Get().(chan response)
+}
+
+func putReply(ch chan response) { replyPool.Put(ch) }
+
+func send(ch chan response) bool { return ch != nil }
+
+var done = make(chan struct{})
+
+// good mirrors the real request path: release on the failed-send path, on
+// the answered path, and (via directive) deliberate abandonment on Stop.
+func good() (response, error) {
+	reply := getReply()
+	if !send(reply) {
+		putReply(reply)
+		return response{}, nil
+	}
+	select {
+	case resp := <-reply:
+		putReply(reply)
+		return resp, nil
+	case <-done:
+		//batonvet:ignore replypool abandoned on Stop: a late answer must not reach the pool
+		return response{}, nil
+	}
+}
+
+// deferred releases via defer: one registration covers every return.
+func deferred() (response, error) {
+	reply := getReply()
+	defer putReply(reply)
+	if !send(reply) {
+		return response{}, nil
+	}
+	return <-reply, nil
+}
+
+// leakOnError forgets the release on the early-error return.
+func leakOnError() (response, error) {
+	reply := getReply()
+	if !send(reply) {
+		return response{}, nil // want `leaks the pooled reply channel`
+	}
+	resp := <-reply
+	putReply(reply)
+	return resp, nil
+}
+
+// leakOnStop forgets the release on the done path and carries no directive.
+func leakOnStop() (response, error) {
+	reply := getReply()
+	select {
+	case resp := <-reply:
+		putReply(reply)
+		return resp, nil
+	case <-done:
+		return response{}, nil // want `leaks the pooled reply channel`
+	}
+}
+
+// fallthroughRelease releases on the non-returning branch: the fall-through
+// to the final return is clean.
+func fallthroughRelease(retry func() (response, error)) (response, error) {
+	reply := getReply()
+	if send(reply) {
+		select {
+		case resp := <-reply:
+			putReply(reply)
+			return resp, nil
+		case <-done:
+			//batonvet:ignore replypool abandoned on Stop: a late answer must not reach the pool
+			return response{}, nil
+		}
+	}
+	putReply(reply)
+	return retry()
+}
+
+// earlyReturn precedes the acquisition: nothing to release yet.
+func earlyReturn(ok bool) (response, error) {
+	if !ok {
+		return response{}, nil
+	}
+	reply := getReply()
+	resp := <-reply
+	putReply(reply)
+	return resp, nil
+}
+
+// unrelated never touches the pool.
+func unrelated() response {
+	return response{}
+}

@@ -1,0 +1,114 @@
+// Fixture for topoimmutable: no writes through a snapshot pointer obtained
+// from Load(); clone first, publish the copy.
+package a
+
+import "sync/atomic"
+
+type peer struct {
+	load int
+}
+
+// topology is a snapshot type: named struct with clone() *topology.
+type topology struct {
+	epoch uint64
+	ring  []string
+	peers map[string]*peer
+	owner *peer
+}
+
+func (t *topology) clone() *topology {
+	nt := *t
+	nt.peers = make(map[string]*peer, len(t.peers))
+	for k, v := range t.peers {
+		nt.peers[k] = v
+	}
+	return &nt
+}
+
+type cluster struct {
+	topo atomic.Pointer[topology]
+}
+
+// Epoch reads through the shared snapshot: always fine.
+func (c *cluster) Epoch() uint64 {
+	t := c.topo.Load()
+	return t.epoch
+}
+
+// Publish is the legal mutation path: clone, mutate the copy, store.
+func (c *cluster) Publish() {
+	nt := c.topo.Load().clone()
+	nt.epoch++
+	nt.ring = append(nt.ring, "n")
+	nt.peers["n"] = &peer{}
+	c.topo.Store(nt)
+}
+
+// BumpShared writes a field through the shared pointer.
+func (c *cluster) BumpShared() {
+	t := c.topo.Load()
+	t.epoch++ // want `write through a shared \*topology snapshot`
+}
+
+// WriteDirect writes through the Load() result without even binding it.
+func (c *cluster) WriteDirect() {
+	c.topo.Load().epoch = 0 // want `write through a shared \*topology snapshot`
+}
+
+// RingSlot writes an element of the shared snapshot's slice: same memory.
+func (c *cluster) RingSlot(i int, s string) {
+	t := c.topo.Load()
+	t.ring[i] = s // want `write through a shared \*topology snapshot`
+}
+
+// MapInsert mutates the shared snapshot's map: the classic race with the
+// lock-free readers.
+func (c *cluster) MapInsert(k string, p *peer) {
+	t := c.topo.Load()
+	t.peers[k] = p // want `write through a shared \*topology snapshot`
+}
+
+// DerefCopy clobbers the whole shared struct through a deref.
+func (c *cluster) DerefCopy() {
+	t := c.topo.Load()
+	*t = topology{} // want `write through a shared \*topology snapshot`
+}
+
+// PeerCounter is NOT flagged: the chain passes through *peer, a separately
+// synchronised object that is not part of the snapshot's immutable memory.
+func (c *cluster) PeerCounter() {
+	t := c.topo.Load()
+	t.owner.load++
+}
+
+// Rebind shows taint following the variable, not the name: after the
+// rebinding to clone() the writes are on fresh memory.
+func (c *cluster) Rebind() {
+	t := c.topo.Load()
+	t = t.clone()
+	t.epoch++
+	c.topo.Store(t)
+}
+
+// Fresh composite literals are never shared until stored.
+func (c *cluster) Init() {
+	nt := &topology{peers: make(map[string]*peer)}
+	nt.epoch = 1
+	c.topo.Store(nt)
+}
+
+// Closure keeps the captured pointer's taint.
+func (c *cluster) Closure() {
+	t := c.topo.Load()
+	bump := func() {
+		t.epoch++ // want `write through a shared \*topology snapshot`
+	}
+	bump()
+}
+
+// Audited is a reviewed exception: single-goroutine bootstrap.
+func (c *cluster) Audited() {
+	t := c.topo.Load()
+	//batonvet:ignore topoimmutable bootstrap runs before the first reader exists
+	t.epoch = 1
+}

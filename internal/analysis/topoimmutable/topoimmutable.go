@@ -1,0 +1,223 @@
+// Package topoimmutable enforces the copy-on-write discipline for topology
+// snapshots: a *topology obtained from topo.Load() is shared with every
+// concurrent reader and must never be written through. Mutation is only
+// legal on a fresh value — a clone() result or a composite literal — which
+// becomes shared the moment it is published via Store.
+//
+// The analyzer is generic over "snapshot types": any named struct T declared
+// in the package under analysis that has a clone() *T method and is read
+// through sync/atomic's Pointer[T].Load(). Per function it runs a small
+// intraprocedural taint pass:
+//
+//   - shared:  the result of Pointer[T].Load(), and any *T variable bound to
+//     one (rebinding a variable to clone() flips it back to fresh);
+//   - fresh:   clone() results, composite literals, and anything the pass
+//     cannot prove shared (function parameters included — callers own the
+//     proof at the Load site).
+//
+// An assignment, IncDec or compound op whose left-hand side reaches a shared
+// root through selectors, indexing and derefs is reported. The chain stops
+// at a pointer to any non-snapshot type: an interior *peer is a separately
+// synchronised object with its own rules, not part of the snapshot's
+// immutable memory. Interior maps and slices ARE part of it — t.peers[k] = p
+// through a shared t is exactly the bug this check exists for.
+//
+// Known limitation, by design: the pass is intraprocedural, so passing a
+// Load() result to a helper that mutates it escapes the check. The
+// convention that makes this acceptable is that mutation helpers take the
+// clone (see publishTopology and its callers).
+package topoimmutable
+
+import (
+	"go/ast"
+	"go/types"
+
+	"baton/internal/analysis"
+)
+
+// Analyzer is the topoimmutable check.
+var Analyzer = &analysis.Analyzer{
+	Name: "topoimmutable",
+	Doc:  "no writes through a snapshot pointer obtained from Load(); clone before mutating",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the taint pass over one function, nested literals
+// included — a closure capturing a shared snapshot keeps its taint.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	shared := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					// A plain variable (re)binding: track taint when the
+					// variable holds a snapshot pointer.
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil && isSnapshotPtr(pass, obj.Type()) {
+						if i < len(stmt.Rhs) && len(stmt.Lhs) == len(stmt.Rhs) {
+							shared[obj] = exprShared(pass, shared, stmt.Rhs[i])
+						}
+					}
+					continue
+				}
+				checkWrite(pass, shared, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, shared, stmt.X)
+		}
+		return true
+	})
+}
+
+// checkWrite reports lhs when the write lands in shared snapshot memory.
+func checkWrite(pass *analysis.Pass, shared map[types.Object]bool, lhs ast.Expr) {
+	root := chainRoot(pass, lhs)
+	if root == nil {
+		return
+	}
+	bad := false
+	switch r := root.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(r); obj != nil {
+			bad = shared[obj]
+		}
+	case *ast.CallExpr:
+		bad = loadedSnapshot(pass, r) != nil
+	}
+	if bad {
+		pass.Reportf(lhs.Pos(),
+			"write through a shared %s snapshot from Load(): snapshots are immutable once published — clone() first and publish the copy",
+			snapshotName(pass, root))
+	}
+}
+
+// chainRoot unwraps an lvalue chain (selectors, indexing, derefs, parens) to
+// its root expression, or nil when the chain passes through a pointer to a
+// non-snapshot type — writes behind such a pointer belong to a different
+// object with its own ownership rules.
+func chainRoot(pass *analysis.Pass, expr ast.Expr) ast.Expr {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if foreignPointer(pass, e.X) {
+				return nil
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			if foreignPointer(pass, e.X) {
+				return nil
+			}
+			expr = e.X
+		default:
+			return expr
+		}
+	}
+}
+
+// foreignPointer reports whether expr has pointer type with a non-snapshot
+// element — the chain-breaking case.
+func foreignPointer(pass *analysis.Pass, expr ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return snapshotType(pass, ptr.Elem()) == nil
+}
+
+// exprShared decides the taint of a right-hand side: true only when the pass
+// can prove the value is a published snapshot.
+func exprShared(pass *analysis.Pass, shared map[types.Object]bool, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		return obj != nil && shared[obj]
+	case *ast.CallExpr:
+		return loadedSnapshot(pass, e) != nil
+	}
+	return false
+}
+
+// loadedSnapshot returns the snapshot type T when call is a Load() on an
+// atomic.Pointer[T], nil otherwise.
+func loadedSnapshot(pass *analysis.Pass, call *ast.CallExpr) *types.Named {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return nil
+	}
+	recv := pass.TypesInfo.TypeOf(sel.X)
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	if named.Obj().Pkg().Path() != "sync/atomic" || named.Obj().Name() != "Pointer" {
+		return nil
+	}
+	args := named.TypeArgs()
+	if args == nil || args.Len() != 1 {
+		return nil
+	}
+	return snapshotType(pass, args.At(0))
+}
+
+// snapshotType returns t as a snapshot type — a named struct declared in the
+// package under analysis with a clone() *T method — or nil.
+func snapshotType(pass *analysis.Pass, t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "clone" {
+			continue
+		}
+		sig := m.Signature()
+		if sig.Results().Len() != 1 {
+			continue
+		}
+		if ptr, ok := sig.Results().At(0).Type().(*types.Pointer); ok && types.Identical(ptr.Elem(), named) {
+			return named
+		}
+	}
+	return nil
+}
+
+// isSnapshotPtr reports whether t is *T for a snapshot type T.
+func isSnapshotPtr(pass *analysis.Pass, t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && snapshotType(pass, ptr.Elem()) != nil
+}
+
+// snapshotName names the snapshot type behind a flagged root for the
+// diagnostic, falling back to "snapshot" when the root is opaque.
+func snapshotName(pass *analysis.Pass, root ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(root)
+	if ptr, ok := t.(*types.Pointer); ok {
+		if named := snapshotType(pass, ptr.Elem()); named != nil {
+			return "*" + named.Obj().Name()
+		}
+	}
+	return "snapshot"
+}

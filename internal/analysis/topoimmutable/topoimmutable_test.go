@@ -1,0 +1,12 @@
+package topoimmutable_test
+
+import (
+	"testing"
+
+	"baton/internal/analysis/analysistest"
+	"baton/internal/analysis/topoimmutable"
+)
+
+func TestTopoImmutable(t *testing.T) {
+	analysistest.Run(t, "testdata", "a", topoimmutable.Analyzer)
+}

@@ -285,6 +285,8 @@ func (nw *Network) send(dst *Node, t stats.MsgType, cat msgCategory) {
 		nw.curOp.DataMessages++
 	case catExtra:
 		nw.curOp.ExtraMessages++
+	case catOther:
+		// Counted in the operation's total above; no per-component bucket.
 	}
 }
 

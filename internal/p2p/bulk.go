@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"fmt"
 	"sort"
 
 	"baton/internal/core"
@@ -163,8 +164,13 @@ func (c *Cluster) bulkRetry(k kind, via core.PeerID, it store.Item) BulkResult {
 		single = kindGet
 	case kindBulkPut:
 		single = kindPut
-	default:
+	case kindBulkDelete:
 		single = kindDelete
+	default:
+		// Only the three bulk kinds have a singleton counterpart; mapping
+		// anything else to a delete (as an earlier version did) would destroy
+		// data on a dispatch bug.
+		return BulkResult{Key: it.Key, Err: fmt.Errorf("p2p: bulk retry for non-bulk kind %d", k)}
 	}
 	t := c.topo.Load()
 	if e := t.entryOf(it.Key); e != nil && e.p.alive.Load() {
@@ -216,6 +222,11 @@ func (c *Cluster) handleBulk(p *peer, req request) {
 		case kindBulkDelete:
 			ok := p.data.Delete(it.Key)
 			results[i] = BulkResult{Key: it.Key, Found: ok}
+		default:
+			// A non-bulk kind can only get here through a dispatch bug; a
+			// zero BulkResult would read as "key absent", so answer the slot
+			// with an explicit error instead.
+			results[i] = BulkResult{Key: it.Key, Err: fmt.Errorf("p2p: unhandled bulk kind %d", req.kind)}
 		}
 	}
 	p.noteItems()

@@ -107,6 +107,7 @@ func (c *Cluster) issueDirect(via core.PeerID, req request) (response, error) {
 				putReply(req.reply)
 				return resp, nil
 			case <-c.done:
+				//batonvet:ignore replypool abandoned on Stop by design: the late answer must not reach the pool (see replyPool's doc comment)
 				return response{}, ErrStopped
 			}
 		}
