@@ -26,6 +26,7 @@ package baton
 import (
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/obs"
 	"baton/internal/p2p"
 	"baton/internal/stats"
 	"baton/internal/store"
@@ -218,6 +219,33 @@ const (
 	RouteOverlay = p2p.RouteOverlay
 	RouteDirect  = p2p.RouteDirect
 )
+
+// ClusterMetrics is the lock-free snapshot of the cluster's metrics
+// registry returned by Cluster.Metrics: per-peer delivered / spilled /
+// refused message counts, stale-route attribution, inbox and spill-queue
+// gauges, and queue-wait / handle-time histograms with cluster-wide
+// percentiles. Taking it never stops traffic.
+type ClusterMetrics = obs.ClusterMetrics
+
+// PeerMetricsSnapshot is one peer's slice of a ClusterMetrics.
+type PeerMetricsSnapshot = obs.PeerSnapshot
+
+// MetricsHistogram is a snapshot of one streaming histogram in the metrics
+// registry (exact buckets for small values, logarithmic above), with
+// Percentile, Mean, Merge and Sub for before/after deltas.
+type MetricsHistogram = obs.HistogramSnapshot
+
+// TraceHop is one hop of a sampled request trace: the peer that served the
+// message, the message kind, the peer's tree level, and the hop's queue
+// wait and handle time. Enable sampling with Cluster.SetTraceSampling and
+// read completed chains with Cluster.Traces.
+type TraceHop = obs.Hop
+
+// ClusterEvent is one entry of the structural-op journal kept by the live
+// cluster: every Join / Depart / Kill / Recover / balance action with
+// per-phase durations, the number of items migrated and the outcome. Read
+// the retained journal with Cluster.Events.
+type ClusterEvent = obs.Event
 
 // NewCluster animates a snapshot of the simulated network as a live
 // cluster: every peer becomes a goroutine serving its share of the data.

@@ -16,6 +16,8 @@ type benchOptions struct {
 	seed                       int64
 	out                        string
 	requireSpeedup             float64
+	traceSample                int
+	metricsOut                 string
 }
 
 // benchCase is one cell of the fixed benchmark matrix. Cells that feed the
@@ -39,7 +41,14 @@ type benchResult struct {
 	P99us       float64 `json:"p99_us"`
 	MsgsPerOp   float64 `json:"msgs_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
-	StaleRoutes int64   `json:"stale_routes,omitempty"`
+	// HopsP50 and HopsP99 are percentiles of the per-op message hop counts;
+	// QueueWaitP99us is the p99 of how long messages sat queued in peer
+	// inboxes during this cell, in microseconds (both from the flight
+	// recorder's registry).
+	HopsP50        float64 `json:"hops_p50"`
+	HopsP99        float64 `json:"hops_p99"`
+	QueueWaitP99us float64 `json:"queue_wait_p99_us"`
+	StaleRoutes    int64   `json:"stale_routes,omitempty"`
 	// Imbalance is the final max/average stored-load ratio of the skew
 	// cells (zipf rows only).
 	Imbalance float64 `json:"imbalance,omitempty"`
@@ -128,6 +137,18 @@ func runBench(o benchOptions) {
 			c.KillPeers, c.RecoverPeers = churn, churn
 		})},
 	}
+	if o.traceSample > 0 {
+		// The traced twin of the get-direct gate cell, inserted right after
+		// it (before the matrix mutates the composition) so the sampling
+		// overhead comparison runs on the same quiesced cluster. Its
+		// throughput is gated against the untraced row below.
+		traced := benchCase{"get-direct-traced", 3, with(func(c *driver.Config) {
+			c.GetFraction = 1
+			c.Route = p2p.RouteDirect
+			c.TraceSample = o.traceSample
+		})}
+		cases = append(cases[:2], append([]benchCase{traced}, cases[2:]...)...)
+	}
 
 	// Warm both routing paths (scheduler, allocator, reply-channel pool) so
 	// the first measured cell does not absorb the cold-start cost.
@@ -156,13 +177,16 @@ func runBench(o benchOptions) {
 		runtime.ReadMemStats(&mem)
 		msgs := c.Messages() - msgsBefore
 		res := benchResult{
-			Route:       cfg.Route.String(),
-			Ops:         rep.Ops,
-			Errors:      rep.Errors,
-			OpsPerSec:   rep.OpsPerSec,
-			P50us:       rep.Latency[driver.OpAll].Percentile(0.50),
-			P99us:       rep.Latency[driver.OpAll].Percentile(0.99),
-			StaleRoutes: c.StaleRoutes() - staleBefore,
+			Route:          cfg.Route.String(),
+			Ops:            rep.Ops,
+			Errors:         rep.Errors,
+			OpsPerSec:      rep.OpsPerSec,
+			P50us:          rep.Latency[driver.OpAll].Percentile(0.50),
+			P99us:          rep.Latency[driver.OpAll].Percentile(0.99),
+			HopsP50:        rep.HopsP50,
+			HopsP99:        rep.HopsP99,
+			QueueWaitP99us: rep.QueueWaitP99us,
+			StaleRoutes:    c.StaleRoutes() - staleBefore,
 		}
 		if rep.Ops > 0 {
 			// Whole-process deltas: peer-side message handling and replication
@@ -254,6 +278,24 @@ func runBench(o benchOptions) {
 		fatal(err)
 	}
 	fmt.Printf("baseline written to %s\n", o.out)
+	writeObsDump(cluster, o.metricsOut)
+
+	if o.traceSample > 0 {
+		// Sampling must be close to free: gate the traced direct-get row at
+		// the same noise margin the speedup gate uses (≥95% of untraced
+		// throughput, i.e. <5% overhead, best of 3 each).
+		traced, untraced := byName["get-direct-traced"], byName["get-direct"]
+		if untraced.OpsPerSec <= 0 {
+			fatal(fmt.Errorf("trace-overhead gate: get-direct measured no throughput"))
+		}
+		ratio := traced.OpsPerSec / untraced.OpsPerSec
+		fmt.Printf("trace sampling overhead (1-in-%d): get-direct-traced at %.2fx of get-direct (best of 3)\n", o.traceSample, ratio)
+		if ratio < gateMargin {
+			fatal(fmt.Errorf("trace-overhead gate FAILED: 1-in-%d sampling cut direct-get throughput to %.2fx, required ≥ %.2fx",
+				o.traceSample, ratio, gateMargin))
+		}
+		fmt.Printf("trace-overhead gate passed (required ≥ %.2fx)\n", gateMargin)
+	}
 
 	if o.requireSpeedup > 0 {
 		for _, pair := range [][2]string{{"get-direct", "get-overlay"}, {"put-direct", "put-overlay"}} {

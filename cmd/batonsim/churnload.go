@@ -15,6 +15,8 @@ type churnloadOptions struct {
 	joins, departs, kill                 int
 	route                                p2p.RouteMode
 	seed                                 int64
+	traceSample                          int
+	metricsOut                           string
 }
 
 // runChurnLoad is the batonsim churnload mode: the closed-loop workload
@@ -44,6 +46,7 @@ func runChurnLoad(o churnloadOptions) {
 		KillPeers:        o.kill,
 		JoinPeers:        o.joins,
 		DepartPeers:      o.departs,
+		TraceSample:      o.traceSample,
 		Seed:             o.seed,
 	})
 	fmt.Printf("churnload run (joins %d, departs %d, kills %d requested, route %s)\n", o.joins, o.departs, o.kill, o.route)
@@ -63,4 +66,5 @@ func runChurnLoad(o churnloadOptions) {
 		items += len(ps.Items)
 	}
 	fmt.Printf("post-quiesce audit: %d peers, %d items, structural invariants OK\n", len(snaps), items)
+	writeObsDump(cluster, o.metricsOut)
 }

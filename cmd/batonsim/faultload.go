@@ -16,6 +16,8 @@ type faultloadOptions struct {
 	kill, recovers                       int
 	route                                p2p.RouteMode
 	seed                                 int64
+	traceSample                          int
+	metricsOut                           string
 }
 
 // runFaultLoad is the batonsim faultload mode: the closed-loop workload
@@ -46,6 +48,7 @@ func runFaultLoad(o faultloadOptions) {
 		Keys:             keys,
 		KillPeers:        o.kill,
 		RecoverPeers:     o.recovers,
+		TraceSample:      o.traceSample,
 		Seed:             o.seed,
 	})
 	fmt.Printf("faultload run (kills %d, recovers %d requested, route %s)\n", o.kill, o.recovers, o.route)
@@ -92,4 +95,5 @@ func runFaultLoad(o faultloadOptions) {
 		items += len(ps.Items)
 	}
 	fmt.Printf("post-quiesce audit: %d peers, %d items, structural + replication invariants OK\n", len(snaps), items)
+	writeObsDump(cluster, o.metricsOut)
 }

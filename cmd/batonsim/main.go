@@ -82,6 +82,10 @@ func main() {
 		// Bench-mode flags.
 		benchOut       = flag.String("out", "BENCH_p2p.json", "bench mode: file the benchmark baseline is written to")
 		requireSpeedup = flag.Float64("requirespeedup", 0, "bench mode: fail unless direct-mode singleton ops/sec exceeds overlay-mode by this factor (0 = no gate)")
+
+		// Flight-recorder flags (workload and bench modes).
+		traceSample = flag.Int("tracesample", 0, "sample 1 in N requests for hop-level tracing (0 = off); in bench mode also gates the sampling overhead on the direct-get row")
+		metricsOut  = flag.String("metricsout", "", "write the flight-recorder dump (metrics registry, structural-op journal, sampled traces) to this JSON file after the run")
 	)
 	flag.Parse()
 	if err := validateModeFlags(*mode); err != nil {
@@ -105,12 +109,14 @@ func main() {
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, serialRange: *serialRange,
 			bulkSize: *bulkSize, route: routeMode, seed: *seed,
+			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
 	case "bench":
 		runBench(benchOptions{
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			seed: *seed, out: *benchOut, requireSpeedup: *requireSpeedup,
+			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
 	case "churnload":
@@ -119,6 +125,7 @@ func main() {
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
 			route: routeMode, seed: *seed,
+			traceSample: *traceSample, metricsOut: *metricsOut,
 		}
 		if !explicit["joins"] && !explicit["departs"] && !explicit["kill"] {
 			// No churn flags at all: default to steady-state churn turning
@@ -135,6 +142,7 @@ func main() {
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, recovers: *recovers,
 			route: routeMode, seed: *seed,
+			traceSample: *traceSample, metricsOut: *metricsOut,
 		}
 		if !explicit["kill"] {
 			// -kill not given: default to crashing (and repairing) ~1/4 of
@@ -154,6 +162,7 @@ func main() {
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, theta: *theta, autobalance: *autobalance,
 			compare: *compare, route: routeMode, seed: *seed,
+			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
 	case "rangecmp":
@@ -220,17 +229,18 @@ func main() {
 func validateModeFlags(mode string) error {
 	workloadModes := map[string]bool{"throughput": true, "churnload": true, "faultload": true, "skewload": true}
 	allowed := map[string]map[string]bool{
-		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true},
-		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true},
-		"faultload":  {"kill": true, "recover": true, "route": true},
-		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true},
-		"bench":      {"out": true, "requirespeedup": true},
+		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true, "tracesample": true, "metricsout": true},
+		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true, "tracesample": true, "metricsout": true},
+		"faultload":  {"kill": true, "recover": true, "route": true, "tracesample": true, "metricsout": true},
+		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true, "tracesample": true, "metricsout": true},
+		"bench":      {"out": true, "requirespeedup": true, "tracesample": true, "metricsout": true},
 	}
 	var bad []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup",
-			"theta", "autobalance", "compare", "bulk", "serialrange":
+			"theta", "autobalance", "compare", "bulk", "serialrange",
+			"tracesample", "metricsout":
 			if !allowed[mode][f.Name] {
 				bad = append(bad, "-"+f.Name)
 			}
@@ -264,6 +274,8 @@ func validateModeFlags(mode string) error {
 		"compare":        {"skewload"},
 		"bulk":           {"throughput"},
 		"serialrange":    {"throughput"},
+		"tracesample":    append(append([]string{}, workloads...), "bench"),
+		"metricsout":     append(append([]string{}, workloads...), "bench"),
 		"get":            workloads,
 		"put":            workloads,
 		"del":            workloads,

@@ -17,6 +17,8 @@ type skewloadOptions struct {
 	autobalance, compare                 bool
 	route                                p2p.RouteMode
 	seed                                 int64
+	traceSample                          int
+	metricsOut                           string
 }
 
 // skewResult summarises one skewload run for the comparison gate.
@@ -81,6 +83,7 @@ func skewRun(o skewloadOptions, autobalance bool) skewResult {
 		Distribution:     workload.Zipf,
 		ZipfTheta:        o.theta,
 		AutoBalance:      autobalance,
+		TraceSample:      o.traceSample,
 		Seed:             o.seed,
 	})
 	if autobalance {
@@ -119,5 +122,8 @@ func skewRun(o skewloadOptions, autobalance bool) skewResult {
 	fmt.Printf("imbalance ratio (max/avg stored items): %.2f -> %.2f  (balance actions: %d)\n",
 		res.imbBefore, res.imbAfter, res.balanced)
 	fmt.Printf("post-quiesce audit: %d peers, structural + replication invariants OK\n", len(snaps))
+	// With -compare both scenarios write here; the file ends up describing
+	// the balancer-on run, the one the gate is about.
+	writeObsDump(cluster, o.metricsOut)
 	return res
 }

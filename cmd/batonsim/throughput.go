@@ -21,6 +21,8 @@ type throughputOptions struct {
 	serialRange                          bool
 	route                                p2p.RouteMode
 	seed                                 int64
+	traceSample                          int
+	metricsOut                           string
 }
 
 // runThroughput is the batonsim throughput mode: it drives the live cluster
@@ -47,6 +49,7 @@ func runThroughput(o throughputOptions) {
 		Route:            o.route,
 		Keys:             keys,
 		KillPeers:        o.kill,
+		TraceSample:      o.traceSample,
 		Seed:             o.seed,
 	})
 	rangeMode := "parallel fan-out"
@@ -59,6 +62,7 @@ func runThroughput(o throughputOptions) {
 	if o.route == p2p.RouteDirect {
 		fmt.Printf("stale direct routes (fell back to overlay): %d\n", cluster.StaleRoutes())
 	}
+	writeObsDump(cluster, o.metricsOut)
 }
 
 // runRangeCompare benchmarks the two range modes against each other on the

@@ -137,6 +137,63 @@ func (nw *Network) nextHop(n *Node, key keyspace.Key, visited map[PeerID]bool) *
 	return try(append(primary, fallback...), true)
 }
 
+// RoutePath predicts the sequence of peers a search_exact query for key
+// issued at via visits, starting with via itself and ending at the peer
+// responsible for key. It applies the same forwarding rules as routeToKey
+// (hopCandidates order, visited-peer avoidance, dead-peer skipping) but
+// charges no messages and touches no statistics, so callers can compare a
+// route observed on a live deployment hop-for-hop against the structure's
+// expectation. On a network with failed peers the prediction is only one
+// of the valid routes — live fail-over may race repairs — so it is most
+// useful on a quiesced, fully-alive network, where the path is unique.
+func (nw *Network) RoutePath(via PeerID, key keyspace.Key) ([]PeerID, error) {
+	n, err := nw.node(via)
+	if err != nil {
+		return nil, err
+	}
+	path := []PeerID{n.id}
+	visited := map[PeerID]bool{n.id: true}
+	limit := nw.hopLimit() + 4*len(nw.failed)
+	for hops := 0; hops < limit; hops++ {
+		if nw.ownsKey(n, key) {
+			return path, nil
+		}
+		primary, fallback := nw.hopCandidates(n, key)
+		pick := func(candidates []*Node, allowVisited bool) *Node {
+			for _, candidate := range candidates {
+				if candidate == nil {
+					continue
+				}
+				if !allowVisited && visited[candidate.id] {
+					continue
+				}
+				if candidate.nodeRange.Contains(key) {
+					return candidate
+				}
+				if !candidate.alive {
+					continue
+				}
+				return candidate
+			}
+			return nil
+		}
+		next := pick(primary, false)
+		if next == nil {
+			next = pick(fallback, false)
+		}
+		if next == nil {
+			next = pick(append(primary, fallback...), true)
+		}
+		if next == nil {
+			return nil, fmt.Errorf("predicting route for key %d from peer %d: no route at %v: %w", key, via, n.pos, ErrHopLimit)
+		}
+		visited[next.id] = true
+		path = append(path, next.id)
+		n = next
+	}
+	return nil, fmt.Errorf("predicting route for key %d from peer %d: %w", key, via, ErrHopLimit)
+}
+
 // hopCandidates returns the forwarding candidates at n for key. The primary
 // list follows the search_exact algorithm (best first); the fallback list
 // contains every other link the peer holds and is only used to route around

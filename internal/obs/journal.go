@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase is one timed stage of a structural operation, e.g. the
+// prepare / extract / handoff / link-update phases of a membership
+// change.
+type Phase struct {
+	Name       string `json:"name"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// Event is one structural operation recorded in the journal: what the
+// overlay did to itself, to which peer, how long each phase took, and
+// how it ended. Op names are plain strings ("join", "depart", "kill",
+// "recover", "balance-shuffle", "force-rejoin") so readers need no enum.
+type Event struct {
+	Seq        int64     `json:"seq"`
+	Op         string    `json:"op"`
+	Peer       int64     `json:"peer"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Phases     []Phase   `json:"phases,omitempty"`
+	Migrated   int       `json:"migrated,omitempty"`
+	Outcome    string    `json:"outcome"`
+	Err        string    `json:"err,omitempty"`
+}
+
+// AddPhase appends a timed phase to the event.
+func (e *Event) AddPhase(name string, d time.Duration) {
+	e.Phases = append(e.Phases, Phase{Name: name, DurationNs: d.Nanoseconds()})
+}
+
+// Journal is a fixed-size ring buffer of structural-op events. Writers
+// are the (already serialised) structural operations; readers may call
+// Events at any time.
+type Journal struct {
+	mu   sync.Mutex
+	seq  int64
+	buf  []Event
+	next int
+	n    int
+}
+
+// NewJournal returns a journal retaining up to size events.
+func NewJournal(size int) *Journal {
+	if size < 1 {
+		size = 1
+	}
+	return &Journal{buf: make([]Event, size)}
+}
+
+// Record stamps the event with the next sequence number and appends it,
+// evicting the oldest event when the ring is full.
+func (j *Journal) Record(ev Event) {
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	j.buf[j.next] = ev
+	j.next = (j.next + 1) % len(j.buf)
+	if j.n < len(j.buf) {
+		j.n++
+	}
+	j.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	start := j.next - j.n
+	if start < 0 {
+		start += len(j.buf)
+	}
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(start+i)%len(j.buf)])
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package obs
+
+import "sync/atomic"
+
+// counterLine is one cache-line-padded counter, so that adjacent
+// counters in a block — or the tail of one peer's block and the head of
+// the next — never share a line. The padding trades memory (64 bytes per
+// counter) for the same property msgCounter in internal/p2p buys with
+// shards: concurrent writers to *different* counters never serialise on
+// the cache-coherence protocol.
+type counterLine struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// PeerMetrics is one peer's slice of the metrics registry. The registry
+// is sharded the way the overlay itself is: each peer owns a block, the
+// hot per-kind delivery counters inside it are cache-line padded, and
+// writers touch only their own peer's block — the same contention the
+// peer's inbox already imposes. Everything is a typed atomic, so a
+// snapshot is a plain sweep with no locks and writers are never blocked.
+//
+// The spill gauges (SetSpillDepth) are written under the owning peer's
+// spill lock, which makes the high-water max race-free; every other
+// method is safe for concurrent use by any goroutine.
+type PeerMetrics struct {
+	delivered []counterLine // one padded counter per message kind
+	spilled   []atomic.Int64
+	refused   []atomic.Int64
+
+	stale          atomic.Int64
+	spillDepth     atomic.Int64
+	spillHighWater atomic.Int64
+
+	queueWait  Histogram
+	handleTime Histogram
+	spillDrain Histogram
+}
+
+// NewPeerMetrics returns a block with counters for nkinds message kinds.
+func NewPeerMetrics(nkinds int) *PeerMetrics {
+	return &PeerMetrics{
+		delivered: make([]counterLine, nkinds),
+		spilled:   make([]atomic.Int64, nkinds),
+		refused:   make([]atomic.Int64, nkinds),
+	}
+}
+
+// Delivered counts one message of the given kind accepted into the
+// peer's inbox or spill queue.
+func (m *PeerMetrics) Delivered(kind int) { m.delivered[kind].n.Add(1) }
+
+// Spilled counts one message of the given kind that overflowed the inbox
+// into the spill queue (it is also counted as delivered).
+func (m *PeerMetrics) Spilled(kind int) { m.spilled[kind].Add(1) }
+
+// Refused counts one message of the given kind terminated with an error
+// at this peer.
+func (m *PeerMetrics) Refused(kind int) { m.refused[kind].Add(1) }
+
+// StaleRoute counts one direct-routed request that reached this peer
+// after its key's ownership had moved.
+func (m *PeerMetrics) StaleRoute() { m.stale.Add(1) }
+
+// StaleRoutes returns the stale-route count.
+func (m *PeerMetrics) StaleRoutes() int64 { return m.stale.Load() }
+
+// SetSpillDepth publishes the spill queue's current length and advances
+// the high-water mark. Callers must serialise calls per block (the p2p
+// layer calls it under the peer's spill lock).
+func (m *PeerMetrics) SetSpillDepth(n int64) {
+	m.spillDepth.Store(n)
+	if n > m.spillHighWater.Load() {
+		m.spillHighWater.Store(n)
+	}
+}
+
+// ObserveQueueWait records how long one message sat queued (inbox or
+// spill) before handling began, in nanoseconds.
+func (m *PeerMetrics) ObserveQueueWait(ns int64) { m.queueWait.Observe(ns) }
+
+// ObserveHandle records how long handling one message took, in
+// nanoseconds (forwarding included — it is work this peer performed).
+func (m *PeerMetrics) ObserveHandle(ns int64) { m.handleTime.Observe(ns) }
+
+// ObserveSpillDrain records how long a spill batch waited between the
+// queue going non-empty and the serving goroutine starting to drain it.
+func (m *PeerMetrics) ObserveSpillDrain(ns int64) { m.spillDrain.Observe(ns) }
+
+// Absorb folds another block's totals into this one. It is used to
+// preserve a retired peer's counts in the cluster aggregate after the
+// peer object itself is dropped; the caller guarantees the absorbed
+// block no longer receives traffic.
+func (m *PeerMetrics) Absorb(o *PeerMetrics) {
+	for i := range o.delivered {
+		if n := o.delivered[i].n.Load(); n != 0 {
+			m.delivered[i].n.Add(n)
+		}
+	}
+	for i := range o.spilled {
+		if n := o.spilled[i].Load(); n != 0 {
+			m.spilled[i].Add(n)
+		}
+	}
+	for i := range o.refused {
+		if n := o.refused[i].Load(); n != 0 {
+			m.refused[i].Add(n)
+		}
+	}
+	m.stale.Add(o.stale.Load())
+	absorbHist(&m.queueWait, &o.queueWait)
+	absorbHist(&m.handleTime, &o.handleTime)
+	absorbHist(&m.spillDrain, &o.spillDrain)
+}
+
+func absorbHist(dst, src *Histogram) {
+	for i := range src.counts {
+		if c := src.counts[i].Load(); c != 0 {
+			dst.counts[i].Add(c)
+		}
+	}
+	dst.n.Add(src.n.Load())
+	dst.sum.Add(src.sum.Load())
+}
+
+// PeerSnapshot is one peer's metrics at a point in time. Counter maps
+// are keyed by message-kind name and omit zero entries.
+type PeerSnapshot struct {
+	Peer           int64            `json:"peer"`
+	Delivered      map[string]int64 `json:"delivered,omitempty"`
+	Spilled        map[string]int64 `json:"spilled,omitempty"`
+	Refused        map[string]int64 `json:"refused,omitempty"`
+	StaleRoutes    int64            `json:"stale_routes,omitempty"`
+	InboxDepth     int              `json:"inbox_depth"`
+	SpillDepth     int64            `json:"spill_depth"`
+	SpillHighWater int64            `json:"spill_high_water"`
+
+	QueueWait  HistogramSnapshot `json:"queue_wait_ns"`
+	HandleTime HistogramSnapshot `json:"handle_ns"`
+	SpillDrain HistogramSnapshot `json:"spill_drain_ns"`
+}
+
+// Snapshot reads the block without locking. kindName maps a kind index
+// to its display name.
+func (m *PeerMetrics) Snapshot(peer int64, kindName func(int) string) PeerSnapshot {
+	s := PeerSnapshot{
+		Peer:           peer,
+		StaleRoutes:    m.stale.Load(),
+		SpillDepth:     m.spillDepth.Load(),
+		SpillHighWater: m.spillHighWater.Load(),
+		QueueWait:      m.queueWait.Snapshot(),
+		HandleTime:     m.handleTime.Snapshot(),
+		SpillDrain:     m.spillDrain.Snapshot(),
+	}
+	for i := range m.delivered {
+		if n := m.delivered[i].n.Load(); n != 0 {
+			if s.Delivered == nil {
+				s.Delivered = make(map[string]int64, 8)
+			}
+			s.Delivered[kindName(i)] = n
+		}
+	}
+	for i := range m.spilled {
+		if n := m.spilled[i].Load(); n != 0 {
+			if s.Spilled == nil {
+				s.Spilled = make(map[string]int64, 4)
+			}
+			s.Spilled[kindName(i)] = n
+		}
+	}
+	for i := range m.refused {
+		if n := m.refused[i].Load(); n != 0 {
+			if s.Refused == nil {
+				s.Refused = make(map[string]int64, 4)
+			}
+			s.Refused[kindName(i)] = n
+		}
+	}
+	return s
+}
+
+// ClusterMetrics aggregates every peer's snapshot plus the totals of
+// peers already retired from the topology. The convenience percentile
+// fields are in microseconds, precomputed so a JSON dump is readable
+// without post-processing.
+type ClusterMetrics struct {
+	Peers []PeerSnapshot `json:"peers"`
+
+	Delivered   map[string]int64 `json:"delivered,omitempty"`
+	Spilled     map[string]int64 `json:"spilled,omitempty"`
+	Refused     map[string]int64 `json:"refused,omitempty"`
+	StaleRoutes int64            `json:"stale_routes"`
+
+	QueueWait  HistogramSnapshot `json:"queue_wait_ns"`
+	HandleTime HistogramSnapshot `json:"handle_ns"`
+	SpillDrain HistogramSnapshot `json:"spill_drain_ns"`
+
+	QueueWaitP50us  float64 `json:"queue_wait_p50_us"`
+	QueueWaitP99us  float64 `json:"queue_wait_p99_us"`
+	HandleTimeP50us float64 `json:"handle_p50_us"`
+	HandleTimeP99us float64 `json:"handle_p99_us"`
+}
+
+// BuildClusterMetrics folds per-peer snapshots (live peers plus the
+// retired aggregate) into cluster totals.
+func BuildClusterMetrics(peers []PeerSnapshot, retired PeerSnapshot) ClusterMetrics {
+	cm := ClusterMetrics{Peers: peers}
+	add := func(dst *map[string]int64, src map[string]int64) {
+		for k, v := range src {
+			if *dst == nil {
+				*dst = make(map[string]int64, 8)
+			}
+			(*dst)[k] += v
+		}
+	}
+	fold := func(s PeerSnapshot) {
+		add(&cm.Delivered, s.Delivered)
+		add(&cm.Spilled, s.Spilled)
+		add(&cm.Refused, s.Refused)
+		cm.StaleRoutes += s.StaleRoutes
+		cm.QueueWait = cm.QueueWait.Merge(s.QueueWait)
+		cm.HandleTime = cm.HandleTime.Merge(s.HandleTime)
+		cm.SpillDrain = cm.SpillDrain.Merge(s.SpillDrain)
+	}
+	for _, s := range peers {
+		fold(s)
+	}
+	fold(retired)
+	cm.QueueWaitP50us = float64(cm.QueueWait.Percentile(50)) / 1e3
+	cm.QueueWaitP99us = float64(cm.QueueWait.Percentile(99)) / 1e3
+	cm.HandleTimeP50us = float64(cm.HandleTime.Percentile(50)) / 1e3
+	cm.HandleTimeP99us = float64(cm.HandleTime.Percentile(99)) / 1e3
+	return cm
+}

@@ -6,6 +6,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/obs"
 	"baton/internal/store"
 )
 
@@ -93,6 +94,7 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 		items   []store.Item
 		indices []int
 		reply   chan response
+		trace   *obs.Trace
 	}
 	batches := make(map[core.PeerID]*batch)
 	order := make([]*batch, 0)
@@ -112,9 +114,13 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 		b.indices = append(b.indices, i)
 	}
 	// Scatter every batch before gathering any reply so the per-peer work
-	// overlaps.
+	// overlaps. Each batch is its own sampling candidate: a bulk call is one
+	// message per covering peer, so each batch trace is a single hop (plus
+	// any forwarding a stale ring triggers).
 	for _, b := range order {
 		req := request{kind: k, bulk: b.items, reply: b.reply}
+		c.sampleTrace(&req)
+		b.trace = req.trace
 		if !c.send(b.id, req) {
 			if c.stopped.Load() {
 				// The send failed because the cluster is stopping, not
@@ -131,6 +137,7 @@ func (c *Cluster) bulk(k kind, items []store.Item) ([]BulkResult, error) {
 		case <-c.done:
 			return nil, ErrStopped
 		}
+		c.finishTrace(request{trace: b.trace})
 		for j, idx := range b.indices {
 			if resp.err != nil {
 				out[idx] = BulkResult{Key: b.items[j].Key, Err: resp.err}

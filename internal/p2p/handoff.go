@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
@@ -102,19 +103,14 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 
 	// Phase 1: spawn new peers, registered for delivery before any request
 	// or handoff can be addressed to them.
+	phaseStart := time.Now()
 	base := c.topo.Load()
 	var spawned []*peer
 	for id, ns := range next {
 		if _, existed := prev[id]; existed {
 			continue
 		}
-		p := &peer{
-			id:        id,
-			data:      store.New(),
-			inbox:     make(chan request, 256),
-			spillWake: make(chan struct{}, 1),
-			quit:      make(chan struct{}),
-		}
+		p := newPeer(id)
 		p.installState(buildState(ns, next))
 		p.pending = gains[id]
 		p.alive.Store(true)
@@ -151,8 +147,10 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 		return 0, err
 	}
 	acks = acks[:0]
+	c.journalPhase("prepare", phaseStart)
 
 	// Phase 3: the sources shrink, extract and hand off.
+	phaseStart = time.Now()
 	handoffAck := make(chan response, len(moves))
 	srcMoves := make(map[core.PeerID][]handoffMove)
 	for _, mv := range moves {
@@ -199,12 +197,14 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 		return 0, err
 	}
 	acks = acks[:0]
+	c.journalPhase("extract", phaseStart)
 
 	// Phase 4: new link sets for every other affected peer. Affected means
 	// the link IDs changed, or — the paper's notifyRangeChange — a linked
 	// peer's range changed: links cache the target's range bounds, and a
 	// stale cached range would make forward()'s dead-owner refusal rule
 	// misattribute a migrated key to a peer killed later.
+	phaseStart = time.Now()
 	rangeChanged := make(map[core.PeerID]bool)
 	for id, ns := range next {
 		if ps, ok := prev[id]; !ok || ps.Range != ns.Range {
@@ -228,10 +228,12 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 	if err := c.waitAcks(acks); err != nil {
 		return 0, err
 	}
+	c.journalPhase("link-update", phaseStart)
 
 	// Phase 5: wait for every handoff to be absorbed, so the operation is
 	// fully settled — and the no-lost-write guarantee holds — by the time
 	// the structural call returns.
+	phaseStart = time.Now()
 	migrated := 0
 	for range moves {
 		select {
@@ -241,6 +243,8 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 			return migrated, ErrStopped
 		}
 	}
+	c.journalPhase("handoff", phaseStart)
+	c.journalMigrated(migrated)
 
 	// Publish the new composition to clients, and queue freshly departed
 	// peers for retirement at a later structural operation.
@@ -360,6 +364,10 @@ func (c *Cluster) reapTombstones() {
 			continue
 		}
 		close(p.quit) // stage 2: drain, forward and exit
+		// Fold the tombstone's counters into the retired aggregate so
+		// cluster totals (StaleRoutes, Metrics) stay monotonic after the
+		// peer vanishes from the topology.
+		c.retired.Absorb(p.met)
 		reaped = append(reaped, p.id)
 	}
 	c.tombstones = keep
@@ -565,7 +573,7 @@ func (c *Cluster) applyHandoff(p *peer, req request) {
 		// in a later operation while this handoff was in flight; pass the
 		// items (and the coordinator's ack) along to its successor.
 		if !c.send(p.departTo, req) {
-			c.refuse(req, ErrOwnerDown)
+			c.refuse(p, req, ErrOwnerDown)
 		}
 		return
 	}

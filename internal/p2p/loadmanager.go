@@ -351,7 +351,18 @@ func (c *Cluster) ForceRejoin(light, hot core.PeerID) (int, error) {
 }
 
 // forceRejoinLocked is the body of ForceRejoin; the caller holds memberMu.
+// It journals the rejoin — the balancer's BalanceOnce reaches the journal
+// through here too.
 func (c *Cluster) forceRejoinLocked(light, hot core.PeerID) (int, error) {
+	c.journalBegin("force-rejoin", light)
+	n, err := c.rejoinLocked(light, hot)
+	c.journalEnd(err)
+	return n, err
+}
+
+// rejoinLocked performs the forced depart-and-rejoin; the caller holds
+// memberMu.
+func (c *Cluster) rejoinLocked(light, hot core.PeerID) (int, error) {
 	t := c.topo.Load()
 	for _, id := range []core.PeerID{light, hot} {
 		if !t.members[id] {

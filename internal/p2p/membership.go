@@ -51,6 +51,15 @@ type handoffMove struct {
 func (c *Cluster) Join(via core.PeerID) (core.PeerID, error) {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
+	c.journalBegin("join", core.NoPeer)
+	id, err := c.joinLocked(via)
+	c.journalSetPeer(id)
+	c.journalEnd(err)
+	return id, err
+}
+
+// joinLocked is the body of Join; the caller holds memberMu.
+func (c *Cluster) joinLocked(via core.PeerID) (core.PeerID, error) {
 	if c.stopped.Load() {
 		return core.NoPeer, ErrStopped
 	}
@@ -97,6 +106,14 @@ func (c *Cluster) Join(via core.PeerID) (core.PeerID, error) {
 func (c *Cluster) Depart(id core.PeerID) error {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
+	c.journalBegin("depart", id)
+	err := c.departLocked(id)
+	c.journalEnd(err)
+	return err
+}
+
+// departLocked is the body of Depart; the caller holds memberMu.
+func (c *Cluster) departLocked(id core.PeerID) error {
 	if c.stopped.Load() {
 		return ErrStopped
 	}
@@ -173,8 +190,18 @@ func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
 }
 
 // loadBalanceLocked is the body of LoadBalance; the caller holds memberMu
-// and has validated that id is an alive member.
+// and has validated that id is an alive member. It journals the shuffle —
+// the balancer's BalanceOnce reaches the journal through here too.
 func (c *Cluster) loadBalanceLocked(id core.PeerID) (int, error) {
+	c.journalBegin("balance-shuffle", id)
+	n, err := c.shuffleLocked(id)
+	c.journalEnd(err)
+	return n, err
+}
+
+// shuffleLocked measures the peer and its neighbours and performs the
+// boundary shift; the caller holds memberMu.
+func (c *Cluster) shuffleLocked(id core.PeerID) (int, error) {
 	ps := c.states[id]
 	cx, err := c.peerCountRetry(id)
 	if err != nil {
@@ -299,7 +326,7 @@ func (c *Cluster) handleJoinLocate(p *peer, req request) {
 			return
 		}
 	}
-	c.refuse(req, ErrUnreachable)
+	c.refuse(p, req, ErrUnreachable)
 }
 
 // freeChildSide returns a side whose child slot is empty, preferring the

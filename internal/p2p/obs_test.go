@@ -1,0 +1,249 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"baton/internal/core"
+	"baton/internal/obs"
+)
+
+// tracePeers flattens a hop chain to the visited peer IDs, in travel order.
+func tracePeers(hops []obs.Hop) []core.PeerID {
+	out := make([]core.PeerID, len(hops))
+	for i, h := range hops {
+		out[i] = core.PeerID(h.Peer)
+	}
+	return out
+}
+
+// TestTraceOverlayMatchesExpectedRoute is the flight recorder's ground-truth
+// test: on a quiesced 64-peer cluster with 1-in-1 sampling, the hop chain a
+// traced overlay Get records must match — hop for hop, peer for peer — the
+// route the structural mirror predicts for the same (via, key) pair
+// (core.RoutePath applies the search_exact forwarding rules without charging
+// messages). Any divergence means the live overlay and the paper's algorithm
+// have drifted apart, or the recorder attributes hops to the wrong peer.
+func TestTraceOverlayMatchesExpectedRoute(t *testing.T) {
+	c, keys := liveCluster(t, 64, 300, 431)
+	snaps, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectNW, err := core.FromSnapshot(c.Domain(), snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTraceSampling(1)
+	ids := c.PeerIDs()
+	rng := rand.New(rand.NewSource(433))
+	for i := 0; i < 40; i++ {
+		via := ids[rng.Intn(len(ids))]
+		key := keys[rng.Intn(len(keys))]
+		if _, found, _, err := c.Get(via, key); err != nil || !found {
+			t.Fatalf("get %d via %d: found=%v err=%v", key, via, found, err)
+		}
+		traces := c.Traces()
+		if len(traces) == 0 {
+			t.Fatal("1-in-1 sampling recorded no trace")
+		}
+		got := tracePeers(traces[len(traces)-1])
+		want, err := expectNW.RoutePath(via, key)
+		if err != nil {
+			t.Fatalf("predicting route for %d from %d: %v", key, via, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("get %d via %d: traced route %v, structural expectation %v", key, via, got, want)
+		}
+		for _, h := range traces[len(traces)-1] {
+			if h.Kind != "GET" {
+				t.Fatalf("traced hop kind %q, want GET", h.Kind)
+			}
+			if h.QueueWaitNs < 0 {
+				t.Fatalf("negative queue wait %d", h.QueueWaitNs)
+			}
+		}
+	}
+}
+
+// TestTraceDirectGetOneHop pins the fast path's shape in the recorder: a
+// traced direct-routed Get on a quiesced cluster is exactly one hop, at the
+// key's owner.
+func TestTraceDirectGetOneHop(t *testing.T) {
+	c, keys := liveCluster(t, 32, 100, 439)
+	c.SetRouteMode(RouteDirect)
+	c.SetTraceSampling(1)
+	for _, key := range keys[:20] {
+		owner := c.ownerOf(key)
+		if _, found, _, err := c.Get(c.PeerIDs()[0], key); err != nil || !found {
+			t.Fatalf("direct get %d: found=%v err=%v", key, found, err)
+		}
+		traces := c.Traces()
+		last := traces[len(traces)-1]
+		if len(last) != 1 {
+			t.Fatalf("direct get %d traced %d hops, want exactly 1: %v", key, len(last), last)
+		}
+		if core.PeerID(last[0].Peer) != owner.id {
+			t.Fatalf("direct get %d traced at peer %d, owner is %d", key, last[0].Peer, owner.id)
+		}
+	}
+}
+
+// TestTraceStaleEpochTwoHops pins the re-aim path in the recorder: a direct
+// request tagged with a stale epoch, delivered to a peer that does not own
+// its key, is traced as exactly two hops — the mistaken peer, then the true
+// owner — and the stale-route miss is attributed to the peer that detected
+// it, visible in its per-peer metrics.
+func TestTraceStaleEpochTwoHops(t *testing.T) {
+	c, keys := liveCluster(t, 48, 200, 443)
+	if _, err := c.Join(c.PeerIDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	key := keys[0]
+	owner := c.ownerOf(key)
+	var wrong *peer
+	for _, e := range c.topo.Load().ring {
+		if e.p != owner {
+			wrong = e.p
+			break
+		}
+	}
+	req := request{kind: kindGet, key: key, epoch: 1, reply: make(chan response, 1), trace: obs.NewTrace()}
+	if !c.deliverTo(wrong, req, false) {
+		t.Fatal("delivery to the wrong peer refused")
+	}
+	resp := <-req.reply
+	if resp.err != nil || !resp.found {
+		t.Fatalf("stale-tagged get: found=%v err=%v", resp.found, resp.err)
+	}
+	got := tracePeers(req.trace.Hops())
+	if len(got) != 2 || got[0] != wrong.id || got[1] != owner.id {
+		t.Fatalf("stale-tagged get traced %v, want [%d %d] (miss then re-aim)", got, wrong.id, owner.id)
+	}
+	var wrongSnap *obs.PeerSnapshot
+	m := c.Metrics()
+	for i := range m.Peers {
+		if m.Peers[i].Peer == int64(wrong.id) {
+			wrongSnap = &m.Peers[i]
+		}
+	}
+	if wrongSnap == nil {
+		t.Fatalf("peer %d missing from metrics", wrong.id)
+	}
+	if wrongSnap.StaleRoutes != 1 {
+		t.Fatalf("stale miss attributed %d times to peer %d, want 1", wrongSnap.StaleRoutes, wrong.id)
+	}
+	if m.StaleRoutes != c.StaleRoutes() {
+		t.Fatalf("metrics stale total %d != StaleRoutes() %d", m.StaleRoutes, c.StaleRoutes())
+	}
+}
+
+// TestJournalRecordsStructuralOps drives one operation of each kind through
+// a loaded cluster and checks the journal: every op appears in order with
+// outcome ok; the ops that move data carry phase timings and a migrated
+// count.
+func TestJournalRecordsStructuralOps(t *testing.T) {
+	c, _ := liveCluster(t, 16, 800, 449)
+	id, err := c.Join(c.PeerIDs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := c.PeerIDs()[3]
+	if err := c.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Depart(id); err != nil {
+		t.Fatal(err)
+	}
+	events := c.Events()
+	var ops []string
+	byOp := make(map[string]obs.Event)
+	for _, ev := range events {
+		ops = append(ops, ev.Op)
+		byOp[ev.Op] = ev
+	}
+	for _, want := range []string{"join", "kill", "recover", "depart"} {
+		ev, ok := byOp[want]
+		if !ok {
+			t.Fatalf("journal has no %q event (got %v)", want, ops)
+		}
+		if ev.Outcome != "ok" {
+			t.Fatalf("%q event outcome %q (err %q), want ok", want, ev.Outcome, ev.Err)
+		}
+		if ev.DurationNs <= 0 {
+			t.Fatalf("%q event has duration %d", want, ev.DurationNs)
+		}
+	}
+	if p := byOp["join"].Peer; p != int64(id) {
+		t.Fatalf("join event names peer %d, want %d", p, id)
+	}
+	if byOp["recover"].Migrated <= 0 {
+		t.Fatalf("recover event migrated %d items, want > 0 on a loaded cluster", byOp["recover"].Migrated)
+	}
+	for _, op := range []string{"join", "recover", "depart"} {
+		if len(byOp[op].Phases) == 0 {
+			t.Fatalf("%q event recorded no phase timings", op)
+		}
+	}
+	// Seq must be strictly increasing in the order returned.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("journal order broken: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+}
+
+// TestMetricsCountersTrackTraffic checks the registry against known traffic:
+// delivered GET counts at least the issued gets, the queue-wait and
+// handle-time histograms saw every dispatch, and the totals survive a
+// depart + tombstone reap (the retired aggregate keeps them monotonic).
+func TestMetricsCountersTrackTraffic(t *testing.T) {
+	c, keys := liveCluster(t, 24, 200, 457)
+	ids := c.PeerIDs()
+	rng := rand.New(rand.NewSource(461))
+	const gets = 100
+	for i := 0; i < gets; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if _, found, _, err := c.Get(ids[rng.Intn(len(ids))], k); err != nil || !found {
+			t.Fatalf("get %d: found=%v err=%v", k, found, err)
+		}
+	}
+	m := c.Metrics()
+	if m.Delivered["GET"] < gets {
+		t.Fatalf("delivered GET = %d, want >= %d", m.Delivered["GET"], gets)
+	}
+	if m.QueueWait.Count < gets || m.HandleTime.Count < gets {
+		t.Fatalf("histograms saw %d waits / %d handles, want >= %d each",
+			m.QueueWait.Count, m.HandleTime.Count, gets)
+	}
+	var perPeer int64
+	for _, s := range m.Peers {
+		perPeer += s.Delivered["GET"]
+	}
+	if perPeer != m.Delivered["GET"] {
+		t.Fatalf("per-peer GET sum %d != cluster total %d", perPeer, m.Delivered["GET"])
+	}
+	before := m.Delivered["GET"]
+
+	// Retire a peer and run enough structural ops to reap its tombstone;
+	// the cluster totals must not go backwards.
+	if err := c.Depart(ids[len(ids)-1]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		id, err := c.Join(c.PeerIDs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Depart(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := c.Metrics().Delivered["GET"]; after < before {
+		t.Fatalf("delivered GET total went backwards across reap: %d -> %d", before, after)
+	}
+}

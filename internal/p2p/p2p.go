@@ -139,6 +139,34 @@
 // message per peer, amortising routing hops across the whole batch; keys
 // whose owner changed under a concurrent membership operation are retried
 // as routed singleton requests, so bulk calls stay correct under churn.
+//
+// # Observability
+//
+// The cluster records what it does through internal/obs (metrics.go),
+// and the instrumentation hooks sit strictly inside the lock order
+// batonvet enforces:
+//
+//   - Per-peer counters and histograms live in each peer's PeerMetrics
+//     block, reached through the *peer object — never by writing through
+//     a topo.Load() snapshot (topoimmutable) — and are typed atomics, so
+//     the data path takes no lock for them. deliverTo counts
+//     delivered/spilled messages and stamps the enqueue time; the serve
+//     loop's dispatch wrapper turns that stamp into queue-wait and
+//     handle-time histogram samples; refuse attributes refused messages
+//     to the peer that refused them. The spill-queue gauges are updated
+//     inside the existing spillMu critical sections — spillMu nests
+//     inside nothing, so no new lock edge appears.
+//   - Sampled request traces ride inside the request struct (a nil
+//     pointer when sampling is off, so the zero-alloc direct path is
+//     untouched); hops are appended by the serving goroutine only.
+//   - The structural-op journal is written exclusively under memberMu by
+//     the operations that already hold it (Join, Depart, Kill, Recover,
+//     LoadBalance, ForceRejoin) — journalBegin/journalEnd never lock, so
+//     they are safe from *Locked helpers (lockedsuffix still holds) and
+//     cannot invert the memberMu-before-spillMu order.
+//
+// Cluster.Metrics, Cluster.Events and Cluster.Traces read it all back
+// without stopping traffic — see metrics.go.
 package p2p
 
 import (
@@ -152,6 +180,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/obs"
 	"baton/internal/store"
 )
 
@@ -206,6 +235,66 @@ const (
 	kindReplicaFetch  // return the replica set held for one source
 	kindReplicaDump   // export every replica set this peer holds
 )
+
+// numKinds sizes per-kind metric arrays; it must track the enum above.
+const numKinds = int(kindReplicaDump) + 1
+
+// String names the kind for metrics and traces. The switch is exhaustive
+// (kindexhaustive) so a new kind cannot ship without a display name.
+func (k kind) String() string {
+	switch k {
+	case kindGet:
+		return "GET"
+	case kindPut:
+		return "PUT"
+	case kindDelete:
+		return "DELETE"
+	case kindRange:
+		return "RANGE"
+	case kindRangeScatter:
+		return "RANGE_SCATTER"
+	case kindBulkGet:
+		return "BULK_GET"
+	case kindBulkPut:
+		return "BULK_PUT"
+	case kindBulkDelete:
+		return "BULK_DELETE"
+	case kindJoinLocate:
+		return "JOIN_LOCATE"
+	case kindFindReplacement:
+		return "FIND_REPLACEMENT"
+	case kindUpdate:
+		return "UPDATE"
+	case kindHandoff:
+		return "HANDOFF"
+	case kindSnapshot:
+		return "SNAPSHOT"
+	case kindStats:
+		return "STATS"
+	case kindSplitKey:
+		return "SPLIT_KEY"
+	case kindCrash:
+		return "CRASH"
+	case kindReplicate:
+		return "REPLICATE"
+	case kindReplicaSync:
+		return "REPLICA_SYNC"
+	case kindReplicaDrop:
+		return "REPLICA_DROP"
+	case kindReplicaResync:
+		return "REPLICA_RESYNC"
+	case kindReplicaFetch:
+		return "REPLICA_FETCH"
+	case kindReplicaDump:
+		return "REPLICA_DUMP"
+	default:
+		return fmt.Sprintf("KIND_%d", int(k))
+	}
+}
+
+// kindName adapts kind.String to the index-based callback obs snapshots
+// take.
+func kindName(i int) string { return kind(i).String() }
 
 // isControl reports whether the request kind must be handled even by a
 // killed peer: structural updates and snapshots keep a dead peer's recorded
@@ -266,6 +355,15 @@ type request struct {
 	// extra hops, never correctness. Zero is reserved to mean "not direct";
 	// topology epochs start at 1.
 	epoch uint64
+	// enq is stamped by deliverTo when the request is accepted into the
+	// target's inbox or spill queue; the serving goroutine's dispatch turns
+	// it into the queue-wait sample. A by-value field, so it costs no
+	// allocation on the zero-alloc direct path.
+	enq time.Time
+	// trace, when non-nil, marks a sampled request: every peer that
+	// handles it appends a hop record (see dispatch). Nil with sampling
+	// off, which is what keeps instrumentation off the allocation budget.
+	trace *obs.Trace
 	reply chan response
 }
 
@@ -326,6 +424,16 @@ type peer struct {
 	spillMu   sync.Mutex
 	spill     []request
 	spillWake chan struct{}
+	// spillSince marks when the spill queue last went non-empty, so the
+	// drain latency — how long the overflow sat before the goroutine got
+	// to it — is measurable. Guarded by spillMu.
+	spillSince time.Time
+
+	// met is this peer's block of the metrics registry (delivered /
+	// spilled / refused counters per kind, queue-wait and handle-time
+	// histograms, spill gauges). Typed atomics throughout, written from
+	// the delivery and serve paths without locks.
+	met *obs.PeerMetrics
 
 	// reqs counts the data requests (singleton, range, scatter and bulk
 	// messages) this peer has handled — served or forwarded — the cheap
@@ -413,11 +521,22 @@ type Cluster struct {
 	msgs    msgCounter
 
 	// routeMode selects the entry path of singleton Get/Put/Delete requests
-	// (RouteOverlay or RouteDirect — see routecache.go); staleRoutes counts
-	// direct-routed requests that missed their target and fell back to
-	// overlay forwarding.
-	routeMode   atomic.Int32
-	staleRoutes atomic.Int64
+	// (RouteOverlay or RouteDirect — see routecache.go). Stale direct
+	// routes are counted per detecting peer in the metrics registry;
+	// Cluster.StaleRoutes sums them.
+	routeMode atomic.Int32
+
+	// The flight recorder (see metrics.go): sampler decides which requests
+	// carry a trace, traces retains the completed ones, journal records
+	// structural operations, and retired accumulates the counters of peers
+	// that have been reaped from the topology so cluster totals stay
+	// monotonic. curEvent is the journal entry of the structural operation
+	// in progress; guarded by memberMu.
+	sampler  obs.Sampler
+	traces   *obs.TraceRing
+	journal  *obs.Journal
+	retired  *obs.PeerMetrics
+	curEvent *obs.Event
 
 	// autoRecover and suspects feed the opt-in background repairer (see
 	// recovery.go): routing paths that observe a dead responsible peer
@@ -462,6 +581,9 @@ func NewCluster(nw *core.Network) *Cluster {
 		done:     make(chan struct{}),
 		domain:   nw.Domain(),
 		suspects: make(chan core.PeerID, 64),
+		traces:   obs.NewTraceRing(traceRingSize),
+		journal:  obs.NewJournal(journalSize),
+		retired:  obs.NewPeerMetrics(numKinds),
 	}
 	snapshot := core.Snapshot(nw)
 	t := &topology{
@@ -470,15 +592,9 @@ func NewCluster(nw *core.Network) *Cluster {
 	}
 	t.epoch = 1
 	for _, ps := range snapshot {
-		p := &peer{
-			id:        ps.ID,
-			pos:       ps.Position,
-			rng:       ps.Range,
-			data:      store.New(),
-			inbox:     make(chan request, 256),
-			spillWake: make(chan struct{}, 1),
-			quit:      make(chan struct{}),
-		}
+		p := newPeer(ps.ID)
+		p.pos = ps.Position
+		p.rng = ps.Range
 		p.data.Absorb(ps.Items)
 		p.noteItems()
 		p.alive.Store(true)
@@ -532,6 +648,28 @@ func NewCluster(nw *core.Network) *Cluster {
 	c.resyncReplicas(nil)
 	c.memberMu.Unlock()
 	return c
+}
+
+// traceRingSize and journalSize bound the flight recorder's memory: the
+// most recent completed traces and structural events are retained, older
+// ones are evicted.
+const (
+	traceRingSize = 256
+	journalSize   = 512
+)
+
+// newPeer builds a peer object with every always-present field
+// initialised — the single place the per-peer metrics block is attached,
+// so a delivery target can never lack one.
+func newPeer(id core.PeerID) *peer {
+	return &peer{
+		id:        id,
+		data:      store.New(),
+		inbox:     make(chan request, 256),
+		spillWake: make(chan struct{}, 1),
+		quit:      make(chan struct{}),
+		met:       obs.NewPeerMetrics(numKinds),
+	}
 }
 
 // toLink builds a link to the peer with the given ID using its current
@@ -610,9 +748,11 @@ func (c *Cluster) PeerIDs() []core.PeerID {
 // and restores the range from the surviving replica at the adjacent peer —
 // see recovery.go. Kill serialises with membership changes so a migration's
 // source or destination can never die mid-handoff.
-func (c *Cluster) Kill(id core.PeerID) error {
+func (c *Cluster) Kill(id core.PeerID) (err error) {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
+	c.journalBegin("kill", id)
+	defer func() { c.journalEnd(err) }()
 	t := c.topo.Load()
 	p := t.peers[id]
 	if p == nil || !t.members[id] {
@@ -713,6 +853,7 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 	// which then only holds older messages — before each spill batch. The
 	// ordering matters beyond tidiness: replica deltas from one source rely
 	// on it to apply in the order they were acknowledged (replication.go).
+	req.enq = time.Now()
 	overflow := false
 	p.spillMu.Lock()
 	if len(p.spill) > 0 {
@@ -726,6 +867,14 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 			overflow = true
 		}
 	}
+	if overflow {
+		// Gauge updates ride the spillMu section already paid for the
+		// append; a queue going non-empty starts the drain-latency clock.
+		if len(p.spill) == 1 {
+			p.spillSince = req.enq
+		}
+		p.met.SetSpillDepth(int64(len(p.spill)))
+	}
 	p.spillMu.Unlock()
 	if overflow {
 		// Nudge the serving goroutine; spillWake is buffered, so the nudge
@@ -736,6 +885,10 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 		}
 	}
 	c.msgs.add(uint64(p.id))
+	p.met.Delivered(int(req.kind))
+	if overflow {
+		p.met.Spilled(int(req.kind))
+	}
 	p.inflight.Add(-1)
 	return true
 }
@@ -745,11 +898,18 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 // mutation of p.data.
 func (p *peer) noteItems() { p.items.Store(int64(p.data.Len())) }
 
-// takeSpill detaches and returns the current spill queue.
+// takeSpill detaches and returns the current spill queue, recording the
+// drain latency — how long the overflow sat queued before the serving
+// goroutine picked it up — and resetting the spill-depth gauge.
 func (p *peer) takeSpill() []request {
 	p.spillMu.Lock()
 	q := p.spill
 	p.spill = nil
+	if len(q) > 0 {
+		p.met.ObserveSpillDrain(time.Since(p.spillSince).Nanoseconds())
+		p.spillSince = time.Time{}
+		p.met.SetSpillDepth(0)
+	}
 	p.spillMu.Unlock()
 	return q
 }
@@ -866,7 +1026,7 @@ func (c *Cluster) serve(p *peer) {
 				select {
 				case req := <-p.inbox:
 					if !c.send(p.departTo, req) {
-						c.refuse(req, ErrOwnerDown)
+						c.refuse(p, req, ErrOwnerDown)
 					}
 					continue
 				default:
@@ -877,12 +1037,12 @@ func (c *Cluster) serve(p *peer) {
 				}
 				for _, req := range q {
 					if !c.send(p.departTo, req) {
-						c.refuse(req, ErrOwnerDown)
+						c.refuse(p, req, ErrOwnerDown)
 					}
 				}
 			}
 		case req := <-p.inbox:
-			c.handle(p, req)
+			c.dispatch(p, req)
 		case <-p.spillWake:
 			// Drain in FIFO order: everything in the inbox predates the
 			// spill overflow (deliveries bypass the inbox while the spill
@@ -893,7 +1053,7 @@ func (c *Cluster) serve(p *peer) {
 			for {
 				select {
 				case req := <-p.inbox:
-					c.handle(p, req)
+					c.dispatch(p, req)
 					continue
 				default:
 				}
@@ -902,18 +1062,55 @@ func (c *Cluster) serve(p *peer) {
 					break
 				}
 				for _, req := range q {
-					c.handle(p, req)
+					c.dispatch(p, req)
 				}
 			}
 		}
 	}
 }
 
+// dispatch times one request through handle: the delivery stamp becomes
+// the queue-wait sample, the handle duration (forwarding included) the
+// handle-time sample, and a sampled request gets its hop appended —
+// before handle runs, so the chain records peers in the order the
+// message actually travelled (a forwarded request cannot reach the next
+// peer before this peer's hop is on the trace). The hop's handle time is
+// back-filled once known.
+func (c *Cluster) dispatch(p *peer, req request) {
+	start := time.Now()
+	var wait int64
+	if !req.enq.IsZero() {
+		wait = start.Sub(req.enq).Nanoseconds()
+	}
+	p.met.ObserveQueueWait(wait)
+	hop := -1
+	if req.trace != nil {
+		hop = req.trace.Append(obs.Hop{
+			Peer:        int64(p.id),
+			Kind:        req.kind.String(),
+			Level:       p.pos.Level,
+			QueueWaitNs: wait,
+		})
+	}
+	c.handle(p, req)
+	took := time.Since(start).Nanoseconds()
+	p.met.ObserveHandle(took)
+	if hop >= 0 {
+		req.trace.SetHandleNs(hop, took)
+	}
+}
+
 // refuse terminates a request with the given error, whichever completion
 // path it uses: scatter sub-requests report into their collector, everything
 // else answers on its reply channel. Fire-and-forget messages (replica
-// updates) carry no reply channel and are simply dropped.
-func (c *Cluster) refuse(req request, err error) {
+// updates) carry no reply channel and are simply dropped. The refusal is
+// attributed to p — the peer at which the request died — in the metrics
+// registry; client-side callers that refuse before any peer was involved
+// pass nil.
+func (c *Cluster) refuse(p *peer, req request, err error) {
+	if p != nil {
+		p.met.Refused(int(req.kind))
+	}
 	if req.coll != nil {
 		req.coll.finish(req.rng.Lower, nil, req.hops, err)
 		return
@@ -930,7 +1127,7 @@ func (c *Cluster) refuse(req request, err error) {
 func (c *Cluster) handle(p *peer, req request) {
 	req.hops++
 	if req.hops > c.topo.Load().hopCap {
-		c.refuse(req, ErrUnreachable)
+		c.refuse(p, req, ErrUnreachable)
 		return
 	}
 	// Membership control first: these are addressed to this exact peer and
@@ -965,14 +1162,14 @@ func (c *Cluster) handle(p *peer, req request) {
 			return
 		}
 		if !c.send(p.departTo, req) {
-			c.refuse(req, ErrOwnerDown)
+			c.refuse(p, req, ErrOwnerDown)
 		}
 		return
 	}
 	// A killed peer refuses everything else: its data is gone, and replicas
 	// it pretended to accept would be silently lost.
 	if !p.alive.Load() {
-		c.refuse(req, ErrOwnerDown)
+		c.refuse(p, req, ErrOwnerDown)
 		return
 	}
 	// Requests touching a region whose items are still in flight are held
@@ -1064,7 +1261,7 @@ func (c *Cluster) handle(p *peer, req request) {
 			// return would leave the client blocked on its reply channel
 			// forever. A kind added to the dispatch above but not to this
 			// switch lands on this arm and fails loudly instead.
-			c.refuse(req, fmt.Errorf("p2p: unhandled request kind %d at owning peer", req.kind))
+			c.refuse(p, req, fmt.Errorf("p2p: unhandled request kind %d at owning peer", req.kind))
 		}
 		return
 	}
@@ -1083,7 +1280,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		t := c.topo.Load()
 		stale := req.epoch != t.epoch
 		req.epoch = 0
-		c.staleRoutes.Add(1)
+		p.met.StaleRoute()
 		if stale {
 			if e := t.entryOf(req.key); e != nil && e.p != p && e.p.alive.Load() && c.deliverTo(e.p, req, false) {
 				return
@@ -1152,7 +1349,7 @@ func (c *Cluster) forward(p *peer, req request) {
 	for _, cand := range cands {
 		if cand != nil && cand.lower <= req.key && req.key < cand.upper && !c.Alive(cand.id) {
 			c.suspect(cand.id)
-			c.refuse(req, ErrOwnerDown)
+			c.refuse(p, req, ErrOwnerDown)
 			return
 		}
 	}
@@ -1181,7 +1378,7 @@ func (c *Cluster) forward(p *peer, req request) {
 			return
 		}
 	}
-	c.refuse(req, ErrUnreachable)
+	c.refuse(p, req, ErrUnreachable)
 }
 
 // candidates lists forwarding targets for key at p, best first: the farthest

@@ -47,6 +47,14 @@ var ErrReplicaLost = errors.New("p2p: no surviving replica for the crashed peer'
 func (c *Cluster) Recover(id core.PeerID) (int, error) {
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
+	c.journalBegin("recover", id)
+	n, err := c.recoverLocked(id)
+	c.journalEnd(err)
+	return n, err
+}
+
+// recoverLocked is the body of Recover; the caller holds memberMu.
+func (c *Cluster) recoverLocked(id core.PeerID) (int, error) {
 	if c.stopped.Load() {
 		return 0, ErrStopped
 	}

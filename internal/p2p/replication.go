@@ -171,7 +171,7 @@ func (c *Cluster) applyCrash(p *peer, req request) {
 	held := p.held
 	p.held = nil
 	for _, h := range held {
-		c.refuse(h, ErrOwnerDown)
+		c.refuse(p, h, ErrOwnerDown)
 	}
 	req.reply <- response{hops: req.hops}
 }

@@ -67,7 +67,17 @@ func (c *Cluster) RouteMode() RouteMode { return RouteMode(c.routeMode.Load()) }
 // StaleRoutes returns how many direct-routed requests landed on a peer that
 // no longer owned their key and fell back to overlay forwarding. Zero on a
 // quiesced cluster; under churn it measures how much the route cache lags.
-func (c *Cluster) StaleRoutes() int64 { return c.staleRoutes.Load() }
+// The count lives in the per-peer metrics registry — each miss is
+// attributed to the peer that detected it (Cluster.Metrics breaks it
+// down) — and this is the back-compat sum, including peers already
+// retired from the topology so it never goes backwards.
+func (c *Cluster) StaleRoutes() int64 {
+	total := c.retired.StaleRoutes()
+	for _, p := range c.topo.Load().peers {
+		total += p.met.StaleRoutes()
+	}
+	return total
+}
 
 // Epoch returns the current topology epoch: the number of ownership
 // publications since the cluster started. Direct-routed requests are tagged
@@ -75,12 +85,20 @@ func (c *Cluster) StaleRoutes() int64 { return c.staleRoutes.Load() }
 func (c *Cluster) Epoch() uint64 { return c.topo.Load().epoch }
 
 // route dispatches a singleton request according to the cluster's routing
-// mode.
+// mode. It is also where sampled requests pick up their trace context:
+// with sampling off the check is one atomic load and the request is
+// untouched, which is what keeps the direct path allocation-free.
 func (c *Cluster) route(via core.PeerID, req request) (response, error) {
+	c.sampleTrace(&req)
+	var resp response
+	var err error
 	if RouteMode(c.routeMode.Load()) == RouteDirect {
-		return c.issueDirect(via, req)
+		resp, err = c.issueDirect(via, req)
+	} else {
+		resp, err = c.issue(via, req)
 	}
-	return c.issue(via, req)
+	c.finishTrace(req)
+	return resp, err
 }
 
 // issueDirect is the fast path: deliver the request straight to the key's

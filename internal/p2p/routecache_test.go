@@ -12,7 +12,6 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
-	"baton/internal/store"
 )
 
 // TestDirectRouteQuiescedOneHop checks the point of the fast path: on a
@@ -418,13 +417,7 @@ func TestDeliverFloodBoundedGoroutines(t *testing.T) {
 	// A ghost peer: a valid delivery target with no serving goroutine, so
 	// the inbox can never drain and every send past its capacity must take
 	// the overflow path deterministically.
-	ghost := &peer{
-		id:        9999,
-		data:      store.New(),
-		inbox:     make(chan request, 256),
-		spillWake: make(chan struct{}, 1),
-		quit:      make(chan struct{}),
-	}
+	ghost := newPeer(9999)
 	ghost.alive.Store(true)
 	nt := c.topo.Load().clone()
 	nt.peers[ghost.id] = ghost
@@ -458,13 +451,7 @@ func TestDeliverFloodBoundedGoroutines(t *testing.T) {
 // sender could apply out of order.
 func TestDeliverFIFOWhileSpilled(t *testing.T) {
 	c, _ := liveCluster(t, 4, 0, 107)
-	ghost := &peer{
-		id:        9998,
-		data:      store.New(),
-		inbox:     make(chan request, 256),
-		spillWake: make(chan struct{}, 1),
-		quit:      make(chan struct{}),
-	}
+	ghost := newPeer(9998)
 	ghost.alive.Store(true)
 	nt := c.topo.Load().clone()
 	nt.peers[ghost.id] = ghost

@@ -20,6 +20,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/obs"
 	"baton/internal/p2p"
 	"baton/internal/stats"
 	"baton/internal/store"
@@ -150,6 +151,11 @@ type Config struct {
 	// BalanceTheta is the balancer's overload trigger θ when AutoBalance is
 	// set. Values <= 1 default to 2.
 	BalanceTheta float64
+	// TraceSample samples 1 in N requests for hop-level tracing (the
+	// cluster's flight recorder); 0 — the default — turns sampling off,
+	// which is free on the request path. Run installs the rate on the
+	// cluster for the whole run.
+	TraceSample int
 	// Seed seeds the deterministic per-client random sources.
 	Seed int64
 }
@@ -175,6 +181,14 @@ type Report struct {
 	// Latency maps an operation kind (plus "all") to its recorded latency
 	// samples in microseconds.
 	Latency map[Op]*stats.Latency
+	// HopsP50 and HopsP99 are percentiles of the per-operation message hop
+	// counts (every routed op reports its hops; the driver histograms them).
+	HopsP50, HopsP99 float64
+	// QueueWaitP50us and QueueWaitP99us are percentiles of the per-hop
+	// queue wait — how long messages sat in peer inboxes before being
+	// served — over this run only (the cluster registry's delta),
+	// in microseconds.
+	QueueWaitP50us, QueueWaitP99us float64
 }
 
 // OpAll indexes the aggregate latency distribution in Report.Latency.
@@ -187,6 +201,8 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "clients %d  ops %d  errors %d  notfound %d  churn killed/joined/departed/recovered %d/%d/%d/%d  rebalanced %d\n",
 		r.Clients, r.Ops, r.Errors, r.NotFound, r.Killed, r.Joined, r.Departed, r.Recovered, r.Rebalanced)
 	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
+	fmt.Fprintf(&b, "hops p50/p99 %.0f/%.0f  queue wait p50/p99 %.1f/%.1f µs\n",
+		r.HopsP50, r.HopsP99, r.QueueWaitP50us, r.QueueWaitP99us)
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
 	ops := make([]string, 0, len(r.Latency))
 	for op := range r.Latency {
@@ -232,6 +248,8 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		cfg.Distribution = workload.Uniform
 	}
 	c.SetRouteMode(cfg.Route)
+	c.SetTraceSampling(cfg.TraceSample)
+	queueWaitBefore := c.Metrics().QueueWait
 	balanceEventsBefore := c.BalanceEvents()
 	if cfg.AutoBalance {
 		c.StartAutoBalance(p2p.AutoBalanceConfig{Theta: cfg.BalanceTheta})
@@ -421,15 +439,21 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 		}
 	}
 
-	record := func(op Op, units int, d time.Duration, err error, found bool) {
+	// hopsHist histograms every routed op's message hop count (exact buckets
+	// below 128, so routed hop counts lose no precision).
+	var hopsHist obs.Histogram
+	record := func(op Op, units int, d time.Duration, err error, found bool, hops int) {
 		us := float64(d.Microseconds())
 		report.Latency[op].Add(us)
 		report.Latency[OpAll].Add(us)
 		unitsDone.Add(int64(units))
 		if err != nil {
 			errCount.Add(1)
-		} else if !found {
-			notFound.Add(1)
+		} else {
+			hopsHist.Observe(int64(hops))
+			if !found {
+				notFound.Add(1)
+			}
 		}
 	}
 
@@ -503,8 +527,8 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 				switch {
 				case roll < getCut:
 					t0 := time.Now()
-					_, found, _, err := c.Get(via, randKey())
-					record(OpGet, 1, time.Since(t0), err, found)
+					_, found, hops, err := c.Get(via, randKey())
+					record(OpGet, 1, time.Since(t0), err, found, hops)
 				case roll < putCut:
 					k := gen.NextKey()
 					if cfg.BulkSize > 1 {
@@ -516,13 +540,13 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 						}
 					} else {
 						t0 := time.Now()
-						_, err := c.Put(via, k, value)
-						record(OpPut, 1, time.Since(t0), err, true)
+						hops, err := c.Put(via, k, value)
+						record(OpPut, 1, time.Since(t0), err, true, hops)
 					}
 				case roll < delCut:
 					t0 := time.Now()
-					found, _, err := c.Delete(via, randKey())
-					record(OpDelete, 1, time.Since(t0), err, found)
+					found, hops, err := c.Delete(via, randKey())
+					record(OpDelete, 1, time.Since(t0), err, found, hops)
 				default:
 					// Range queries positioned by the distribution too, so a
 					// skewed run scans the hot region as often as it reads it.
@@ -535,13 +559,14 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 					}
 					r := keyspace.NewRange(lo, lo+keyspace.Key(width))
 					var err error
+					var hops int
 					t0 := time.Now()
 					if cfg.SerialRange {
-						_, _, err = c.RangeSerial(via, r)
+						_, hops, err = c.RangeSerial(via, r)
 					} else {
-						_, _, err = c.Range(via, r)
+						_, hops, err = c.Range(via, r)
 					}
-					record(OpRange, 1, time.Since(t0), err, true)
+					record(OpRange, 1, time.Since(t0), err, true, hops)
 				}
 			}
 		}(cl)
@@ -560,5 +585,11 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	if secs := report.Elapsed.Seconds(); secs > 0 {
 		report.OpsPerSec = float64(report.Ops) / secs
 	}
+	hops := hopsHist.Snapshot()
+	report.HopsP50 = float64(hops.Percentile(50))
+	report.HopsP99 = float64(hops.Percentile(99))
+	queueWait := c.Metrics().QueueWait.Sub(queueWaitBefore)
+	report.QueueWaitP50us = float64(queueWait.Percentile(50)) / 1e3
+	report.QueueWaitP99us = float64(queueWait.Percentile(99)) / 1e3
 	return report
 }
