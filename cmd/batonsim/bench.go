@@ -3,10 +3,14 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 
+	"baton/internal/chord"
+	"baton/internal/keyspace"
 	"baton/internal/p2p"
+	"baton/internal/stats"
 	"baton/internal/workload"
 	"baton/internal/workload/driver"
 )
@@ -16,6 +20,8 @@ type benchOptions struct {
 	seed                       int64
 	out                        string
 	requireSpeedup             float64
+	fanout                     int
+	compareOverlays            bool
 	traceSample                int
 	metricsOut                 string
 }
@@ -32,8 +38,12 @@ type benchCase struct {
 
 // benchResult is one row of the tracked baseline file.
 type benchResult struct {
-	Name        string  `json:"name"`
-	Route       string  `json:"route"`
+	Name  string `json:"name"`
+	Route string `json:"route"`
+	// Fanout is the overlay tree fanout m the cell's cluster was built with
+	// (2 = binary BATON, >2 = BATON*). Zero marks the Chord comparison rows,
+	// which have no tree.
+	Fanout      int     `json:"fanout"`
 	Ops         int64   `json:"ops"`
 	Errors      int64   `json:"errors"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
@@ -88,8 +98,9 @@ func runBench(o benchOptions) {
 	if o.clients <= 0 {
 		o.clients = 8
 	}
-	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
-	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	matrixFanout := max(2, o.fanout)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, matrixFanout)
+	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
@@ -216,6 +227,7 @@ func runBench(o benchOptions) {
 			}
 		}
 		best.Name = bc.name
+		best.Fanout = matrixFanout
 		record(best)
 	}
 
@@ -231,7 +243,7 @@ func runBench(o benchOptions) {
 	}{{"zipf1.0-nobalance", false}, {"zipf1.0-autobalance", true}} {
 		var best benchResult
 		for rep := 0; rep < 3; rep++ {
-			sc, skeys, err := driver.BuildClusterDist(o.peers, o.items, o.seed+7, workload.Zipf, 1.0)
+			sc, skeys, err := driver.BuildClusterDistFanout(o.peers, o.items, o.seed+7, workload.Zipf, 1.0, o.fanout)
 			if err != nil {
 				fatal(err)
 			}
@@ -267,7 +279,12 @@ func runBench(o benchOptions) {
 			}
 		}
 		best.Name = skew.name
+		best.Fanout = matrixFanout
 		record(best)
+	}
+
+	if o.compareOverlays {
+		runOverlayComparison(o, measure, record)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -312,4 +329,92 @@ func runBench(o benchOptions) {
 		}
 		fmt.Printf("bench gate passed (required ≥ %.2fx with ×%.2f margin, best of 3)\n", o.requireSpeedup, gateMargin)
 	}
+}
+
+// runOverlayComparison is the -compareoverlays half of the bench matrix: the
+// same overlay-routed get workload over freshly built clusters at fanout 2
+// (binary BATON), 4 and 8 (BATON*), plus a Chord ring of the same size
+// answering the same number of exact-match lookups. The rows make the
+// paper-level claim measurable in one file: overlay hops fall from log2 N
+// towards log_m N as the fanout grows, and Chord's ring hops bracket the
+// binary tree from the other side. The section gates itself: m=8 must beat
+// binary on hops_p50, or the whole point of BATON* has regressed.
+func runOverlayComparison(o benchOptions, measure func(*p2p.Cluster, driver.Config) benchResult, record func(benchResult)) {
+	fmt.Printf("--- three-way overlay comparison (binary vs BATON* vs Chord, %d peers) ---\n", o.peers)
+	hopsP50 := map[int]float64{}
+	for _, m := range []int{2, 4, 8} {
+		c, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed+13, m)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := driver.Config{
+			Clients:     o.clients,
+			Ops:         o.ops,
+			Keys:        keys,
+			Seed:        o.seed,
+			GetFraction: 1,
+		}
+		// Warm the fresh cluster so the row measures routing, not cold-start.
+		warm := cfg
+		warm.Ops = 500
+		driver.Run(c, warm)
+		var best benchResult
+		for rep := 0; rep < 3; rep++ {
+			res := measure(c, cfg)
+			if rep == 0 || res.OpsPerSec > best.OpsPerSec {
+				best = res
+			}
+		}
+		c.Stop()
+		best.Name = fmt.Sprintf("overlay-get-m%d", m)
+		best.Fanout = m
+		hopsP50[m] = best.HopsP50
+		record(best)
+	}
+
+	// The Chord cell: a message-counting simulator, not a live cluster, so
+	// only the hop and message columns are comparable; latency and ops/sec
+	// reflect simulator speed and are left at their measured values.
+	ring := chord.NewRing(chord.Config{Seed: o.seed + 13})
+	for ring.Size() < o.peers {
+		if _, _, err := ring.Join(ring.RandomNode()); err != nil {
+			fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(o.seed + 17))
+	gen := workload.NewGenerator(workload.Config{Seed: o.seed + 13})
+	keys := make([]keyspace.Key, o.items)
+	for i := range keys {
+		keys[i] = gen.NextKey()
+		if _, err := ring.Insert(ring.RandomNode(), keys[i]); err != nil {
+			fatal(err)
+		}
+	}
+	hops := &stats.Latency{}
+	var msgs int64
+	for i := 0; i < o.ops; i++ {
+		_, cost, err := ring.Lookup(ring.RandomNode(), keys[rng.Intn(len(keys))])
+		if err != nil {
+			fatal(err)
+		}
+		hops.Add(float64(cost.Messages))
+		msgs += int64(cost.Messages)
+	}
+	res := benchResult{
+		Name:      "chord-get",
+		Route:     "chord",
+		Ops:       int64(o.ops),
+		MsgsPerOp: float64(msgs) / float64(o.ops),
+		HopsP50:   hops.Percentile(0.50),
+		HopsP99:   hops.Percentile(0.99),
+	}
+	record(res)
+
+	fmt.Printf("overlay hops p50: binary %.0f, m=4 %.0f, m=8 %.0f, chord %.0f\n",
+		hopsP50[2], hopsP50[4], hopsP50[8], res.HopsP50)
+	if hopsP50[8] >= hopsP50[2] {
+		fatal(fmt.Errorf("overlay comparison gate FAILED: BATON* m=8 hops_p50 %.1f not below binary %.1f",
+			hopsP50[8], hopsP50[2]))
+	}
+	fmt.Println("overlay comparison gate passed: m=8 routes in strictly fewer hops than binary")
 }

@@ -15,6 +15,7 @@ type churnloadOptions struct {
 	joins, departs, kill                 int
 	route                                p2p.RouteMode
 	seed                                 int64
+	fanout                               int
 	traceSample                          int
 	metricsOut                           string
 }
@@ -25,8 +26,8 @@ type churnloadOptions struct {
 // quiesced cluster snapshot is rebuilt into a simulator network and checked
 // against the full invariant suite.
 func runChurnLoad(o churnloadOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
-	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
+	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
 	if err != nil {
 		fatal(err)
 	}

@@ -16,6 +16,7 @@ type faultloadOptions struct {
 	kill, recovers                       int
 	route                                p2p.RouteMode
 	seed                                 int64
+	fanout                               int
 	traceSample                          int
 	metricsOut                           string
 }
@@ -28,8 +29,8 @@ type faultloadOptions struct {
 // replication invariant (every peer's items exactly mirrored at its
 // holder).
 func runFaultLoad(o faultloadOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
-	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
+	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
 	if err != nil {
 		fatal(err)
 	}

@@ -29,6 +29,8 @@
 //	batonsim -mode skewload -peers 64 -theta 1.0 -autobalance -compare
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
 //	batonsim -mode bench -peers 64 -requirespeedup 1.0
+//	batonsim -mode throughput -peers 64 -fanout 4        # BATON* overlay, m-ary tree
+//	batonsim -mode bench -peers 64 -compareoverlays      # binary vs BATON* m=4/8 vs Chord
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 
+	"baton/internal/core"
 	"baton/internal/experiments"
 	"baton/internal/p2p"
 )
@@ -65,6 +68,7 @@ func main() {
 		delFrac     = flag.Float64("del", 0, "fraction of delete operations")
 		rangeFrac   = flag.Float64("range", 0.1, "fraction of range operations")
 		selectivity = flag.Float64("selectivity", 0.01, "range query selectivity (fraction of the domain)")
+		fanout      = flag.Int("fanout", 2, "overlay tree fanout m (2 = binary BATON, >2 = BATON*)")
 		kill        = flag.Int("kill", 0, "peers to kill while the workload runs")
 		joins       = flag.Int("joins", 0, "peers that join online while the workload runs (churnload mode)")
 		departs     = flag.Int("departs", 0, "peers that depart gracefully while the workload runs (churnload mode)")
@@ -80,8 +84,9 @@ func main() {
 		compare     = flag.Bool("compare", false, "skewload mode: run balancer-off then balancer-on and fail unless the final imbalance ratio improves")
 
 		// Bench-mode flags.
-		benchOut       = flag.String("out", "BENCH_p2p.json", "bench mode: file the benchmark baseline is written to")
-		requireSpeedup = flag.Float64("requirespeedup", 0, "bench mode: fail unless direct-mode singleton ops/sec exceeds overlay-mode by this factor (0 = no gate)")
+		benchOut        = flag.String("out", "BENCH_p2p.json", "bench mode: file the benchmark baseline is written to")
+		requireSpeedup  = flag.Float64("requirespeedup", 0, "bench mode: fail unless direct-mode singleton ops/sec exceeds overlay-mode by this factor (0 = no gate)")
+		compareOverlays = flag.Bool("compareoverlays", false, "bench mode: add the three-way overlay cells (binary BATON vs BATON* m=4/m=8 vs Chord) to the matrix")
 
 		// Flight-recorder flags (workload and bench modes).
 		traceSample = flag.Int("tracesample", 0, "sample 1 in N requests for hop-level tracing (0 = off); in bench mode also gates the sampling overhead on the direct-get row")
@@ -94,6 +99,9 @@ func main() {
 	routeMode, err := parseRoute(*route)
 	if err != nil {
 		fatal(err)
+	}
+	if !core.ValidFanout(*fanout) {
+		fatal(fmt.Errorf("invalid -fanout %d (want 2..%d)", *fanout, core.MaxFanout))
 	}
 	// Flags the user set explicitly, so "-kill 0" (an intentional no-crash
 	// baseline) is distinguishable from an unset flag and never silently
@@ -108,7 +116,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, serialRange: *serialRange,
-			bulkSize: *bulkSize, route: routeMode, seed: *seed,
+			bulkSize: *bulkSize, route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
@@ -116,6 +124,7 @@ func main() {
 		runBench(benchOptions{
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			seed: *seed, out: *benchOut, requireSpeedup: *requireSpeedup,
+			fanout: *fanout, compareOverlays: *compareOverlays,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
@@ -124,7 +133,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
-			route: routeMode, seed: *seed,
+			route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		}
 		if !explicit["joins"] && !explicit["departs"] && !explicit["kill"] {
@@ -141,7 +150,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, recovers: *recovers,
-			route: routeMode, seed: *seed,
+			route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		}
 		if !explicit["kill"] {
@@ -161,12 +170,12 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, theta: *theta, autobalance: *autobalance,
-			compare: *compare, route: routeMode, seed: *seed,
+			compare: *compare, route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
 		return
 	case "rangecmp":
-		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed)
+		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed, *fanout)
 		return
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload, skewload, rangecmp or bench)", *mode))
@@ -233,13 +242,13 @@ func validateModeFlags(mode string) error {
 		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true, "tracesample": true, "metricsout": true},
 		"faultload":  {"kill": true, "recover": true, "route": true, "tracesample": true, "metricsout": true},
 		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true, "tracesample": true, "metricsout": true},
-		"bench":      {"out": true, "requirespeedup": true, "tracesample": true, "metricsout": true},
+		"bench":      {"out": true, "requirespeedup": true, "compareoverlays": true, "tracesample": true, "metricsout": true},
 	}
 	var bad []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup",
-			"theta", "autobalance", "compare", "bulk", "serialrange",
+			"theta", "autobalance", "compare", "compareoverlays", "bulk", "serialrange",
 			"tracesample", "metricsout":
 			if !allowed[mode][f.Name] {
 				bad = append(bad, "-"+f.Name)
@@ -255,6 +264,12 @@ func validateModeFlags(mode string) error {
 			if !workloadModes[mode] && mode != "rangecmp" {
 				bad = append(bad, "-"+f.Name)
 			}
+		case "fanout":
+			// The overlay fanout shapes every live-cluster mode and the bench
+			// matrix; the figures mode runs its own per-figure parameter sets.
+			if !workloadModes[mode] && mode != "rangecmp" && mode != "bench" {
+				bad = append(bad, "-"+f.Name)
+			}
 		}
 	})
 	if len(bad) == 0 {
@@ -262,25 +277,27 @@ func validateModeFlags(mode string) error {
 	}
 	workloads := []string{"throughput", "churnload", "faultload", "skewload"}
 	modes := map[string][]string{
-		"kill":           {"throughput", "churnload", "faultload"},
-		"joins":          {"churnload"},
-		"departs":        {"churnload"},
-		"recover":        {"faultload"},
-		"route":          workloads,
-		"out":            {"bench"},
-		"requirespeedup": {"bench"},
-		"theta":          {"skewload"},
-		"autobalance":    {"skewload"},
-		"compare":        {"skewload"},
-		"bulk":           {"throughput"},
-		"serialrange":    {"throughput"},
-		"tracesample":    append(append([]string{}, workloads...), "bench"),
-		"metricsout":     append(append([]string{}, workloads...), "bench"),
-		"get":            workloads,
-		"put":            workloads,
-		"del":            workloads,
-		"range":          workloads,
-		"selectivity":    append(append([]string{}, workloads...), "rangecmp"),
+		"kill":            {"throughput", "churnload", "faultload"},
+		"joins":           {"churnload"},
+		"departs":         {"churnload"},
+		"recover":         {"faultload"},
+		"route":           workloads,
+		"out":             {"bench"},
+		"requirespeedup":  {"bench"},
+		"compareoverlays": {"bench"},
+		"fanout":          append(append([]string{}, workloads...), "rangecmp", "bench"),
+		"theta":           {"skewload"},
+		"autobalance":     {"skewload"},
+		"compare":         {"skewload"},
+		"bulk":            {"throughput"},
+		"serialrange":     {"throughput"},
+		"tracesample":     append(append([]string{}, workloads...), "bench"),
+		"metricsout":      append(append([]string{}, workloads...), "bench"),
+		"get":             workloads,
+		"put":             workloads,
+		"del":             workloads,
+		"range":           workloads,
+		"selectivity":     append(append([]string{}, workloads...), "rangecmp"),
 	}
 	hints := make([]string, 0, len(bad))
 	for _, f := range bad {

@@ -17,6 +17,7 @@ type skewloadOptions struct {
 	autobalance, compare                 bool
 	route                                p2p.RouteMode
 	seed                                 int64
+	fanout                               int
 	traceSample                          int
 	metricsOut                           string
 }
@@ -59,8 +60,8 @@ func runSkewLoad(o skewloadOptions) {
 // skewRun executes one skewload scenario on a fresh cluster and returns its
 // summary.
 func skewRun(o skewloadOptions, autobalance bool) skewResult {
-	fmt.Printf("building live cluster: %d peers, %d Zipf(%.2f) items ...\n", o.peers, o.items, o.theta)
-	cluster, keys, err := driver.BuildClusterDist(o.peers, o.items, o.seed, workload.Zipf, o.theta)
+	fmt.Printf("building live cluster: %d peers, %d Zipf(%.2f) items, fanout %d ...\n", o.peers, o.items, o.theta, max(2, o.fanout))
+	cluster, keys, err := driver.BuildClusterDistFanout(o.peers, o.items, o.seed, workload.Zipf, o.theta, o.fanout)
 	if err != nil {
 		fatal(err)
 	}

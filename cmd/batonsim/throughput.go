@@ -21,6 +21,7 @@ type throughputOptions struct {
 	serialRange                          bool
 	route                                p2p.RouteMode
 	seed                                 int64
+	fanout                               int
 	traceSample                          int
 	metricsOut                           string
 }
@@ -29,8 +30,8 @@ type throughputOptions struct {
 // with the closed-loop concurrent workload and prints ops/sec and latency
 // percentiles.
 func runThroughput(o throughputOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items ...\n", o.peers, o.items)
-	cluster, keys, err := driver.BuildCluster(o.peers, o.items, o.seed)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
+	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,9 +68,9 @@ func runThroughput(o throughputOptions) {
 
 // runRangeCompare benchmarks the two range modes against each other on the
 // same live cluster and prints per-query latency plus the speedup.
-func runRangeCompare(peers, items, queries int, selectivity float64, seed int64) {
-	fmt.Printf("building live cluster: %d peers, %d items ...\n", peers, items)
-	cluster, _, err := driver.BuildCluster(peers, items, seed)
+func runRangeCompare(peers, items, queries int, selectivity float64, seed int64, fanout int) {
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", peers, items, max(2, fanout))
+	cluster, _, err := driver.BuildClusterFanout(peers, items, seed, fanout)
 	if err != nil {
 		fatal(err)
 	}

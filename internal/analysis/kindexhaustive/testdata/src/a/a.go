@@ -96,6 +96,58 @@ func tagInit(f func() kind) string {
 	return ""
 }
 
+// childSlot mirrors the fanout-parametric overlay's child-slot indices: slot
+// 0 is the leftmost subtree, slot fanout-1 (here 3) the rightmost, and the
+// middle slots only exist at fanouts above two. A dispatch over slots that
+// was written for the binary tree and misses the middle slots is exactly the
+// bug class the m-ary refactor introduces.
+type childSlot int
+
+const (
+	slotLeftmost  childSlot = 0
+	slotMiddleLo  childSlot = 1
+	slotMiddleHi  childSlot = 2
+	slotRightmost childSlot = 3
+)
+
+// binaryOnlySlots handles the two slots the binary tree has and silently
+// drops the middle slots a larger fanout introduces.
+func binaryOnlySlots(s childSlot) string {
+	switch s { // want `missing cases slotMiddleHi, slotMiddleLo and has no default`
+	case slotLeftmost:
+		return "left"
+	case slotRightmost:
+		return "right"
+	}
+	return ""
+}
+
+// fanoutAwareSlots groups the middle slots and covers every constant: fine.
+func fanoutAwareSlots(s childSlot) string {
+	switch s {
+	case slotLeftmost:
+		return "left"
+	case slotMiddleLo, slotMiddleHi:
+		return "middle"
+	case slotRightmost:
+		return "right"
+	}
+	return ""
+}
+
+// slotsLoudDefault dispatches on the extreme slots and fails loudly for any
+// middle slot (present or future): fine.
+func slotsLoudDefault(s childSlot) string {
+	switch s {
+	case slotLeftmost:
+		return "left"
+	case slotRightmost:
+		return "right"
+	default:
+		panic(fmt.Sprintf("unhandled child slot %d", int(s)))
+	}
+}
+
 // singleConstant is not checked: one constant is a marker, not an enum.
 func singleConstant(o otherEnum) bool {
 	switch o {

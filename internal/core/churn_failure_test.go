@@ -112,3 +112,73 @@ func TestInterleavedChurnAndFailures(t *testing.T) {
 		}
 	}
 }
+
+// TestRepairSweepKeepsBalanceEveryStep pins a bug found via examples/churn:
+// Algorithm 2's walk only follows live peers, but failed peers still occupy
+// their positions for balance purposes, so with enough unrepaired failures
+// around, the walk could accept a replacement leaf whose removal unbalanced
+// the tree — and once unbalanced, a later repair in the sweep found no
+// removable leaf at all and the whole sweep failed. The invariants must hold
+// after every single repair, not just at the end of the sweep.
+// The scenario replays examples/churn exactly (same seeds, same churn
+// sequence) so the trigger stays pinned, plus a few generic seeds for
+// breadth.
+func TestRepairSweepKeepsBalanceEveryStep(t *testing.T) {
+	run := func(netSeed, genSeed, churnSeed int64) {
+		nw := NewNetwork(Config{Seed: netSeed})
+		for nw.Size() < 250 {
+			if _, _, err := nw.Join(nw.RandomPeer()); err != nil {
+				t.Fatalf("build join: %v", err)
+			}
+		}
+		gen := workload.NewGenerator(workload.Config{Seed: genSeed})
+		for _, k := range gen.Keys(5_000) {
+			if _, err := nw.Insert(nw.RandomPeer(), k, nil); err != nil {
+				t.Fatalf("insert: %v", err)
+			}
+		}
+		livePeer := func() PeerID {
+			for {
+				id := nw.RandomPeer()
+				if n := nw.nodes[id]; n != nil && n.alive {
+					return id
+				}
+			}
+		}
+		events := workload.ChurnSequence(workload.ChurnConfig{
+			Events:       150,
+			JoinFraction: 0.4,
+			FailFraction: 0.33,
+			Seed:         churnSeed,
+		})
+		for i, ev := range events {
+			switch ev.Kind {
+			case workload.EventJoin:
+				if _, _, err := nw.Join(livePeer()); err != nil {
+					t.Fatalf("event %d join: %v", i, err)
+				}
+			case workload.EventLeave:
+				if _, err := nw.Leave(livePeer()); err != nil {
+					t.Fatalf("event %d leave: %v", i, err)
+				}
+			case workload.EventFail:
+				if err := nw.Fail(livePeer()); err != nil {
+					t.Fatalf("event %d fail: %v", i, err)
+				}
+			}
+		}
+		for _, id := range nw.FailedPeers() {
+			if _, err := nw.RepairFailure(id); err != nil {
+				t.Fatalf("seeds %d/%d/%d repair %d: %v", netSeed, genSeed, churnSeed, id, err)
+			}
+			if err := nw.CheckInvariants(); err != nil {
+				t.Fatalf("seeds %d/%d/%d: invariants broken right after repairing %d: %v",
+					netSeed, genSeed, churnSeed, id, err)
+			}
+		}
+	}
+	run(3, 5, 9) // the exact examples/churn configuration
+	for seed := int64(20); seed < 24; seed++ {
+		run(seed, seed+1, seed+2)
+	}
+}

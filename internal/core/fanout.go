@@ -1,0 +1,195 @@
+// Fanout-parametric tree arithmetic: the m-ary generalisation of the binary
+// position algebra in position.go, following the BATON* sequel of the paper
+// (m-way fanout, routing tables at distances j*m^i).
+//
+// The generalisation is chosen so that m=2 reproduces the binary layout
+// bit for bit:
+//
+//   - Child slot s (0-based, s in 0..m-1) of (L, N) is (L+1, m*(N-1)+s+1);
+//     for m=2 slot 0 is LeftChild (2N-1) and slot 1 is RightChild (2N).
+//   - The parent of (L, N) is (L-1, (N-1)/m + 1); for m=2 this is (N+1)/2.
+//   - The in-order traversal visits subtree(0) .. subtree(m-2), the node
+//     itself, then subtree(m-1): the node's in-order coordinate is
+//     (m*(N-1) + m-1) / m^(L+1), which for m=2 is the dyadic (2N-1)/2^(L+1)
+//     of the binary tree — identical ordering, adjacency chains and range
+//     tiling.
+//   - Sideways routing tables hold same-level neighbours at distances
+//     j*m^i for j in 1..m-1 (flat entry k covers distance
+//     (k%(m-1)+1) * m^(k/(m-1))); for m=2 entry k covers 2^k, exactly the
+//     binary tables.
+//   - Balance (Definition 1 generalised): at every node the heights of the
+//     m child subtrees pairwise differ by at most one.
+package core
+
+// DefaultFanout is the tree fanout of the original binary BATON protocol.
+const DefaultFanout = 2
+
+// MaxFanout bounds the configurable tree fanout. 64 children per node is far
+// beyond the paper's m=10 experiments while keeping routing tables sane.
+const MaxFanout = 64
+
+// normFanout maps the zero value to the binary default.
+func normFanout(m int) int {
+	if m == 0 {
+		return DefaultFanout
+	}
+	return m
+}
+
+// ValidFanout reports whether m is a usable tree fanout.
+func ValidFanout(m int) bool { return m >= 2 && m <= MaxFanout }
+
+// MaxLevelFor bounds the depth of an m-ary tree so that the m-adic in-order
+// comparison stays exact in 64-bit arithmetic (m^(L+1) <= 2^62), capped at
+// the binary MaxLevel.
+func MaxLevelFor(m int) int {
+	if m < 2 {
+		m = DefaultFanout
+	}
+	level := -1
+	limit := uint64(1) << 62
+	acc := uint64(1)
+	for acc <= limit/uint64(m) {
+		acc *= uint64(m)
+		level++
+	}
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	return level
+}
+
+// ipow returns m^e in uint64 arithmetic. Exponents are bounded by
+// MaxLevelFor, so the result cannot overflow.
+func ipow(m int, e int) uint64 {
+	out := uint64(1)
+	for ; e > 0; e-- {
+		out *= uint64(m)
+	}
+	return out
+}
+
+// ValidIn reports whether the position is well formed in an m-ary tree.
+func (p Position) ValidIn(m int) bool {
+	if m == DefaultFanout {
+		return p.Valid()
+	}
+	return p.Level >= 0 && p.Level <= MaxLevelFor(m) &&
+		p.Number >= 1 && uint64(p.Number) <= ipow(m, p.Level)
+}
+
+// ParentIn returns the parent position in an m-ary tree. Calling it on the
+// root panics.
+func (p Position) ParentIn(m int) Position {
+	if p.IsRoot() {
+		panic("core: ParentIn of root position")
+	}
+	return Position{Level: p.Level - 1, Number: (p.Number-1)/int64(m) + 1}
+}
+
+// ChildIn returns the position of child slot s (0-based) in an m-ary tree.
+// Slot 0 is the leftmost child and slot m-1 the rightmost; for m=2 these are
+// exactly LeftChild and RightChild.
+func (p Position) ChildIn(m, s int) Position {
+	return Position{Level: p.Level + 1, Number: int64(m)*(p.Number-1) + int64(s) + 1}
+}
+
+// SlotIn returns the child slot (0-based) p occupies under its parent in an
+// m-ary tree. Calling it on the root panics.
+func (p Position) SlotIn(m int) int {
+	if p.IsRoot() {
+		panic("core: SlotIn of root position")
+	}
+	return int((p.Number - 1) % int64(m))
+}
+
+// NeighbourIn returns the same-level position at the given distance in an
+// m-ary tree, and whether it exists (1 <= number <= m^level).
+func (p Position) NeighbourIn(m int, side Side, dist int64) (Position, bool) {
+	var n int64
+	if side == Left {
+		n = p.Number - dist
+	} else {
+		n = p.Number + dist
+	}
+	q := Position{Level: p.Level, Number: n}
+	return q, q.ValidIn(m)
+}
+
+// IsAncestorOfIn reports whether p is a proper ancestor of q in an m-ary
+// tree.
+func (p Position) IsAncestorOfIn(m int, q Position) bool {
+	if q.Level <= p.Level {
+		return false
+	}
+	n := q.Number
+	for l := q.Level; l > p.Level; l-- {
+		n = (n-1)/int64(m) + 1
+	}
+	return n == p.Number
+}
+
+// RoutingTableSizeIn returns the number of entries in each sideways routing
+// table of a node at level in an m-ary tree: entry k covers distance
+// RTDistance(m, k), so there are level*(m-1) entries (the root has none).
+// For m=2 this is the binary table size (level entries at distances 2^k).
+func RoutingTableSizeIn(m, level int) int { return level * (m - 1) }
+
+// RTDistance returns the same-level distance covered by flat routing-table
+// entry k in an m-ary tree: the BATON* distances j*m^i with j in 1..m-1,
+// laid out i-major so distances are strictly increasing in k. For m=2 this
+// is 2^k, the binary table layout.
+func RTDistance(m, k int) int64 {
+	j := int64(k%(m-1)) + 1
+	return j * int64(ipow(m, k/(m-1)))
+}
+
+// InOrderBeforeIn reports whether p comes strictly before q in the in-order
+// traversal of the (infinite) m-ary tree; see the package comment above for
+// the traversal order. For m=2 it is exactly InOrderBefore.
+func (p Position) InOrderBeforeIn(m int, q Position) bool {
+	if m == DefaultFanout {
+		return p.InOrderBefore(q)
+	}
+	return p.CompareIn(m, q) < 0
+}
+
+// CompareIn returns -1, 0 or +1 according to the in-order ordering of the
+// two positions in an m-ary tree.
+func (p Position) CompareIn(m int, q Position) int {
+	if m == DefaultFanout {
+		return p.Compare(q)
+	}
+	if p == q {
+		return 0
+	}
+	// The m-adic in-order coordinate of (L, N) is
+	// (m*(N-1) + m-1) / m^(L+1); compare by aligning to the deeper level.
+	// MaxLevelFor keeps m^(L+1) <= 2^62, so the aligned numerators fit.
+	pn := uint64(int64(m)*(p.Number-1)) + uint64(m-1)
+	qn := uint64(int64(m)*(q.Number-1)) + uint64(m-1)
+	switch {
+	case p.Level < q.Level:
+		pn *= ipow(m, q.Level-p.Level)
+	case q.Level < p.Level:
+		qn *= ipow(m, p.Level-q.Level)
+	}
+	switch {
+	case pn < qn:
+		return -1
+	case pn > qn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// slotFor maps a Side to a child slot in an m-ary tree: Left is the leftmost
+// slot (0), Right the rightmost (m-1). For m=2 these are the two binary
+// child slots.
+func slotFor(m int, side Side) int {
+	if side == Left {
+		return 0
+	}
+	return m - 1
+}

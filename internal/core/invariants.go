@@ -14,13 +14,15 @@ import (
 //  1. Registry consistency: the position map and the peer registry agree,
 //     every occupied position holds a live or failed-but-unrepaired peer,
 //     and every ancestor of an occupied position is occupied.
-//  2. Height balance (Definition 1): at every node the heights of the two
-//     subtrees differ by at most one.
+//  2. Height balance (Definition 1): at every node the heights of its m
+//     child subtrees differ by at most one (for m=2, the paper's binary
+//     criterion verbatim).
 //  3. Link correctness: parent, child and adjacent links match the position
 //     map, and the in-order (adjacent) chain visits every peer exactly once.
-//  4. Routing table correctness: entry i of a table points to the peer at
-//     the same level at distance 2^i, or is nil exactly when that position
-//     is unoccupied.
+//  4. Routing table correctness: entry k of a table points to the peer at
+//     the same level at the BATON* distance (k%(m-1)+1)*m^(k/(m-1)) — for
+//     m=2 the original 2^k — or is nil exactly when that position is
+//     unoccupied.
 //  5. Theorem 2: if a peer links to another peer in its routing tables, its
 //     parent links to that peer's parent (unless they share the parent).
 //  6. Range partitioning: the ranges of the peers, read in in-order
@@ -65,11 +67,11 @@ func (nw *Network) checkRegistry() error {
 		if got := nw.nodes[n.id]; got != n {
 			return fmt.Errorf("baton: peer %d at %v is not the registered peer for its ID", n.id, pos)
 		}
-		if !pos.Valid() {
+		if !pos.ValidIn(nw.fanout) {
 			return fmt.Errorf("baton: invalid position %v occupied", pos)
 		}
 		if !pos.IsRoot() {
-			if nw.positions[pos.Parent()] == nil {
+			if nw.positions[pos.ParentIn(nw.fanout)] == nil {
 				return fmt.Errorf("baton: position %v occupied but its parent position is empty", pos)
 			}
 		}
@@ -95,14 +97,13 @@ func (nw *Network) checkLinks() error {
 			if n.parent != nil {
 				return fmt.Errorf("baton: root peer %d has a parent link", n.id)
 			}
-		} else if n.parent != nw.positions[n.pos.Parent()] {
+		} else if n.parent != nw.positions[n.pos.ParentIn(nw.fanout)] {
 			return fmt.Errorf("baton: peer %d at %v has a wrong parent link", n.id, n.pos)
 		}
-		if n.leftChild != nw.positions[n.pos.LeftChild()] {
-			return fmt.Errorf("baton: peer %d at %v has a wrong left child link", n.id, n.pos)
-		}
-		if n.rightChild != nw.positions[n.pos.RightChild()] {
-			return fmt.Errorf("baton: peer %d at %v has a wrong right child link", n.id, n.pos)
+		for s := 0; s < nw.fanout; s++ {
+			if n.children[s] != nw.positions[n.pos.ChildIn(nw.fanout, s)] {
+				return fmt.Errorf("baton: peer %d at %v has a wrong child link in slot %d", n.id, n.pos, s)
+			}
 		}
 		// Adjacent links against the in-order sequence.
 		var wantLeft, wantRight *Node
@@ -126,11 +127,11 @@ func (nw *Network) checkRoutingTables() error {
 	for _, n := range nw.nodes {
 		for _, side := range []Side{Left, Right} {
 			rt := n.RoutingTable(side)
-			if len(rt) != n.pos.RoutingTableSize() {
-				return fmt.Errorf("baton: peer %d at %v has a %s routing table of size %d, want %d", n.id, n.pos, side, len(rt), n.pos.RoutingTableSize())
+			if want := RoutingTableSizeIn(nw.fanout, n.pos.Level); len(rt) != want {
+				return fmt.Errorf("baton: peer %d at %v has a %s routing table of size %d, want %d", n.id, n.pos, side, len(rt), want)
 			}
 			for i := range rt {
-				pos, valid := n.pos.Neighbour(side, int64(1)<<uint(i))
+				pos, valid := n.pos.NeighbourIn(nw.fanout, side, RTDistance(nw.fanout, i))
 				var want *Node
 				if valid {
 					want = nw.positions[pos]
@@ -165,11 +166,11 @@ func (nw *Network) checkTheorem2() error {
 				if y == nil || y.pos.IsRoot() {
 					continue
 				}
-				if x.pos.Parent() == y.pos.Parent() {
+				if x.pos.ParentIn(nw.fanout) == y.pos.ParentIn(nw.fanout) {
 					continue
 				}
-				px := nw.positions[x.pos.Parent()]
-				py := nw.positions[y.pos.Parent()]
+				px := nw.positions[x.pos.ParentIn(nw.fanout)]
+				py := nw.positions[y.pos.ParentIn(nw.fanout)]
 				if px == nil || py == nil {
 					return fmt.Errorf("baton: theorem 2: parent of %v or %v missing", x.pos, y.pos)
 				}

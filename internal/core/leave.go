@@ -11,10 +11,11 @@ import (
 // (Section III-B of the paper).
 //
 // A leaf whose departure cannot unbalance the tree (no routing-table
-// neighbour has children) transfers its content and range to its parent and
-// leaves directly. Any other peer finds a replacement leaf by forwarding a
-// FINDREPLACEMENT request (Algorithm 2); the replacement vacates its own
-// position and takes over the leaving peer's position, range and content.
+// neighbour has children) transfers its content and range to its in-order
+// neighbour (its parent, in the binary protocol) and leaves directly. Any
+// other peer finds a replacement leaf by forwarding a FINDREPLACEMENT
+// request (Algorithm 2); the replacement vacates its own position and takes
+// over the leaving peer's position, range and content.
 func (nw *Network) Leave(id PeerID) (stats.OpCost, error) {
 	x, err := nw.node(id)
 	if err != nil {
@@ -126,9 +127,16 @@ func (nw *Network) anyNeighbourHasChildren(x *Node) bool {
 }
 
 // removeSafeLeaf removes a leaf whose departure keeps the tree balanced: its
-// content and range are transferred to its parent, adjacent links are
-// re-spliced and routing-table entries pointing to it are cleared
+// content and range are transferred to an in-order neighbour, adjacent links
+// are re-spliced and routing-table entries pointing to it are cleared
 // (2*L1 + 2*L2 + 2 messages in the paper's analysis).
+//
+// In the binary tree a leaf's parent is always one of its in-order
+// neighbours, so at m=2 the absorber is the parent, exactly the paper's
+// protocol. At larger fanouts a leaf in one of the middle child slots can
+// have two deeper in-order neighbours; the absorber is then the parent if
+// adjacent, else the right adjacent, else the left adjacent — the absorber's
+// range is contiguous with the leaf's by construction.
 func (nw *Network) removeSafeLeaf(x *Node, withData bool) {
 	parent := x.parent
 	if parent == nil {
@@ -137,59 +145,68 @@ func (nw *Network) removeSafeLeaf(x *Node, withData bool) {
 		panic("core: removing the last peer")
 	}
 
-	// Transfer content and range to the parent.
-	merged, err := parent.nodeRange.Union(x.nodeRange)
+	absorber := parent
+	if x.leftAdj != parent && x.rightAdj != parent {
+		if x.rightAdj != nil {
+			absorber = x.rightAdj
+		} else {
+			absorber = x.leftAdj
+		}
+	}
+
+	// Transfer content and range to the absorber.
+	merged, err := absorber.nodeRange.Union(x.nodeRange)
 	if err != nil {
-		panic(fmt.Sprintf("core: leaf %v range %v not adjacent to parent %v range %v", x.pos, x.nodeRange, parent.pos, parent.nodeRange))
+		panic(fmt.Sprintf("core: leaf %v range %v not adjacent to absorber %v range %v", x.pos, x.nodeRange, absorber.pos, absorber.nodeRange))
 	}
-	parent.nodeRange = merged
+	absorber.nodeRange = merged
 	if withData {
-		parent.data.Absorb(x.data.ExtractAll())
+		absorber.data.Absorb(x.data.ExtractAll())
 	}
-	nw.send(parent, stats.MsgTransferData, catData)
+	nw.send(absorber, stats.MsgTransferData, catData)
 
 	// LEAVE messages to x's routing-table neighbours so they null their
-	// entries pointing at x.
+	// entries pointing at x. A no-sideways network keeps the tables as
+	// silent structural bookkeeping and charges nothing for them.
 	for _, side := range []Side{Left, Right} {
 		for _, m := range x.RoutingTable(side) {
 			if m == nil {
 				continue
 			}
 			nw.clearRTEntry(m, x)
-			nw.send(m, stats.MsgLeaveRequest, catUpdate)
+			if !nw.cfg.NoSidewaysRouting {
+				nw.send(m, stats.MsgLeaveRequest, catUpdate)
+			}
 		}
 	}
-	// The parent notifies its own neighbours of its new content/children.
-	for _, side := range []Side{Left, Right} {
-		for _, m := range parent.RoutingTable(side) {
-			if m != nil {
-				nw.send(m, stats.MsgNotifyNeighbour, catUpdate)
+	// The absorber notifies its own neighbours of its new content/children.
+	if !nw.cfg.NoSidewaysRouting {
+		for _, side := range []Side{Left, Right} {
+			for _, m := range absorber.RoutingTable(side) {
+				if m != nil {
+					nw.send(m, stats.MsgNotifyNeighbour, catUpdate)
+				}
 			}
 		}
 	}
 
 	// Re-splice the adjacent chain around x.
-	if x.IsLeftChildOfParent() {
-		parent.leftAdj = x.leftAdj
-		if x.leftAdj != nil {
-			x.leftAdj.rightAdj = parent
+	if x.leftAdj != nil {
+		x.leftAdj.rightAdj = x.rightAdj
+		if x.leftAdj != absorber {
 			nw.send(x.leftAdj, stats.MsgUpdateAdjacent, catUpdate)
 		}
-	} else {
-		parent.rightAdj = x.rightAdj
-		if x.rightAdj != nil {
-			x.rightAdj.leftAdj = parent
+	}
+	if x.rightAdj != nil {
+		x.rightAdj.leftAdj = x.leftAdj
+		if x.rightAdj != absorber {
 			nw.send(x.rightAdj, stats.MsgUpdateAdjacent, catUpdate)
 		}
 	}
-	nw.send(parent, stats.MsgUpdateAdjacent, catUpdate)
+	nw.send(absorber, stats.MsgUpdateAdjacent, catUpdate)
 
 	// Detach from the tree and the registries.
-	if x.IsLeftChildOfParent() {
-		parent.leftChild = nil
-	} else {
-		parent.rightChild = nil
-	}
+	parent.setChild(x.pos.SlotIn(nw.fanout), nil)
 	delete(nw.positions, x.pos)
 	delete(nw.nodes, x.id)
 	delete(nw.failed, x.id)
@@ -197,9 +214,11 @@ func (nw *Network) removeSafeLeaf(x *Node, withData bool) {
 	x.alive = false
 }
 
-// IsLeftChildOfParent reports whether the node occupies its parent's left
-// child position.
-func (n *Node) IsLeftChildOfParent() bool { return n.pos.IsLeftChild() }
+// IsLeftChildOfParent reports whether the node occupies the leftmost child
+// slot of its parent.
+func (n *Node) IsLeftChildOfParent() bool {
+	return !n.pos.IsRoot() && n.pos.SlotIn(n.fanout) == 0
+}
 
 // findReplacement runs Algorithm 2: starting from a node near x, the request
 // travels downwards (to a child, or to a child of a routing-table neighbour)
@@ -218,10 +237,11 @@ func (nw *Network) findReplacement(x *Node) (*Node, error) {
 				if m == nil || m.IsLeaf() {
 					continue
 				}
-				if m.leftChild != nil {
-					start = m.leftChild
-				} else {
-					start = m.rightChild
+				for _, c := range m.children {
+					if c != nil {
+						start = c
+						break
+					}
 				}
 				break
 			}
@@ -242,6 +262,9 @@ func (nw *Network) findReplacement(x *Node) (*Node, error) {
 	if start == nil {
 		start = x
 	}
+	if nw.cfg.NoSidewaysRouting {
+		nw.chargeMultiwayReplacementWalk(x)
+	}
 	nw.send(start, stats.MsgFindReplacement, catLocate)
 
 	n := start
@@ -249,19 +272,26 @@ func (nw *Network) findReplacement(x *Node) (*Node, error) {
 	for hops := 0; hops < limit; hops++ {
 		nw.chargeIfInflight(n)
 		var next *Node
-		switch {
-		case n.leftChild != nil && n.leftChild.alive:
-			next = n.leftChild
-		case n.rightChild != nil && n.rightChild.alive:
-			next = n.rightChild
-		default:
+		for _, c := range n.children {
+			if c != nil && c.alive {
+				next = c
+				break
+			}
+		}
+		if next == nil {
 			next = nw.childOfNeighbourWithChildren(n)
 			if next == nil {
-				if n == x || !n.alive || !n.IsLeaf() {
+				if n == x || !n.alive || !n.IsLeaf() ||
+					!nw.balancedWithChange(nil, []Position{n.pos}) {
 					// Degenerate case: the walk ended at the departing peer
-					// itself, at a peer that is down, or at a peer that only
-					// has failed children; pick a safe live leaf
-					// deterministically instead.
+					// itself, at a peer that is down, at a peer that only has
+					// failed children — or at a leaf whose removal would not
+					// keep the tree balanced. The last one happens under
+					// unrepaired failures: the walk only follows live peers,
+					// but failed peers still occupy their positions for
+					// balance purposes, so the live neighbourhood being flat
+					// does not prove the leaf is safe to vacate. Pick a safe
+					// live leaf deterministically instead.
 					return nw.replacementFallback(x)
 				}
 				return n, nil
@@ -273,6 +303,35 @@ func (nw *Network) findReplacement(x *Node) (*Node, error) {
 	return nil, fmt.Errorf("finding replacement for peer %d: %w", x.id, ErrHopLimit)
 }
 
+// chargeMultiwayReplacementWalk charges the departure walk of the multiway
+// baseline: without sideways links the departing peer cannot aim at a safe
+// leaf directly, so it descends from its own position, asking every child for
+// its subtree height (one request and one reply each) before following the
+// deepest branch. Only the accounting differs from the sideways-assisted
+// walk; tallest-first descent bottoms out at a deepest leaf of the subtree,
+// the same class of balance-safe replacement Algorithm 2 picks.
+func (nw *Network) chargeMultiwayReplacementWalk(x *Node) {
+	n := x
+	for {
+		var deepest *Node
+		for _, c := range n.children {
+			if c == nil || !c.alive {
+				continue
+			}
+			nw.send(c, stats.MsgChildInfoRequest, catLocate)
+			nw.send(n, stats.MsgReply, catLocate)
+			if deepest == nil || nw.subtreeHeight(c.pos) > nw.subtreeHeight(deepest.pos) {
+				deepest = c
+			}
+		}
+		if deepest == nil {
+			return
+		}
+		nw.send(deepest, stats.MsgFindReplacement, catLocate)
+		n = deepest
+	}
+}
+
 // childOfNeighbourWithChildren returns a child of some routing-table
 // neighbour of n that has children, or nil if every neighbour is a leaf.
 func (nw *Network) childOfNeighbourWithChildren(n *Node) *Node {
@@ -281,11 +340,10 @@ func (nw *Network) childOfNeighbourWithChildren(n *Node) *Node {
 			if m == nil || m.IsLeaf() {
 				continue
 			}
-			if m.leftChild != nil && m.leftChild.alive {
-				return m.leftChild
-			}
-			if m.rightChild != nil && m.rightChild.alive {
-				return m.rightChild
+			for _, c := range m.children {
+				if c != nil && c.alive {
+					return c
+				}
 			}
 		}
 	}
@@ -339,7 +397,7 @@ func (nw *Network) replace(x, y *Node, withData bool) {
 	y.pos = targetPos
 	y.nodeRange = x.nodeRange
 	// Recover any items the safe departure deposited at x (when y was a
-	// child of x), then take over x's own items if they are available.
+	// neighbour of x), then take over x's own items if they are available.
 	y.data.Absorb(x.data.ExtractAll())
 	if len(xItems) > 0 {
 		y.data.Absorb(xItems)
@@ -358,7 +416,7 @@ func (nw *Network) replace(x, y *Node, withData bool) {
 	// neighbours (2*L2), its children (2) and its adjacent nodes (2).
 	nw.rebuildAffected([]Position{targetPos})
 	if !targetPos.IsRoot() {
-		if p := nw.positions[targetPos.Parent()]; p != nil {
+		if p := nw.positions[targetPos.ParentIn(nw.fanout)]; p != nil {
 			for _, side := range []Side{Left, Right} {
 				for _, m := range p.RoutingTable(side) {
 					if m != nil {
@@ -375,7 +433,7 @@ func (nw *Network) replace(x, y *Node, withData bool) {
 			}
 		}
 	}
-	for _, c := range []*Node{y.leftChild, y.rightChild} {
+	for _, c := range y.children {
 		if c != nil {
 			nw.send(c, stats.MsgNotifyReplace, catUpdate)
 		}
@@ -447,9 +505,11 @@ func (nw *Network) RepairFailure(id PeerID) (stats.OpCost, error) {
 	// The coordinating peer is the parent, or a child when the root failed.
 	coordinator := x.parent
 	if coordinator == nil {
-		coordinator = x.leftChild
-		if coordinator == nil {
-			coordinator = x.rightChild
+		for _, c := range x.children {
+			if c != nil {
+				coordinator = c
+				break
+			}
 		}
 	}
 	if coordinator != nil {

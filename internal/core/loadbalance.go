@@ -354,7 +354,8 @@ func (nw *Network) vacateAndRejoin(light, hot, heir *Node, split func(side Side)
 // held by every peer that links to n (parent, children, adjacent peers and
 // routing-table neighbours).
 func (nw *Network) notifyRangeChange(n *Node) {
-	targets := []*Node{n.parent, n.leftChild, n.rightChild, n.leftAdj, n.rightAdj}
+	targets := []*Node{n.parent, n.leftAdj, n.rightAdj}
+	targets = append(targets, n.children...)
 	for _, side := range []Side{Left, Right} {
 		targets = append(targets, n.RoutingTable(side)...)
 	}
@@ -390,8 +391,9 @@ func (nw *Network) findLightLeaf(x *Node) *Node {
 				continue
 			}
 			consider(m)
-			consider(m.leftChild)
-			consider(m.rightChild)
+			for _, c := range m.children {
+				consider(c)
+			}
 		}
 	}
 	return best

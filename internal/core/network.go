@@ -38,10 +38,24 @@ type Config struct {
 	// Domain is the key domain partitioned across peers. The zero value
 	// means the paper's default [1, 10^9).
 	Domain keyspace.Range
+	// Fanout is the tree fanout m: each node has m child slots and sideways
+	// routing tables at the BATON* distances j*m^i. The zero value means 2,
+	// the binary protocol of the original paper (and m=2 reproduces it
+	// exactly). NewNetwork panics on fanouts outside 2..MaxFanout.
+	Fanout int
 	// Seed seeds the network's deterministic random source (used for
 	// choices the protocol leaves open, e.g. which adjacent node receives a
 	// forwarded JOIN).
 	Seed int64
+	// NoSidewaysRouting disables the use (and message accounting) of the
+	// sideways routing tables: queries climb towards the root until the
+	// current subtree covers the key and then descend, probing children in
+	// slot order, exactly like the multiway-tree baseline of Liau et al.
+	// (DBISP2P 2004). This is the degenerate no-long-links case of BATON*
+	// (package multiway wraps it); the tables are still maintained
+	// internally so the structural audits hold, but they are never
+	// consulted for routing and their maintenance messages are not charged.
+	NoSidewaysRouting bool
 	// LoadBalance configures the load balancing scheme of Section IV-D.
 	// The zero value disables automatic load balancing.
 	LoadBalance LoadBalanceConfig
@@ -59,6 +73,7 @@ type Config struct {
 type Network struct {
 	cfg     Config
 	domain  keyspace.Range
+	fanout  int
 	rng     *rand.Rand
 	metrics *stats.Metrics
 	load    *stats.LevelLoad
@@ -95,9 +110,14 @@ func NewNetwork(cfg Config) *Network {
 	if domain.IsEmpty() {
 		domain = keyspace.FullDomain()
 	}
+	fanout := normFanout(cfg.Fanout)
+	if !ValidFanout(fanout) {
+		panic(fmt.Sprintf("core: invalid fanout %d (want 2..%d)", cfg.Fanout, MaxFanout))
+	}
 	nw := &Network{
 		cfg:          cfg,
 		domain:       domain,
+		fanout:       fanout,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		metrics:      stats.NewMetrics(),
 		load:         stats.NewLevelLoad(),
@@ -108,7 +128,7 @@ func NewNetwork(cfg Config) *Network {
 		nextID:       1,
 		lbShiftSizes: stats.NewHistogram(),
 	}
-	root := newNode(nw.allocID(), RootPosition, domain)
+	root := newNode(fanout, nw.allocID(), RootPosition, domain)
 	nw.nodes[root.id] = root
 	nw.positions[root.pos] = root
 	nw.root = root
@@ -129,6 +149,10 @@ func (nw *Network) Root() NodeInfo { return nw.root.info() }
 
 // Domain returns the key domain managed by the network.
 func (nw *Network) Domain() keyspace.Range { return nw.domain }
+
+// Fanout returns the network's tree fanout m (2 for the paper's binary
+// protocol).
+func (nw *Network) Fanout() int { return nw.fanout }
 
 // Metrics returns the network's message counters.
 func (nw *Network) Metrics() *stats.Metrics { return nw.metrics }
@@ -233,7 +257,7 @@ func (nw *Network) inOrderNodes() []*Node {
 	for _, n := range nw.nodes {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].pos.InOrderBefore(out[j].pos) })
+	sort.Slice(out, func(i, j int) bool { return out[i].pos.InOrderBeforeIn(nw.fanout, out[j].pos) })
 	return out
 }
 
@@ -313,16 +337,18 @@ func (nw *Network) subtreeHeight(p Position) int {
 	if nw.positions[p] == nil {
 		return 0
 	}
-	l := nw.subtreeHeight(p.LeftChild())
-	r := nw.subtreeHeight(p.RightChild())
-	if l > r {
-		return l + 1
+	max := 0
+	for s := 0; s < nw.fanout; s++ {
+		if h := nw.subtreeHeight(p.ChildIn(nw.fanout, s)); h > max {
+			max = h
+		}
 	}
-	return r + 1
+	return max + 1
 }
 
 // isBalanced reports whether the occupied positions form a height-balanced
-// binary tree (Definition 1 of the paper).
+// m-ary tree (Definition 1 of the paper, generalised: at every node the
+// heights of the m child subtrees pairwise differ by at most one).
 func (nw *Network) isBalanced() bool {
 	_, ok := nw.checkBalance(RootPosition)
 	return ok
@@ -332,26 +358,23 @@ func (nw *Network) checkBalance(p Position) (height int, balanced bool) {
 	if nw.positions[p] == nil {
 		return 0, true
 	}
-	lh, lok := nw.checkBalance(p.LeftChild())
-	if !lok {
+	minH, maxH := -1, 0
+	for s := 0; s < nw.fanout; s++ {
+		h, ok := nw.checkBalance(p.ChildIn(nw.fanout, s))
+		if !ok {
+			return 0, false
+		}
+		if h > maxH {
+			maxH = h
+		}
+		if minH < 0 || h < minH {
+			minH = h
+		}
+	}
+	if maxH-minH > 1 {
 		return 0, false
 	}
-	rh, rok := nw.checkBalance(p.RightChild())
-	if !rok {
-		return 0, false
-	}
-	diff := lh - rh
-	if diff < 0 {
-		diff = -diff
-	}
-	if diff > 1 {
-		return 0, false
-	}
-	h := lh
-	if rh > h {
-		h = rh
-	}
-	return h + 1, true
+	return maxH + 1, true
 }
 
 // balancedWithChange reports whether the tree would remain height-balanced if
@@ -378,48 +401,80 @@ func (nw *Network) balancedWithChange(added, removed []Position) bool {
 		if !occupied {
 			return 0, true
 		}
-		lh, lok := balanced(p.LeftChild())
-		if !lok {
+		minH, maxH := -1, 0
+		for s := 0; s < nw.fanout; s++ {
+			h, ok := balanced(p.ChildIn(nw.fanout, s))
+			if !ok {
+				return 0, false
+			}
+			if h > maxH {
+				maxH = h
+			}
+			if minH < 0 || h < minH {
+				minH = h
+			}
+		}
+		if maxH-minH > 1 {
 			return 0, false
 		}
-		rh, rok := balanced(p.RightChild())
-		if !rok {
-			return 0, false
-		}
-		diff := lh - rh
-		if diff < 0 {
-			diff = -diff
-		}
-		if diff > 1 {
-			return 0, false
-		}
-		h := lh
-		if rh > h {
-			h = rh
-		}
-		return h + 1, true
+		return maxH + 1, true
 	}
 	_, ok := balanced(RootPosition)
 	return ok
 }
 
+// minOfSubtree returns the in-order minimum occupied position of the subtree
+// rooted at occupied position q. The node itself comes after its first m-1
+// child subtrees, so the minimum descends through the lowest occupied slot
+// among 0..m-2 (for m=2 the left-child chain).
+func (nw *Network) minOfSubtree(q Position) Position {
+	m := nw.fanout
+descend:
+	for {
+		for s := 0; s < m-1; s++ {
+			if c := q.ChildIn(m, s); nw.positions[c] != nil {
+				q = c
+				continue descend
+			}
+		}
+		return q
+	}
+}
+
+// maxOfSubtree returns the in-order maximum occupied position of the subtree
+// rooted at occupied position q: the node only precedes its last child
+// subtree, so the maximum descends the slot m-1 chain (for m=2 the
+// right-child chain).
+func (nw *Network) maxOfSubtree(q Position) Position {
+	m := nw.fanout
+	for nw.positions[q.ChildIn(m, m-1)] != nil {
+		q = q.ChildIn(m, m-1)
+	}
+	return q
+}
+
 // inOrderPredecessorPos returns the occupied position that immediately
 // precedes p in the in-order traversal, and whether one exists.
 func (nw *Network) inOrderPredecessorPos(p Position) (Position, bool) {
-	// If p has a left subtree, the predecessor is its rightmost occupied
-	// position.
-	if nw.positions[p.LeftChild()] != nil {
-		q := p.LeftChild()
-		for nw.positions[q.RightChild()] != nil {
-			q = q.RightChild()
+	m := nw.fanout
+	// The node comes right after its first m-1 child subtrees: if any of
+	// slots 0..m-2 is occupied, the predecessor is the maximum of the highest
+	// such subtree (for m=2: the rightmost occupied position of the left
+	// subtree).
+	for s := m - 2; s >= 0; s-- {
+		if c := p.ChildIn(m, s); nw.positions[c] != nil {
+			return nw.maxOfSubtree(c), true
 		}
-		return q, true
 	}
-	// Otherwise walk up until we arrive from a right child.
+	// Otherwise walk up. At each step q sits in slot s of its parent: if s is
+	// the last slot the parent itself immediately precedes q's subtree; if an
+	// earlier sibling subtree is occupied its maximum does; otherwise nothing
+	// in the parent's subtree precedes q and the climb continues.
 	q := p
 	for !q.IsRoot() {
-		parent := q.Parent()
-		if q.IsRightChild() {
+		parent := q.ParentIn(m)
+		s := q.SlotIn(m)
+		if s == m-1 {
 			if nw.positions[parent] != nil {
 				return parent, true
 			}
@@ -429,6 +484,11 @@ func (nw *Network) inOrderPredecessorPos(p Position) (Position, bool) {
 			q = parent
 			continue
 		}
+		for t := s - 1; t >= 0; t-- {
+			if c := parent.ChildIn(m, t); nw.positions[c] != nil {
+				return nw.maxOfSubtree(c), true
+			}
+		}
 		q = parent
 	}
 	return Position{}, false
@@ -437,17 +497,24 @@ func (nw *Network) inOrderPredecessorPos(p Position) (Position, bool) {
 // inOrderSuccessorPos returns the occupied position that immediately follows
 // p in the in-order traversal, and whether one exists.
 func (nw *Network) inOrderSuccessorPos(p Position) (Position, bool) {
-	if nw.positions[p.RightChild()] != nil {
-		q := p.RightChild()
-		for nw.positions[q.LeftChild()] != nil {
-			q = q.LeftChild()
-		}
-		return q, true
+	m := nw.fanout
+	// Only the last child subtree follows the node itself.
+	if c := p.ChildIn(m, m-1); nw.positions[c] != nil {
+		return nw.minOfSubtree(c), true
 	}
+	// Walk up. At each step q sits in slot s of its parent: a later sibling
+	// in slots s+1..m-2 comes next if occupied, then the parent itself; from
+	// the last slot nothing in the parent's subtree follows q.
 	q := p
 	for !q.IsRoot() {
-		parent := q.Parent()
-		if q.IsLeftChild() {
+		parent := q.ParentIn(m)
+		s := q.SlotIn(m)
+		if s < m-1 {
+			for t := s + 1; t < m-1; t++ {
+				if c := parent.ChildIn(m, t); nw.positions[c] != nil {
+					return nw.minOfSubtree(c), true
+				}
+			}
 			if nw.positions[parent] != nil {
 				return parent, true
 			}
@@ -464,14 +531,16 @@ func (nw *Network) inOrderSuccessorPos(p Position) (Position, bool) {
 // tables. It is used after restructuring and replacement, where a peer's
 // position (and therefore its whole link set) changes.
 func (nw *Network) rebuildLinks(n *Node) {
+	m := nw.fanout
 	p := n.pos
 	if p.IsRoot() {
 		n.parent = nil
 	} else {
-		n.parent = nw.positions[p.Parent()]
+		n.parent = nw.positions[p.ParentIn(m)]
 	}
-	n.leftChild = nw.positions[p.LeftChild()]
-	n.rightChild = nw.positions[p.RightChild()]
+	for s := 0; s < m; s++ {
+		n.children[s] = nw.positions[p.ChildIn(m, s)]
+	}
 	if pred, ok := nw.inOrderPredecessorPos(p); ok {
 		n.leftAdj = nw.positions[pred]
 	} else {
@@ -484,12 +553,12 @@ func (nw *Network) rebuildLinks(n *Node) {
 	}
 	n.resizeRoutingTables()
 	for i := range n.leftRT {
-		if q, ok := p.Neighbour(Left, int64(1)<<uint(i)); ok {
+		if q, ok := p.NeighbourIn(m, Left, RTDistance(m, i)); ok {
 			n.leftRT[i] = nw.positions[q]
 		}
 	}
 	for i := range n.rightRT {
-		if q, ok := p.Neighbour(Right, int64(1)<<uint(i)); ok {
+		if q, ok := p.NeighbourIn(m, Right, RTDistance(m, i)); ok {
 			n.rightRT[i] = nw.positions[q]
 		}
 	}
@@ -505,24 +574,26 @@ func (nw *Network) affectedByPositions(positions []Position) map[PeerID]*Node {
 			out[n.id] = n
 		}
 	}
+	m := nw.fanout
 	for _, p := range positions {
 		add(nw.positions[p])
 		if !p.IsRoot() {
-			add(nw.positions[p.Parent()])
+			add(nw.positions[p.ParentIn(m)])
 		}
-		add(nw.positions[p.LeftChild()])
-		add(nw.positions[p.RightChild()])
+		for s := 0; s < m; s++ {
+			add(nw.positions[p.ChildIn(m, s)])
+		}
 		if pred, ok := nw.inOrderPredecessorPos(p); ok {
 			add(nw.positions[pred])
 		}
 		if succ, ok := nw.inOrderSuccessorPos(p); ok {
 			add(nw.positions[succ])
 		}
-		for i := 0; i < p.RoutingTableSize(); i++ {
-			if q, ok := p.Neighbour(Left, int64(1)<<uint(i)); ok {
+		for i := 0; i < RoutingTableSizeIn(m, p.Level); i++ {
+			if q, ok := p.NeighbourIn(m, Left, RTDistance(m, i)); ok {
 				add(nw.positions[q])
 			}
-			if q, ok := p.Neighbour(Right, int64(1)<<uint(i)); ok {
+			if q, ok := p.NeighbourIn(m, Right, RTDistance(m, i)); ok {
 				add(nw.positions[q])
 			}
 		}

@@ -18,22 +18,28 @@ const NoPeer PeerID = 0
 // Node is one peer of the overlay together with the state the BATON protocol
 // requires it to keep: its tree position, its key range and local data store,
 // the parent / child / adjacent links and the two sideways routing tables.
+// The node's link shape is fanout-parametric: m child slots and routing
+// tables at the BATON* distances j*m^i; at the default fanout 2 this is
+// exactly the binary protocol of the paper.
 //
 // Node values are owned by a Network and must only be manipulated through
 // Network methods.
 type Node struct {
-	id  PeerID
-	pos Position
+	id     PeerID
+	pos    Position
+	fanout int
 
-	parent     *Node
-	leftChild  *Node
-	rightChild *Node
-	leftAdj    *Node
-	rightAdj   *Node
+	parent *Node
+	// children holds the fanout child slots in tree order; slot 0 is the
+	// leftmost child and slot fanout-1 the rightmost.
+	children []*Node
+	leftAdj  *Node
+	rightAdj *Node
 
-	// leftRT[i] / rightRT[i] link to the node at the same level whose number
-	// is smaller / greater by 2^i, or nil when that position is unoccupied
-	// ("an entry is still made in the routing table, but marked as null").
+	// leftRT[k] / rightRT[k] link to the node at the same level whose number
+	// is smaller / greater by RTDistance(fanout, k), or nil when that
+	// position is unoccupied ("an entry is still made in the routing table,
+	// but marked as null").
 	leftRT  []*Node
 	rightRT []*Node
 
@@ -47,10 +53,12 @@ type Node struct {
 	msgsHandled int64
 }
 
-func newNode(id PeerID, pos Position, r keyspace.Range) *Node {
+func newNode(m int, id PeerID, pos Position, r keyspace.Range) *Node {
 	n := &Node{
 		id:        id,
 		pos:       pos,
+		fanout:    m,
+		children:  make([]*Node, m),
 		nodeRange: r,
 		data:      store.New(),
 		alive:     true,
@@ -62,7 +70,7 @@ func newNode(id PeerID, pos Position, r keyspace.Range) *Node {
 // resizeRoutingTables adjusts the routing table slices to the node's current
 // level, preserving nothing (callers rebuild entries afterwards).
 func (n *Node) resizeRoutingTables() {
-	size := n.pos.RoutingTableSize()
+	size := RoutingTableSizeIn(n.fanout, n.pos.Level)
 	n.leftRT = make([]*Node, size)
 	n.rightRT = make([]*Node, size)
 }
@@ -91,18 +99,27 @@ func (n *Node) Alive() bool { return n.alive }
 func (n *Node) MessagesHandled() int64 { return n.msgsHandled }
 
 // IsLeaf reports whether the peer currently has no children.
-func (n *Node) IsLeaf() bool { return n.leftChild == nil && n.rightChild == nil }
+func (n *Node) IsLeaf() bool {
+	for _, c := range n.children {
+		if c != nil {
+			return false
+		}
+	}
+	return true
+}
 
 // Parent returns the parent peer, or nil for the root.
 func (n *Node) Parent() *Node { return n.parent }
 
-// Child returns the child on the given side, or nil.
-func (n *Node) Child(side Side) *Node {
-	if side == Left {
-		return n.leftChild
-	}
-	return n.rightChild
-}
+// Child returns the child on the given side — the leftmost child slot for
+// Left, the rightmost for Right — or nil.
+func (n *Node) Child(side Side) *Node { return n.children[slotFor(n.fanout, side)] }
+
+// ChildSlot returns the child in slot s (0-based), or nil.
+func (n *Node) ChildSlot(s int) *Node { return n.children[s] }
+
+// Fanout returns the node's tree fanout.
+func (n *Node) Fanout() int { return n.fanout }
 
 // Adjacent returns the in-order neighbouring peer on the given side, or nil
 // at the ends of the in-order chain.
@@ -123,12 +140,12 @@ func (n *Node) RoutingTable(side Side) []*Node {
 }
 
 // routingTableFull reports whether every entry of the side's routing table
-// that corresponds to a valid position (within 1..2^level) is non-nil. This
+// that corresponds to a valid position (within 1..m^level) is non-nil. This
 // is the "Full(RoutingTable)" predicate of Algorithm 1 and Theorem 1.
 func (n *Node) routingTableFull(side Side) bool {
 	rt := n.RoutingTable(side)
 	for i := range rt {
-		if _, ok := n.pos.Neighbour(side, int64(1)<<uint(i)); !ok {
+		if _, ok := n.pos.NeighbourIn(n.fanout, side, RTDistance(n.fanout, i)); !ok {
 			continue // position outside the level: entry is always "valid"
 		}
 		if rt[i] == nil {
@@ -145,29 +162,46 @@ func (n *Node) bothRoutingTablesFull() bool {
 	return n.routingTableFull(Left) && n.routingTableFull(Right)
 }
 
-// hasFreeChildSlot reports whether the node has fewer than two children.
-func (n *Node) hasFreeChildSlot() bool { return n.leftChild == nil || n.rightChild == nil }
+// hasFreeChildSlot reports whether any of the node's child slots is empty.
+func (n *Node) hasFreeChildSlot() bool {
+	for _, c := range n.children {
+		if c == nil {
+			return true
+		}
+	}
+	return false
+}
 
-// freeChildSide returns a side whose child slot is empty, preferring the
-// left slot, and whether any slot is free.
+// freeChildSlot returns the lowest empty child slot (the leftmost — for
+// fanout 2 this is the paper's "prefer the left child"), and whether any
+// slot is free.
+func (n *Node) freeChildSlot() (int, bool) {
+	for s, c := range n.children {
+		if c == nil {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// freeChildSide returns the side on which a forced insert next to the node
+// lands in a free slot: Left when the slot in-order immediately before the
+// node can be free (the last leading slot, m-2, is empty), Right when only
+// the last slot is empty. For fanout 2 this is "the left child side if the
+// left child is free, else the right". ok is false when neither side has a
+// free slot (a forced insert then restructures).
 func (n *Node) freeChildSide() (Side, bool) {
-	if n.leftChild == nil {
+	if n.children[n.fanout-2] == nil {
 		return Left, true
 	}
-	if n.rightChild == nil {
+	if n.children[n.fanout-1] == nil {
 		return Right, true
 	}
 	return Left, false
 }
 
-// setChild sets the child pointer on the given side.
-func (n *Node) setChild(side Side, c *Node) {
-	if side == Left {
-		n.leftChild = c
-	} else {
-		n.rightChild = c
-	}
-}
+// setChild sets the child pointer in slot s.
+func (n *Node) setChild(s int, c *Node) { n.children[s] = c }
 
 // setAdjacent sets the adjacent pointer on the given side.
 func (n *Node) setAdjacent(side Side, a *Node) {

@@ -1,9 +1,20 @@
 // Package core implements BATON, the balanced tree overlay network of
-// Jagadish, Ooi, Rinard and Vu (VLDB 2005): a binary height-balanced tree in
-// which every peer owns one tree position and a contiguous range of the key
-// space, and keeps links to its parent, children, adjacent (in-order
-// neighbouring) peers and to same-level peers at distances 2^i (the left and
-// right sideways routing tables).
+// Jagadish, Ooi, Rinard and Vu (VLDB 2005), generalised to the m-ary BATON*
+// of the sequel paper: a height-balanced tree of fanout m in which every
+// peer owns one tree position and a contiguous range of the key space, and
+// keeps links to its parent, children, adjacent (in-order neighbouring)
+// peers and to same-level peers at the BATON* distances j*m^i for
+// j in 1..m-1 (the left and right sideways routing tables).
+//
+// The fanout is a parameter of the whole structural authority, not a
+// variant: Config.Fanout threads through positions, joins, departures,
+// restructuring, routing and the invariant suite, and at the default m=2
+// every formula degenerates to the original paper's binary protocol —
+// child slots {0,1} are {left,right}, the routing-table distances become
+// 2^i, and the binary network's behaviour is reproduced decision for
+// decision. Config.NoSidewaysRouting further degenerates BATON* into the
+// multiway-tree baseline of Liau et al. (no long links; package multiway
+// wraps it).
 //
 // The package contains the full protocol described in the paper: node join
 // (Algorithm 1), node departure and replacement (Algorithm 2), abrupt
@@ -21,9 +32,13 @@ import "fmt"
 // would need about 2^42 peers to exceed it.
 const MaxLevel = 60
 
-// Position identifies a node's logical place in the binary tree: the root is
-// level 0, and nodes at level L are numbered 1..2^L left to right, whether or
-// not a peer currently occupies them (Section III of the paper).
+// Position identifies a node's logical place in the tree: the root is level
+// 0, and in a fanout-m tree nodes at level L are numbered 1..m^L left to
+// right, whether or not a peer currently occupies them (Section III of the
+// paper). The struct itself carries no fanout; the *In(m) methods in
+// fanout.go interpret it for a given fanout, and the binary-named methods
+// below (Parent, LeftChild, Sibling, ...) are the m=2 readings kept for the
+// original protocol's code paths and tests.
 type Position struct {
 	Level  int
 	Number int64

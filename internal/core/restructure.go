@@ -40,15 +40,70 @@ func (nw *Network) occupiedWith(p Position, added, removed []Position) bool {
 	return nw.positions[p] != nil
 }
 
-// freshSlotBetween returns the unique unoccupied position that falls
-// in-order between the occupied position a and its in-order successor
-// position b: the left child slot of b if it is free, otherwise the right
-// child slot of a (which must then be free).
-func (nw *Network) freshSlotBetween(a, b Position) Position {
-	if nw.positions[b.LeftChild()] == nil {
-		return b.LeftChild()
+// freshSlotsBetween returns the unoccupied positions that fall in-order
+// between the occupied position a and its in-order successor position b. In
+// a binary tree there is exactly one such position (a's right child or b's
+// left child), but for m > 2 the two can also be in-order adjacent across
+// free *sibling* slots — children 0 and 2 of a common parent with slot 1
+// empty — and every such free slot is a legal home for a shifted occupant.
+// Missing those slots would strand the insert-shift walk on sparse m-ary
+// trees, where the only balance-preserving fresh positions ARE the free
+// slots of the tree's bottom level, not anybody's child slots.
+func (nw *Network) freshSlotsBetween(a, b Position) []Position {
+	m := nw.fanout
+	var cands []Position
+	add := func(p Position) {
+		if p.ValidIn(m) && nw.positions[p] == nil {
+			cands = append(cands, p)
+		}
 	}
-	return a.RightChild()
+	add(a.ChildIn(m, m-1))
+	var r Position
+	if nw.positions[a.ChildIn(m, m-1)] != nil {
+		// b lives inside a's trailing subtree; descend towards it.
+		r = a.ChildIn(m, m-1)
+	} else {
+		// Climb from a to the turn: the lowest ancestor subtree of which a is
+		// not the in-order maximum. From there b is either the parent itself
+		// or the minimum of the next occupied sibling subtree, and the free
+		// sibling slots crossed on the way sit in-order between a and b.
+		q := a
+		for !q.IsRoot() && q.SlotIn(m) == m-1 {
+			q = q.ParentIn(m)
+		}
+		if q.IsRoot() {
+			return cands // a is the global in-order maximum
+		}
+		parent := q.ParentIn(m)
+		t := q.SlotIn(m) + 1
+		for ; t < m-1; t++ {
+			if nw.positions[parent.ChildIn(m, t)] != nil {
+				break
+			}
+			add(parent.ChildIn(m, t))
+		}
+		if t == m-1 {
+			return cands // the parent itself is b
+		}
+		r = parent.ChildIn(m, t)
+	}
+	// Descend from r to b (the in-order minimum of r's subtree), collecting
+	// at each step the free leading slots that precede the taken branch —
+	// they come before b in-order; the slots after it do not.
+	for {
+		taken := -1
+		for u := 0; u < m-1; u++ {
+			if nw.positions[r.ChildIn(m, u)] != nil {
+				taken = u
+				break
+			}
+			add(r.ChildIn(m, u))
+		}
+		if taken < 0 {
+			return cands // r is b; all its leading slots precede it
+		}
+		r = r.ChildIn(m, taken)
+	}
 }
 
 // planInsertShift plans the occupant moves needed to give newcomerRangePos a
@@ -74,24 +129,27 @@ func (nw *Network) planInsertShift(anchorPos Position, dir Side) ([]move, Positi
 		} else {
 			neighbourPos, haveNeighbour = nw.inOrderPredecessorPos(carryPos)
 		}
-		var fresh Position
+		var fresh []Position
 		if haveNeighbour {
 			if dir == Right {
-				fresh = nw.freshSlotBetween(carryPos, neighbourPos)
+				fresh = nw.freshSlotsBetween(carryPos, neighbourPos)
 			} else {
-				fresh = nw.freshSlotBetween(neighbourPos, carryPos)
+				fresh = nw.freshSlotsBetween(neighbourPos, carryPos)
 			}
 		} else {
 			// carryPos is the end of the chain: the fresh slot is its own
 			// child slot on the outer side.
-			fresh = carryPos.Child(dir)
-			if nw.positions[fresh] != nil {
+			outer := carryPos.ChildIn(nw.fanout, slotFor(nw.fanout, dir))
+			if nw.positions[outer] != nil {
 				return nil, Position{}, false
 			}
+			fresh = []Position{outer}
 		}
-		if nw.positions[fresh] == nil && fresh.Valid() && nw.balancedWithChange([]Position{fresh}, nil) {
-			moves = append(moves, move{node: carry, from: carryPos, to: fresh})
-			return moves, fresh, true
+		for _, f := range fresh {
+			if f.ValidIn(nw.fanout) && nw.balancedWithChange([]Position{f}, nil) {
+				moves = append(moves, move{node: carry, from: carryPos, to: f})
+				return moves, f, true
+			}
 		}
 		if !haveNeighbour {
 			return nil, Position{}, false
@@ -115,8 +173,31 @@ func (nw *Network) planInsertShift(anchorPos Position, dir Side) ([]move, Positi
 // The caller is responsible for having assigned newcomer's range and data
 // and for newcomer being registered in nw.nodes but not in nw.positions.
 func (nw *Network) forcedInsertAt(parent *Node, newcomer *Node, side Side) int {
-	childPos := parent.pos.Child(side)
-	if nw.positions[childPos] == nil && nw.balancedWithChange([]Position{childPos}, nil) {
+	m := nw.fanout
+	// Pick the child slot that places the newcomer in-order immediately next
+	// to the parent. On the right that is always the last slot; on the left
+	// it is the slot just above the highest occupied leading slot (placing it
+	// lower would break the in-order contiguity of the occupied ranges). At
+	// m=2 these are exactly the left and right child positions.
+	childPos := Position{}
+	haveSlot := false
+	if side == Right {
+		childPos = parent.pos.ChildIn(m, m-1)
+		haveSlot = nw.positions[childPos] == nil
+	} else {
+		highest := -1
+		for s := m - 2; s >= 0; s-- {
+			if nw.positions[parent.pos.ChildIn(m, s)] != nil {
+				highest = s
+				break
+			}
+		}
+		if highest < m-2 {
+			childPos = parent.pos.ChildIn(m, highest+1)
+			haveSlot = true
+		}
+	}
+	if haveSlot && childPos.ValidIn(m) && nw.balancedWithChange([]Position{childPos}, nil) {
 		// The easy case: the slot is free and keeps the tree balanced.
 		newcomer.pos = childPos
 		nw.positions[childPos] = newcomer
@@ -158,8 +239,8 @@ func (nw *Network) forcedInsertAt(parent *Node, newcomer *Node, side Side) int {
 		}
 	}
 	if !ok {
-		// A balanced binary tree always has room for one more node somewhere
-		// along the chain, so this indicates corruption.
+		// A balanced m-ary tree always has a free balance-preserving slot
+		// somewhere along the in-order chain, so this indicates corruption.
 		panic(fmt.Sprintf("core: restructuring failed to place peer %d under %v", newcomer.id, parent.pos))
 	}
 	// The newcomer takes the anchor position; every planned move is applied.
@@ -201,8 +282,10 @@ func (nw *Network) removablePosition(p, vacated Position) bool {
 		added = append(added, vacated)
 	}
 	removed := []Position{p}
-	if nw.occupiedWith(p.LeftChild(), added, removed) || nw.occupiedWith(p.RightChild(), added, removed) {
-		return false
+	for s := 0; s < nw.fanout; s++ {
+		if nw.occupiedWith(p.ChildIn(nw.fanout, s), added, removed) {
+			return false
+		}
 	}
 	return nw.balancedWithChange(added, removed)
 }
@@ -244,25 +327,25 @@ func (nw *Network) planRemoveShift(vacatedPos Position, dir Side) ([]move, bool)
 func (nw *Network) applyMoves(moves []move) {
 	touched := make([]Position, 0, 2*len(moves))
 	// First clear all source positions (they may be targets of other moves).
-	for _, m := range moves {
-		if m.from.Valid() && nw.positions[m.from] == m.node {
-			delete(nw.positions, m.from)
+	for _, mv := range moves {
+		if mv.from.ValidIn(nw.fanout) && nw.positions[mv.from] == mv.node {
+			delete(nw.positions, mv.from)
 		}
-		if m.from.Valid() {
-			touched = append(touched, m.from)
+		if mv.from.ValidIn(nw.fanout) {
+			touched = append(touched, mv.from)
 		}
 	}
-	for _, m := range moves {
-		m.node.pos = m.to
-		nw.positions[m.to] = m.node
-		touched = append(touched, m.to)
+	for _, mv := range moves {
+		mv.node.pos = mv.to
+		nw.positions[mv.to] = mv.node
+		touched = append(touched, mv.to)
 	}
 	nw.rebuildAffected(touched)
 	nw.root = nw.positions[RootPosition]
 	// Each moved peer must rebuild its own links and inform the peers that
 	// link to it: O(log N) messages per move (Section III-E).
-	for _, m := range moves {
-		perNode := m.to.RoutingTableSize() + m.from.RoutingTableSize() + 4
+	for _, mv := range moves {
+		perNode := RoutingTableSizeIn(nw.fanout, mv.to.Level) + RoutingTableSizeIn(nw.fanout, mv.from.Level) + 4
 		nw.countRestructureMessages(perNode)
 	}
 }

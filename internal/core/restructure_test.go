@@ -28,7 +28,7 @@ func TestForcedInsertTriggersRestructuring(t *testing.T) {
 		if !free {
 			t.Fatalf("leftmost leaf unexpectedly has two children")
 		}
-		child := newNode(nw.allocID(), Position{}, keyspace.Range{})
+		child := newNode(nw.fanout, nw.allocID(), Position{}, keyspace.Range{})
 		lower, upper, err := leftmost.nodeRange.SplitHalf()
 		if err != nil {
 			t.Fatal(err)
@@ -127,7 +127,7 @@ func TestRestructureManyRandomForcedOps(t *testing.T) {
 				}
 			}
 			side, _ := target.freeChildSide()
-			child := newNode(nw.allocID(), Position{}, keyspace.Range{})
+			child := newNode(nw.fanout, nw.allocID(), Position{}, keyspace.Range{})
 			lower, upper, err := target.nodeRange.SplitHalf()
 			if err != nil {
 				// Range of a single key: give the child an empty range at

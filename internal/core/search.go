@@ -100,6 +100,12 @@ func (nw *Network) ownsKey(n *Node, key keyspace.Key) bool {
 // Section III-D). Peers already visited by this request are avoided unless
 // no other alternative remains.
 func (nw *Network) nextHop(n *Node, key keyspace.Key, visited map[PeerID]bool) *Node {
+	if nw.cfg.NoSidewaysRouting {
+		// The multiway baseline asks its children one at a time whether
+		// their subtree covers the key; each probe is a request/reply pair
+		// on top of the forwarding message charged below.
+		nw.chargeMultiwayProbes(n, key)
+	}
 	primary, fallback := nw.hopCandidates(n, key)
 	try := func(candidates []*Node, allowVisited bool) *Node {
 		for _, candidate := range candidates {
@@ -199,11 +205,16 @@ func (nw *Network) RoutePath(via PeerID, key keyspace.Key) ([]PeerID, error) {
 // contains every other link the peer holds and is only used to route around
 // failures.
 func (nw *Network) hopCandidates(n *Node, key keyspace.Key) (primary, fallback []*Node) {
+	if nw.cfg.NoSidewaysRouting {
+		return nw.multiwayCandidates(n, key)
+	}
 	towardRight := key >= n.nodeRange.Upper
+	last := n.fanout - 1
 	if towardRight {
 		// Farthest right routing-table entry whose lower bound does not
-		// exceed the key, then nearer ones, then the right child, then the
-		// right adjacent node.
+		// exceed the key, then nearer ones, then the last child (the only
+		// child subtree above n in the in-order chain), then the right
+		// adjacent node.
 		rt := n.RoutingTable(Right)
 		for i := len(rt) - 1; i >= 0; i-- {
 			m := rt[i]
@@ -211,7 +222,7 @@ func (nw *Network) hopCandidates(n *Node, key keyspace.Key) (primary, fallback [
 				primary = append(primary, m)
 			}
 		}
-		primary = append(primary, n.rightChild, n.rightAdj)
+		primary = append(primary, n.children[last], n.rightAdj)
 		// Fault-tolerance fallbacks: the parent, any other right-table
 		// entry (overshooting is recoverable), then links towards the left.
 		fallback = append(fallback, n.parent)
@@ -220,9 +231,14 @@ func (nw *Network) hopCandidates(n *Node, key keyspace.Key) (primary, fallback [
 				fallback = append(fallback, m)
 			}
 		}
-		fallback = append(fallback, n.leftChild, n.leftAdj)
+		for s := last - 1; s >= 0; s-- {
+			fallback = append(fallback, n.children[s])
+		}
+		fallback = append(fallback, n.leftAdj)
 		fallback = append(fallback, n.RoutingTable(Left)...)
 	} else {
+		// The child subtrees in slots 0..m-2 all lie below n in the in-order
+		// chain, nearest (highest slot) first.
 		rt := n.RoutingTable(Left)
 		for i := len(rt) - 1; i >= 0; i-- {
 			m := rt[i]
@@ -230,17 +246,92 @@ func (nw *Network) hopCandidates(n *Node, key keyspace.Key) (primary, fallback [
 				primary = append(primary, m)
 			}
 		}
-		primary = append(primary, n.leftChild, n.leftAdj)
+		for s := last - 1; s >= 0; s-- {
+			primary = append(primary, n.children[s])
+		}
+		primary = append(primary, n.leftAdj)
 		fallback = append(fallback, n.parent)
 		for i := len(rt) - 1; i >= 0; i-- {
 			if m := rt[i]; m != nil && m.nodeRange.Upper <= key {
 				fallback = append(fallback, m)
 			}
 		}
-		fallback = append(fallback, n.rightChild, n.rightAdj)
+		fallback = append(fallback, n.children[last], n.rightAdj)
 		fallback = append(fallback, n.RoutingTable(Right)...)
 	}
 	return primary, fallback
+}
+
+// clampToDomain maps out-of-domain keys to the nearest in-domain key, so the
+// subtree-coverage tests below can treat the extreme peers' expanded
+// responsibility (ownsKey) uniformly.
+func (nw *Network) clampToDomain(key keyspace.Key) keyspace.Key {
+	if key < nw.domain.Lower {
+		return nw.domain.Lower
+	}
+	if key >= nw.domain.Upper {
+		return nw.domain.Upper - 1
+	}
+	return key
+}
+
+// subtreeRange returns the contiguous key interval covered by the subtree
+// rooted at n (the in-order contiguity invariant guarantees it has no holes).
+func (nw *Network) subtreeRange(n *Node) keyspace.Range {
+	lo := nw.positions[nw.minOfSubtree(n.pos)].nodeRange.Lower
+	hi := nw.positions[nw.maxOfSubtree(n.pos)].nodeRange.Upper
+	return keyspace.NewRange(lo, hi)
+}
+
+// multiwayCandidates is the no-sideways-links forwarding rule (Liau et al.):
+// if n's subtree covers the key, descend into the unique child subtree that
+// holds it; otherwise climb to the parent. Adjacent nodes and the remaining
+// links are fault-tolerance fallbacks only.
+func (nw *Network) multiwayCandidates(n *Node, key keyspace.Key) (primary, fallback []*Node) {
+	k := nw.clampToDomain(key)
+	if nw.subtreeRange(n).Contains(k) {
+		for s := 0; s < n.fanout; s++ {
+			c := n.children[s]
+			if c != nil && nw.subtreeRange(c).Contains(k) {
+				primary = append(primary, c)
+				break
+			}
+		}
+	} else if n.parent != nil {
+		primary = append(primary, n.parent)
+	}
+	if key >= n.nodeRange.Upper {
+		fallback = append(fallback, n.rightAdj, n.leftAdj)
+	} else {
+		fallback = append(fallback, n.leftAdj, n.rightAdj)
+	}
+	for s := 0; s < n.fanout; s++ {
+		fallback = append(fallback, n.children[s])
+	}
+	fallback = append(fallback, n.parent)
+	return primary, fallback
+}
+
+// chargeMultiwayProbes counts the child probes a multiway peer performs
+// before forwarding: children are asked in slot order (one request and one
+// reply each) until one reports that its subtree covers the key. Climbing
+// hops probe nothing.
+func (nw *Network) chargeMultiwayProbes(n *Node, key keyspace.Key) {
+	k := nw.clampToDomain(key)
+	if !nw.subtreeRange(n).Contains(k) {
+		return
+	}
+	for s := 0; s < n.fanout; s++ {
+		c := n.children[s]
+		if c == nil {
+			continue
+		}
+		nw.send(c, stats.MsgSearchExact, catLocate)
+		nw.send(n, stats.MsgReply, catLocate)
+		if nw.subtreeRange(c).Contains(k) {
+			return
+		}
+	}
 }
 
 // RangeResult is the answer to a range query: the matching items and the
@@ -376,10 +467,12 @@ func (nw *Network) expandExtremeRange(owner *Node, key keyspace.Key) {
 	if !expanded {
 		return
 	}
-	for _, side := range []Side{Left, Right} {
-		for _, m := range owner.RoutingTable(side) {
-			if m != nil {
-				nw.send(m, stats.MsgExpandRange, catUpdate)
+	if !nw.cfg.NoSidewaysRouting {
+		for _, side := range []Side{Left, Right} {
+			for _, m := range owner.RoutingTable(side) {
+				if m != nil {
+					nw.send(m, stats.MsgExpandRange, catUpdate)
+				}
 			}
 		}
 	}

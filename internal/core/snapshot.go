@@ -14,24 +14,60 @@ import (
 // consumes snapshots to animate a network, and Cluster.Snapshot produces
 // them so the live structure can be audited with FromSnapshot +
 // CheckInvariants.
+//
+// The snapshot carries the network's fanout implicitly: LeftChild and
+// RightChild are the first and last child slots, and MidChildren holds the
+// m-2 slots in between (NoPeer for empty slots), so a snapshot taken at
+// fanout m always has len(MidChildren) == m-2. A nil MidChildren therefore
+// means the binary protocol, which keeps every snapshot literal written for
+// the binary tree valid as-is.
 type PeerSnapshot struct {
-	ID            PeerID
-	Position      Position
-	Range         keyspace.Range
-	Items         []store.Item
-	Parent        PeerID
-	LeftChild     PeerID
-	RightChild    PeerID
+	ID         PeerID
+	Position   Position
+	Range      keyspace.Range
+	Items      []store.Item
+	Parent     PeerID
+	LeftChild  PeerID
+	RightChild PeerID
+	// MidChildren holds child slots 1..m-2 in order (empty for fanout 2).
+	MidChildren   []PeerID
 	LeftAdjacent  PeerID
 	RightAdjacent PeerID
 	LeftRouting   []PeerID
 	RightRouting  []PeerID
 }
 
+// Fanout returns the tree fanout the snapshot was taken at, inferred from
+// the number of middle child slots.
+func (ps PeerSnapshot) Fanout() int { return len(ps.MidChildren) + 2 }
+
+// HasChildren reports whether any child slot of the snapshot is occupied.
+func (ps PeerSnapshot) HasChildren() bool {
+	if ps.LeftChild != NoPeer || ps.RightChild != NoPeer {
+		return true
+	}
+	for _, c := range ps.MidChildren {
+		if c != NoPeer {
+			return true
+		}
+	}
+	return false
+}
+
+// ChildSlots returns all m child slot IDs in order (NoPeer for empty slots).
+func (ps PeerSnapshot) ChildSlots() []PeerID {
+	out := make([]PeerID, 0, ps.Fanout())
+	out = append(out, ps.LeftChild)
+	out = append(out, ps.MidChildren...)
+	out = append(out, ps.RightChild)
+	return out
+}
+
 // Snapshot exports the state of every live peer of the network. Failed peers
 // that have not been repaired are skipped (their links are likewise absent
 // from the snapshots that referenced them).
 func Snapshot(nw *Network) []PeerSnapshot {
+	m := nw.fanout
 	idOf := func(n *Node) PeerID {
 		if n == nil || !n.alive {
 			return NoPeer
@@ -49,16 +85,19 @@ func Snapshot(nw *Network) []PeerSnapshot {
 			Range:         n.nodeRange,
 			Items:         n.data.Items(),
 			Parent:        idOf(n.parent),
-			LeftChild:     idOf(n.leftChild),
-			RightChild:    idOf(n.rightChild),
+			LeftChild:     idOf(n.children[0]),
+			RightChild:    idOf(n.children[m-1]),
 			LeftAdjacent:  idOf(n.leftAdj),
 			RightAdjacent: idOf(n.rightAdj),
 		}
-		for _, m := range n.leftRT {
-			ps.LeftRouting = append(ps.LeftRouting, idOf(m))
+		for s := 1; s < m-1; s++ {
+			ps.MidChildren = append(ps.MidChildren, idOf(n.children[s]))
 		}
-		for _, m := range n.rightRT {
-			ps.RightRouting = append(ps.RightRouting, idOf(m))
+		for _, e := range n.leftRT {
+			ps.LeftRouting = append(ps.LeftRouting, idOf(e))
+		}
+		for _, e := range n.rightRT {
+			ps.RightRouting = append(ps.RightRouting, idOf(e))
 		}
 		out = append(out, ps)
 	}
@@ -73,7 +112,9 @@ func Snapshot(nw *Network) []PeerSnapshot {
 // state itself, which is what makes the Cluster.Snapshot round trip of
 // package p2p a real structural audit: a cluster whose live links have
 // drifted from its positions fails the check instead of being silently
-// repaired. An empty domain means the paper's default.
+// repaired. The fanout is inferred from the snapshots' MidChildren width
+// (nil means the binary protocol). An empty domain means the paper's
+// default.
 func FromSnapshot(domain keyspace.Range, snaps []PeerSnapshot) (*Network, error) {
 	if len(snaps) == 0 {
 		return nil, fmt.Errorf("baton: snapshot has no peers")
@@ -81,14 +122,18 @@ func FromSnapshot(domain keyspace.Range, snaps []PeerSnapshot) (*Network, error)
 	if domain.IsEmpty() {
 		domain = keyspace.FullDomain()
 	}
-	nw := NewNetwork(Config{Domain: domain})
+	m := snaps[0].Fanout()
+	nw := NewNetwork(Config{Domain: domain, Fanout: m})
 	// Discard the implicit root peer NewNetwork creates; the snapshot
 	// provides the full peer set.
 	nw.nodes = make(map[PeerID]*Node)
 	nw.positions = make(map[Position]*Node)
 	nw.root = nil
 	for _, ps := range snaps {
-		if !ps.Position.Valid() {
+		if ps.Fanout() != m {
+			return nil, fmt.Errorf("baton: snapshot peer %d has fanout %d, peer %d has %d", ps.ID, ps.Fanout(), snaps[0].ID, m)
+		}
+		if !ps.Position.ValidIn(m) {
 			return nil, fmt.Errorf("baton: snapshot peer %d has invalid position %v", ps.ID, ps.Position)
 		}
 		if nw.nodes[ps.ID] != nil {
@@ -97,7 +142,7 @@ func FromSnapshot(domain keyspace.Range, snaps []PeerSnapshot) (*Network, error)
 		if nw.positions[ps.Position] != nil {
 			return nil, fmt.Errorf("baton: snapshot occupies position %v twice", ps.Position)
 		}
-		n := newNode(ps.ID, ps.Position, ps.Range)
+		n := newNode(m, ps.ID, ps.Position, ps.Range)
 		n.data.Absorb(ps.Items)
 		nw.nodes[n.id] = n
 		nw.positions[n.pos] = n
@@ -118,8 +163,11 @@ func FromSnapshot(domain keyspace.Range, snaps []PeerSnapshot) (*Network, error)
 	for _, ps := range snaps {
 		n := nw.nodes[ps.ID]
 		n.parent = byID(ps.Parent)
-		n.leftChild = byID(ps.LeftChild)
-		n.rightChild = byID(ps.RightChild)
+		n.children[0] = byID(ps.LeftChild)
+		n.children[m-1] = byID(ps.RightChild)
+		for s, id := range ps.MidChildren {
+			n.children[s+1] = byID(id)
+		}
 		n.leftAdj = byID(ps.LeftAdjacent)
 		n.rightAdj = byID(ps.RightAdjacent)
 		n.resizeRoutingTables()

@@ -1,36 +1,36 @@
 // Package multiway implements the multiway-tree overlay of Liau et al.
 // ("Efficient range queries and fast lookup services for scalable P2P
-// networks", DBISP2P 2004) to the extent the BATON paper describes it: a
-// tree-structured overlay in which every peer keeps links only to its
-// parent, its children, its siblings and its in-order neighbours, with no
-// constraint on the fan-out and no sideways routing tables.
+// networks", DBISP2P 2004), the second baseline of the BATON paper's
+// evaluation (Figures 8(a)–(e)): a tree-structured overlay in which every
+// peer keeps links only to its parent, its children and its in-order
+// neighbours — no sideways routing tables.
 //
-// The BATON paper uses this system as its second baseline (Figures 8(a)–(e))
-// and points out its weaknesses: the tree is not balanced under skewed
-// joins, searching must hop link by link (there are no long-distance links),
-// and a departing peer must contact all of its children to find a
-// replacement. This implementation reproduces those behaviours:
+// Since the fanout-parametric refactor of internal/core, this baseline is no
+// longer a separate simulator: an m-ary BATON* tree whose sideways routing
+// tables are never consulted IS the multiway tree, so Tree is a thin wrapper
+// over core.Network with Config{Fanout: m, NoSidewaysRouting: true}. The
+// structural machinery (positions, balanced joins and departures, the
+// in-order adjacency chain, invariant audits) is shared with both the binary
+// BATON network and the live cluster; only the routing rule differs:
 //
-//   - Join: a peer joins at the contacted node if it still has a free child
-//     slot (taking half of its key range); otherwise the request is pushed
-//     down to a child, so join cost is bounded by the depth.
-//   - Search: a query climbs towards the root until the current subtree
-//     covers the key and then descends, probing children one by one (each
-//     probe is a message), so search cost grows with depth × fan-out.
-//   - Leave: the departing peer contacts every child to find the deepest
-//     replacement leaf, so leave cost grows with the fan-out.
+//   - Search climbs towards the root until the current subtree covers the
+//     key and then descends, probing children one at a time (each probe is a
+//     request/reply pair), so search cost grows with depth × fanout instead
+//     of log_m N — the weakness Figure 8(d) shows.
+//   - Join and leave pay nothing for routing-table maintenance (there are no
+//     long-distance links to update), which is the baseline's one advantage
+//     (Figure 8(b)); departures still pay to contact children when a
+//     replacement must be found.
 //
-// Where the original workshop paper leaves details open, the interpretation
-// documented here follows the BATON paper's description; this is a
-// documented substitution (see DESIGN.md).
+// One deliberate substitution: the original workshop paper does not balance
+// the tree, while this implementation inherits the core's balanced joins. The comparison this repo reproduces is therefore
+// "BATON* minus sideways links", the degenerate case the BATON* sequel paper
+// measures against, which isolates the value of the routing tables from the
+// value of balancing.
 package multiway
 
 import (
-	"errors"
-	"fmt"
-	"math/rand"
-	"sort"
-
+	"baton/internal/core"
 	"baton/internal/keyspace"
 	"baton/internal/stats"
 )
@@ -38,14 +38,14 @@ import (
 // DefaultFanout is the default maximum number of children per peer.
 const DefaultFanout = 4
 
-// Errors returned by Tree operations.
+// Errors returned by Tree operations (shared with the core network).
 var (
-	ErrUnknownPeer = errors.New("multiway: unknown peer")
-	ErrLastPeer    = errors.New("multiway: cannot remove the last peer")
+	ErrUnknownPeer = core.ErrUnknownPeer
+	ErrLastPeer    = core.ErrLastPeer
 )
 
 // PeerID identifies a peer in the multiway tree.
-type PeerID int64
+type PeerID = core.PeerID
 
 // Config configures a simulated multiway tree.
 type Config struct {
@@ -54,37 +54,14 @@ type Config struct {
 	Fanout int
 	// Domain is the key domain; the zero value means the paper's default.
 	Domain keyspace.Range
-	// Seed seeds random choices (which child receives a pushed-down join).
+	// Seed seeds random choices the protocol leaves open.
 	Seed int64
 }
 
-type node struct {
-	id       PeerID
-	parent   *node
-	children []*node
-	leftAdj  *node
-	rightAdj *node
-	// subtreeLower is the lower bound of the key range covered by the
-	// subtree rooted at this peer (children always carve their ranges out of
-	// the lower part of the parent's range).
-	subtreeLower keyspace.Key
-	nodeRange    keyspace.Range
-	data         map[keyspace.Key][]byte
-	depth        int
-}
-
 // Tree is an in-process simulation of the multiway overlay with message
-// counting.
+// counting: a fanout-m core network routed without its sideways tables.
 type Tree struct {
-	cfg     Config
-	fanout  int
-	domain  keyspace.Range
-	rng     *rand.Rand
-	metrics *stats.Metrics
-	nodes   map[PeerID]*node
-	root    *node
-	nextID  PeerID
-	curOp   *stats.OpCost
+	nw *core.Network
 }
 
 // NewTree creates a tree with a single peer owning the whole domain.
@@ -93,440 +70,61 @@ func NewTree(cfg Config) *Tree {
 	if fanout <= 0 {
 		fanout = DefaultFanout
 	}
-	domain := cfg.Domain
-	if domain.IsEmpty() {
-		domain = keyspace.FullDomain()
-	}
-	t := &Tree{
-		cfg:     cfg,
-		fanout:  fanout,
-		domain:  domain,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		metrics: stats.NewMetrics(),
-		nodes:   make(map[PeerID]*node),
-		nextID:  1,
-	}
-	root := &node{
-		id:           t.allocID(),
-		nodeRange:    domain,
-		subtreeLower: domain.Lower,
-		data:         make(map[keyspace.Key][]byte),
-	}
-	t.nodes[root.id] = root
-	t.root = root
-	return t
-}
-
-func (t *Tree) allocID() PeerID {
-	id := t.nextID
-	t.nextID++
-	return id
+	return &Tree{nw: core.NewNetwork(core.Config{
+		Domain:            cfg.Domain,
+		Fanout:            fanout,
+		Seed:              cfg.Seed,
+		NoSidewaysRouting: true,
+	})}
 }
 
 // Size returns the number of peers.
-func (t *Tree) Size() int { return len(t.nodes) }
+func (t *Tree) Size() int { return t.nw.Size() }
+
+// Fanout returns the tree's fanout m.
+func (t *Tree) Fanout() int { return t.nw.Fanout() }
 
 // Metrics returns the tree's message counters.
-func (t *Tree) Metrics() *stats.Metrics { return t.metrics }
+func (t *Tree) Metrics() *stats.Metrics { return t.nw.Metrics() }
 
 // Depth returns the maximum depth of the tree (root = 1).
-func (t *Tree) Depth() int {
-	max := 0
-	for _, n := range t.nodes {
-		if n.depth+1 > max {
-			max = n.depth + 1
-		}
-	}
-	return max
-}
+func (t *Tree) Depth() int { return t.nw.Height() }
 
 // PeerIDs returns the IDs of all peers, sorted for deterministic iteration.
-func (t *Tree) PeerIDs() []PeerID {
-	out := make([]PeerID, 0, len(t.nodes))
-	for id := range t.nodes {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (t *Tree) PeerIDs() []PeerID { return t.nw.PeerIDs() }
 
 // RandomPeer returns a uniformly random peer ID.
-func (t *Tree) RandomPeer() PeerID {
-	ids := t.PeerIDs()
-	return ids[t.rng.Intn(len(ids))]
-}
+func (t *Tree) RandomPeer() PeerID { return t.nw.RandomPeer() }
 
-func (t *Tree) beginOp(kind stats.OpKind) { t.curOp = &stats.OpCost{Kind: kind} }
+// Join adds a new peer, contacting the peer via.
+func (t *Tree) Join(via PeerID) (PeerID, stats.OpCost, error) { return t.nw.Join(via) }
 
-func (t *Tree) endOp() stats.OpCost {
-	cost := *t.curOp
-	t.metrics.RecordOp(cost)
-	t.curOp = nil
-	return cost
-}
-
-func (t *Tree) send(tpe stats.MsgType, locate bool) {
-	t.metrics.CountMessage(tpe)
-	if t.curOp == nil {
-		return
-	}
-	t.curOp.Messages++
-	if locate {
-		t.curOp.LocateMessages++
-	} else {
-		t.curOp.UpdateMessages++
-	}
-}
-
-// Join adds a new peer, contacting the peer via. The request is pushed down
-// until a peer with a free child slot accepts it; keys whose position is
-// determined by skewed data therefore pile up along one path and deepen the
-// tree.
-func (t *Tree) Join(via PeerID) (PeerID, stats.OpCost, error) {
-	start, ok := t.nodes[via]
-	if !ok {
-		return 0, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
-	}
-	t.beginOp(stats.OpJoin)
-	t.send(stats.MsgJoinRequest, true)
-	n := start
-	for len(n.children) >= t.fanout {
-		// Push the request down to the child with the largest range, which
-		// is where an unconstrained multiway tree keeps growing.
-		var widest *node
-		for _, c := range n.children {
-			if widest == nil || c.nodeRange.Size() > widest.nodeRange.Size() {
-				widest = c
-			}
-		}
-		n = widest
-		t.send(stats.MsgJoinRequest, true)
-	}
-
-	child := &node{
-		id:    t.allocID(),
-		data:  make(map[keyspace.Key][]byte),
-		depth: n.depth + 1,
-	}
-	// The child takes the lower half of the acceptor's remaining range and
-	// slots into the in-order chain immediately before it.
-	lower, upper, err := n.nodeRange.SplitHalf()
-	if err != nil {
-		lower = keyspace.NewRange(n.nodeRange.Lower, n.nodeRange.Lower)
-		upper = n.nodeRange
-	}
-	child.nodeRange = lower
-	child.subtreeLower = lower.Lower
-	n.nodeRange = upper
-	for k, v := range n.data {
-		if child.nodeRange.Contains(k) {
-			child.data[k] = v
-			delete(n.data, k)
-		}
-	}
-	t.send(stats.MsgTransferData, false)
-
-	child.parent = n
-	n.children = append(n.children, child)
-	prev := n.leftAdj
-	child.leftAdj = prev
-	child.rightAdj = n
-	n.leftAdj = child
-	if prev != nil {
-		prev.rightAdj = child
-		t.send(stats.MsgUpdateAdjacent, false)
-	}
-	t.send(stats.MsgUpdateAdjacent, false)
-	// The acceptor informs its existing children and siblings of the new
-	// peer (they keep sibling links).
-	for range n.children {
-		t.send(stats.MsgNotifyChild, false)
-	}
-
-	t.nodes[child.id] = child
-	return child.id, t.endOp(), nil
-}
-
-// Leave removes a peer. The departing peer must contact every child to learn
-// their state and find a replacement: a leaf is absorbed by its parent,
-// while an inner peer is replaced by the deepest leaf of its subtree.
-func (t *Tree) Leave(id PeerID) (stats.OpCost, error) {
-	n, ok := t.nodes[id]
-	if !ok {
-		return stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownPeer, id)
-	}
-	if len(t.nodes) == 1 {
-		return stats.OpCost{}, ErrLastPeer
-	}
-	t.beginOp(stats.OpLeave)
-
-	// Contact every child (and reply) to select a replacement.
-	cur := n
-	var replacement *node
-	for len(cur.children) > 0 {
-		var deepest *node
-		for range cur.children {
-			t.send(stats.MsgChildInfoRequest, true)
-			t.send(stats.MsgReply, true)
-		}
-		for _, c := range cur.children {
-			if deepest == nil || len(c.children) > len(deepest.children) {
-				deepest = c
-			}
-		}
-		cur = deepest
-		replacement = cur
-	}
-
-	if replacement == nil {
-		// n is a leaf: its parent absorbs its range and data.
-		t.absorbLeaf(n, n.parent)
-	} else {
-		// The replacement leaf vacates its own position and takes over n's
-		// place in the tree.
-		t.absorbLeaf(replacement, replacement.parent)
-		t.takeOver(replacement, n)
-	}
-	return t.endOp(), nil
-}
-
-// absorbLeaf merges the leaf's range and data into target (its parent unless
-// the leaf is the root, which cannot happen for leaves here).
-func (t *Tree) absorbLeaf(leaf, target *node) {
-	if target == nil {
-		return
-	}
-	if merged, err := target.nodeRange.Union(leaf.nodeRange); err == nil {
-		target.nodeRange = merged
-	} else if leaf.nodeRange.Lower < target.subtreeLower {
-		// Non-adjacent (the leaf was not the in-order neighbour of its
-		// parent): the leaf's keys become a "hole" held by the parent, whose
-		// subtree coverage must keep including them so queries still route
-		// here. The coverage lower bound only ever widens.
-		target.subtreeLower = leaf.nodeRange.Lower
-	}
-	for k, v := range leaf.data {
-		target.data[k] = v
-	}
-	t.send(stats.MsgTransferData, false)
-
-	// Unlink the leaf.
-	if leaf.parent != nil {
-		siblings := leaf.parent.children
-		for i, c := range siblings {
-			if c == leaf {
-				leaf.parent.children = append(siblings[:i], siblings[i+1:]...)
-				break
-			}
-		}
-	}
-	if leaf.leftAdj != nil {
-		leaf.leftAdj.rightAdj = leaf.rightAdj
-		t.send(stats.MsgUpdateAdjacent, false)
-	}
-	if leaf.rightAdj != nil {
-		leaf.rightAdj.leftAdj = leaf.leftAdj
-		t.send(stats.MsgUpdateAdjacent, false)
-	}
-	delete(t.nodes, leaf.id)
-}
-
-// takeOver moves the peer repl into the tree position of the departing peer
-// x: it adopts x's links, range and data, and every peer linking to x is
-// notified.
-func (t *Tree) takeOver(repl, x *node) {
-	repl.parent = x.parent
-	repl.children = x.children
-	repl.leftAdj = x.leftAdj
-	repl.rightAdj = x.rightAdj
-	repl.nodeRange = x.nodeRange
-	repl.subtreeLower = x.subtreeLower
-	repl.depth = x.depth
-	for k, v := range x.data {
-		repl.data[k] = v
-	}
-	t.send(stats.MsgTransferData, false)
-	if x.parent != nil {
-		for i, c := range x.parent.children {
-			if c == x {
-				x.parent.children[i] = repl
-			}
-		}
-		t.send(stats.MsgNotifyReplace, false)
-	} else {
-		t.root = repl
-	}
-	for _, c := range repl.children {
-		c.parent = repl
-		t.send(stats.MsgNotifyReplace, false)
-	}
-	if repl.leftAdj != nil {
-		repl.leftAdj.rightAdj = repl
-		t.send(stats.MsgUpdateAdjacent, false)
-	}
-	if repl.rightAdj != nil {
-		repl.rightAdj.leftAdj = repl
-		t.send(stats.MsgUpdateAdjacent, false)
-	}
-	delete(t.nodes, x.id)
-	t.nodes[repl.id] = repl
-}
-
-// route walks from start to the peer owning key using only parent, child and
-// sibling links: it climbs until the current subtree covers the key and then
-// descends, probing children one at a time.
-func (t *Tree) route(start *node, key keyspace.Key) *node {
-	n := start
-	for hops := 0; hops < 4*len(t.nodes)+8; hops++ {
-		if n.nodeRange.Contains(key) ||
-			(key < t.domain.Lower && n == t.leftmost()) ||
-			(key >= t.domain.Upper && n == t.rightmost()) {
-			return n
-		}
-		covered := key >= n.subtreeLower && key < n.nodeRange.Upper
-		if !covered {
-			if n.parent == nil {
-				// The root covers the whole domain; out-of-domain keys are
-				// handled by the extreme peers above.
-				return n
-			}
-			t.send(stats.MsgLookup, true)
-			n = n.parent
-			continue
-		}
-		// Probe the children one by one until one covers the key.
-		var next *node
-		for _, c := range n.children {
-			t.send(stats.MsgLookup, true)
-			t.send(stats.MsgReply, true)
-			if key >= c.subtreeLower && key < c.nodeRange.Upper {
-				next = c
-				break
-			}
-		}
-		if next == nil {
-			return n
-		}
-		t.send(stats.MsgLookup, true)
-		n = next
-	}
-	return n
-}
-
-func (t *Tree) leftmost() *node {
-	n := t.root
-	for n.leftAdj != nil {
-		n = n.leftAdj
-	}
-	return n
-}
-
-func (t *Tree) rightmost() *node {
-	n := t.root
-	for n.rightAdj != nil {
-		n = n.rightAdj
-	}
-	return n
-}
+// Leave removes a peer. An inner peer must find a replacement leaf, paying
+// to contact children on the way down.
+func (t *Tree) Leave(id PeerID) (stats.OpCost, error) { return t.nw.Leave(id) }
 
 // Insert stores value under key, routing from the peer via.
 func (t *Tree) Insert(via PeerID, key keyspace.Key, value []byte) (stats.OpCost, error) {
-	start, ok := t.nodes[via]
-	if !ok {
-		return stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
-	}
-	t.beginOp(stats.OpInsert)
-	owner := t.route(start, key)
-	owner.data[key] = value
-	return t.endOp(), nil
+	return t.nw.Insert(via, key, value)
 }
 
 // SearchExact looks up key, routing from the peer via.
 func (t *Tree) SearchExact(via PeerID, key keyspace.Key) ([]byte, bool, stats.OpCost, error) {
-	start, ok := t.nodes[via]
-	if !ok {
-		return nil, false, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
-	}
-	t.beginOp(stats.OpSearchExact)
-	owner := t.route(start, key)
-	v, found := owner.data[key]
-	return v, found, t.endOp(), nil
+	return t.nw.SearchExact(via, key)
 }
 
 // SearchRange answers a range query by routing to the first intersecting
-// peer and following the in-order neighbour chain.
+// peer and following the in-order neighbour chain. It returns the number of
+// matching items.
 func (t *Tree) SearchRange(via PeerID, r keyspace.Range) (int, stats.OpCost, error) {
-	start, ok := t.nodes[via]
-	if !ok {
-		return 0, stats.OpCost{}, fmt.Errorf("%w: %d", ErrUnknownPeer, via)
-	}
-	if r.IsEmpty() {
-		return 0, stats.OpCost{}, nil
-	}
-	t.beginOp(stats.OpSearchRange)
-	n := t.route(start, r.Lower)
-	matched := 0
-	for n != nil && n.nodeRange.Lower < r.Upper {
-		for k := range n.data {
-			if r.Contains(k) {
-				matched++
-			}
-		}
-		t.send(stats.MsgReply, false)
-		n = n.rightAdj
-		if n != nil {
-			t.send(stats.MsgSearchRange, true)
-		}
-	}
-	return matched, t.endOp(), nil
+	res, cost, err := t.nw.SearchRange(via, r)
+	return len(res.Items), cost, err
 }
 
-// CheckInvariants verifies structural consistency: parent/child links agree,
-// the in-order chain is connected, and every stored item lies in its peer's
-// range (except for out-of-domain keys stored at the extreme peers).
-func (t *Tree) CheckInvariants() error {
-	if t.root == nil || len(t.nodes) == 0 {
-		return errors.New("multiway: empty tree")
-	}
-	count := 0
-	var walk func(n *node) error
-	walk = func(n *node) error {
-		count++
-		for _, c := range n.children {
-			if c.parent != n {
-				return fmt.Errorf("multiway: child %d does not point back to parent %d", c.id, n.id)
-			}
-			if err := walk(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(t.root); err != nil {
-		return err
-	}
-	if count != len(t.nodes) {
-		return fmt.Errorf("multiway: tree reaches %d peers but registry has %d", count, len(t.nodes))
-	}
-	// The adjacency chain must visit every peer exactly once.
-	seen := 0
-	for n := t.leftmost(); n != nil; n = n.rightAdj {
-		seen++
-		if seen > len(t.nodes) {
-			return errors.New("multiway: adjacency chain has a cycle")
-		}
-	}
-	if seen != len(t.nodes) {
-		return fmt.Errorf("multiway: adjacency chain visits %d of %d peers", seen, len(t.nodes))
-	}
-	return nil
-}
+// CheckInvariants verifies the shared structural invariants: registry and
+// position map agree, links are consistent, ranges tile the domain in order
+// and the tree is balanced.
+func (t *Tree) CheckInvariants() error { return t.nw.CheckInvariants() }
 
 // ItemCount returns the total number of stored items.
-func (t *Tree) ItemCount() int {
-	total := 0
-	for _, n := range t.nodes {
-		total += len(n.data)
-	}
-	return total
-}
+func (t *Tree) ItemCount() int { return t.nw.TotalItems() }

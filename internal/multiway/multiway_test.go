@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"baton/internal/core"
 	"baton/internal/keyspace"
 )
 
@@ -25,6 +26,9 @@ func TestNewTree(t *testing.T) {
 	tr := NewTree(Config{})
 	if tr.Size() != 1 || tr.Depth() != 1 {
 		t.Fatalf("size=%d depth=%d", tr.Size(), tr.Depth())
+	}
+	if tr.Fanout() != DefaultFanout {
+		t.Fatalf("fanout = %d, want %d", tr.Fanout(), DefaultFanout)
 	}
 	if err := tr.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -65,16 +69,12 @@ func TestInsertSearchExact(t *testing.T) {
 		t.Fatal("no items stored")
 	}
 	for _, k := range keys {
-		v, found, cost, err := tr.SearchExact(tr.RandomPeer(), k)
+		v, found, _, err := tr.SearchExact(tr.RandomPeer(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !found || string(v) != fmt.Sprint(k) {
 			t.Fatalf("key %d: found=%v value=%q", k, found, v)
-		}
-		if cost.Messages == 0 {
-			// A query issued at the owner itself legitimately costs nothing.
-			continue
 		}
 	}
 }
@@ -164,27 +164,12 @@ func TestLeaveLastPeer(t *testing.T) {
 	}
 }
 
-func TestLeaveOfInnerNodeContactsChildren(t *testing.T) {
-	tr := buildTree(t, 30, 9)
-	// The root certainly has children; leaving it must cost messages
-	// proportional to the children contacted.
-	rootID := tr.root.id
-	kids := len(tr.root.children)
-	cost, err := tr.Leave(rootID)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cost.LocateMessages < 2*kids {
-		t.Fatalf("inner-node departure cost %d locate messages for %d children", cost.LocateMessages, kids)
-	}
-	if err := tr.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestSkewDeepensTree(t *testing.T) {
-	// Joins pushed down from a single hot peer produce a deep tree, the
-	// weakness the BATON paper calls out.
+// TestHotSpotJoinsStayBalanced pins the documented substitution: unlike the
+// original workshop paper's tree, the shared core keeps the multiway baseline
+// balanced even when every join arrives at the same hot peer, so the depth
+// stays logarithmic. What the baseline still lacks is long-distance links,
+// which TestSearchCostsMoreThanBatonStar measures.
+func TestHotSpotJoinsStayBalanced(t *testing.T) {
 	tr := NewTree(Config{Fanout: 2, Seed: 11})
 	hot := tr.PeerIDs()[0]
 	for i := 0; i < 40; i++ {
@@ -196,20 +181,56 @@ func TestSkewDeepensTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	balancedDepth := 7 // ceil(log2(41)) + 1
-	if tr.Depth() <= balancedDepth {
-		t.Fatalf("hot-spot joins should deepen the tree beyond %d, got %d", balancedDepth, tr.Depth())
+	if tr.Depth() > balancedDepth {
+		t.Fatalf("hot-spot joins must stay balanced within depth %d, got %d", balancedDepth, tr.Depth())
 	}
 }
 
-func TestOperationsViaUnknownPeer(t *testing.T) {
-	tr := buildTree(t, 5, 13)
-	if _, err := tr.Insert(PeerID(99), 1, nil); err == nil {
-		t.Fatal("insert via unknown peer should error")
+// TestSearchCostsMoreThanBatonStar pins the degenerate-case relationship: the
+// multiway tree is a BATON* network that never consults its sideways routing
+// tables, so over the same key set its exact-match searches must cost
+// strictly more messages in aggregate than the same-fanout BATON* network's.
+func TestSearchCostsMoreThanBatonStar(t *testing.T) {
+	const size, queries = 120, 300
+	build := func(nw *core.Network, seed int64) []keyspace.Key {
+		rng := rand.New(rand.NewSource(seed))
+		for nw.Size() < size {
+			ids := nw.PeerIDs()
+			if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		keys := make([]keyspace.Key, 0, 400)
+		for i := 0; i < 400; i++ {
+			k := keyspace.DomainMin + keyspace.Key(rng.Int63n(int64(keyspace.DomainMax-keyspace.DomainMin)))
+			keys = append(keys, k)
+			if _, err := nw.Insert(nw.RandomPeer(), k, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return keys
 	}
-	if _, _, _, err := tr.SearchExact(PeerID(99), 1); err == nil {
-		t.Fatal("search via unknown peer should error")
+	measure := func(nw *core.Network, keys []keyspace.Key, seed int64) int {
+		rng := rand.New(rand.NewSource(seed))
+		total := 0
+		for q := 0; q < queries; q++ {
+			_, found, cost, err := nw.SearchExact(nw.RandomPeer(), keys[rng.Intn(len(keys))])
+			if err != nil || !found {
+				t.Fatalf("search: found=%v err=%v", found, err)
+			}
+			total += cost.Messages
+		}
+		return total
 	}
-	if _, _, err := tr.SearchRange(PeerID(99), keyspace.NewRange(1, 2)); err == nil {
-		t.Fatal("range search via unknown peer should error")
+
+	mw := NewTree(Config{Fanout: 4, Seed: 21})
+	mwKeys := build(mw.nw, 21)
+	star := core.NewNetwork(core.Config{Fanout: 4, Seed: 21})
+	starKeys := build(star, 21)
+
+	mwCost := measure(mw.nw, mwKeys, 23)
+	starCost := measure(star, starKeys, 23)
+	if mwCost <= starCost {
+		t.Fatalf("multiway searches cost %d messages, BATON* %d: removing the sideways tables must not be free", mwCost, starCost)
 	}
 }

@@ -110,7 +110,7 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 		if _, existed := prev[id]; existed {
 			continue
 		}
-		p := newPeer(id)
+		p := newPeer(id, c.fanout)
 		p.installState(buildState(ns, next))
 		p.pending = gains[id]
 		p.alive.Store(true)
@@ -281,7 +281,11 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 			continue
 		}
 		if h := core.ReplicaHolderOf(ps); h != core.NoPeer {
-			c.send(h, request{kind: kindReplicaDrop, src: id})
+			// Only a holder that is still a member: a tombstone would forward
+			// the drop to its range absorber, deleting an unrelated set there.
+			if _, stillMember := next[h]; stillMember {
+				c.send(h, request{kind: kindReplicaDrop, src: id})
+			}
 		}
 	}
 	// A dead member cannot re-ship its replica. If this operation moved its
@@ -464,11 +468,16 @@ func buildState(ns core.PeerSnapshot, next map[core.PeerID]core.PeerSnapshot) *p
 		}
 		return &link{id: id, lower: t.Range.Lower, upper: t.Range.Upper}
 	}
+	slots := ns.ChildSlots()
+	children := make([]*link, len(slots))
+	for s, id := range slots {
+		children[s] = tl(id)
+	}
 	st := &peerState{
 		pos:      ns.Position,
 		rng:      ns.Range,
 		parent:   tl(ns.Parent),
-		children: [2]*link{tl(ns.LeftChild), tl(ns.RightChild)},
+		children: children,
 		adjacent: [2]*link{tl(ns.LeftAdjacent), tl(ns.RightAdjacent)},
 	}
 	for _, id := range ns.LeftRouting {
@@ -493,9 +502,13 @@ func (p *peer) installState(st *peerState) {
 
 // linksAny reports whether the snapshot links to any of the given peers.
 func linksAny(ns core.PeerSnapshot, ids map[core.PeerID]bool) bool {
-	if ids[ns.Parent] || ids[ns.LeftChild] || ids[ns.RightChild] ||
-		ids[ns.LeftAdjacent] || ids[ns.RightAdjacent] {
+	if ids[ns.Parent] || ids[ns.LeftAdjacent] || ids[ns.RightAdjacent] {
 		return true
+	}
+	for _, id := range ns.ChildSlots() {
+		if ids[id] {
+			return true
+		}
 	}
 	for _, id := range ns.LeftRouting {
 		if ids[id] {
@@ -517,6 +530,14 @@ func statesEqual(a, b core.PeerSnapshot) bool {
 		a.Parent != b.Parent || a.LeftChild != b.LeftChild || a.RightChild != b.RightChild ||
 		a.LeftAdjacent != b.LeftAdjacent || a.RightAdjacent != b.RightAdjacent {
 		return false
+	}
+	if len(a.MidChildren) != len(b.MidChildren) {
+		return false
+	}
+	for i := range a.MidChildren {
+		if a.MidChildren[i] != b.MidChildren[i] {
+			return false
+		}
 	}
 	if len(a.LeftRouting) != len(b.LeftRouting) || len(a.RightRouting) != len(b.RightRouting) {
 		return false
@@ -614,6 +635,7 @@ func (p *peer) snapshot() *core.PeerSnapshot {
 		}
 		return l.id
 	}
+	last := len(p.children) - 1
 	ps := &core.PeerSnapshot{
 		ID:            p.id,
 		Position:      p.pos,
@@ -621,9 +643,12 @@ func (p *peer) snapshot() *core.PeerSnapshot {
 		Items:         p.data.Items(),
 		Parent:        linkID(p.parent),
 		LeftChild:     linkID(p.children[0]),
-		RightChild:    linkID(p.children[1]),
+		RightChild:    linkID(p.children[last]),
 		LeftAdjacent:  linkID(p.adjacent[0]),
 		RightAdjacent: linkID(p.adjacent[1]),
+	}
+	for s := 1; s < last; s++ {
+		ps.MidChildren = append(ps.MidChildren, linkID(p.children[s]))
 	}
 	for _, l := range p.rt[0] {
 		ps.LeftRouting = append(ps.LeftRouting, linkID(l))
@@ -668,6 +693,6 @@ func (c *Cluster) Snapshot() ([]core.PeerSnapshot, error) {
 			return nil, ErrStopped
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Position.InOrderBefore(out[j].Position) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Position.InOrderBeforeIn(c.fanout, out[j].Position) })
 	return out, nil
 }

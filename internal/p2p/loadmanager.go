@@ -314,7 +314,7 @@ func (c *Cluster) lightestRecruit(hot core.PeerID, counts map[core.PeerID]int) c
 		if !measured || id == hot || !c.Alive(id) {
 			continue
 		}
-		if ps.LeftChild != core.NoPeer || ps.RightChild != core.NoPeer || ps.Position.IsRoot() {
+		if ps.HasChildren() || ps.Position.IsRoot() {
 			continue
 		}
 		heir := ps.RightAdjacent

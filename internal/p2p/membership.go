@@ -26,7 +26,7 @@ type peerState struct {
 	pos      core.Position
 	rng      keyspace.Range
 	parent   *link
-	children [2]*link
+	children []*link // one entry per child slot, slot 0 leftmost
 	adjacent [2]*link
 	rt       [2][]*link
 }
@@ -69,8 +69,8 @@ func (c *Cluster) joinLocked(via core.PeerID) (core.PeerID, error) {
 	}
 
 	newID := core.NoPeer
-	if acc, side, err := c.locateJoin(via); err == nil {
-		if id, _, err := c.mirror.JoinAt(acc, side); err == nil {
+	if acc, slot, err := c.locateJoin(via); err == nil {
+		if id, _, err := c.mirror.JoinAtSlot(acc, slot); err == nil {
 			newID = id
 		}
 	}
@@ -80,7 +80,7 @@ func (c *Cluster) joinLocked(via core.PeerID) (core.PeerID, error) {
 		// alive acceptor instead, the live counterpart of the simulator's
 		// join fallback.
 		for _, cand := range c.joinAcceptors() {
-			if id, _, err := c.mirror.JoinAt(cand.id, cand.side); err == nil {
+			if id, _, err := c.mirror.JoinAtSlot(cand.id, cand.slot); err == nil {
 				newID = id
 				break
 			}
@@ -132,8 +132,7 @@ func (c *Cluster) departLocked(id core.PeerID) error {
 	done := false
 	// Safe-leaf departure: the parent absorbs the range, so it must be
 	// alive to receive the data.
-	if ps.LeftChild == core.NoPeer && ps.RightChild == core.NoPeer &&
-		ps.Parent != core.NoPeer && c.Alive(ps.Parent) {
+	if !ps.HasChildren() && ps.Parent != core.NoPeer && c.Alive(ps.Parent) {
 		if _, err := c.mirror.LeaveWith(id, core.NoPeer); err == nil {
 			done = true
 		} else if errors.Is(err, core.ErrLastPeer) {
@@ -277,19 +276,19 @@ func validShuffleBoundary(boundary keyspace.Key, rng keyspace.Range) bool {
 // --- live locate protocols -------------------------------------------------
 
 // locateJoin routes a JOIN message into the overlay at via and returns the
-// accepting peer and the free child side it answered with.
-func (c *Cluster) locateJoin(via core.PeerID) (core.PeerID, core.Side, error) {
+// accepting peer and the free child slot it answered with.
+func (c *Cluster) locateJoin(via core.PeerID) (core.PeerID, int, error) {
 	resp, err := c.issue(via, request{kind: kindJoinLocate})
 	if err != nil {
-		return core.NoPeer, core.Left, err
+		return core.NoPeer, 0, err
 	}
 	if resp.err != nil {
-		return core.NoPeer, core.Left, resp.err
+		return core.NoPeer, 0, resp.err
 	}
 	if resp.peerID == core.NoPeer || !c.Alive(resp.peerID) {
-		return core.NoPeer, core.Left, ErrUnreachable
+		return core.NoPeer, 0, ErrUnreachable
 	}
-	return resp.peerID, resp.side, nil
+	return resp.peerID, resp.slot, nil
 }
 
 // handleJoinLocate is Algorithm 1 at peer p: accept if both routing tables
@@ -297,8 +296,8 @@ func (c *Cluster) locateJoin(via core.PeerID) (core.PeerID, core.Side, error) {
 // forward — to the parent when a routing table is incomplete, sideways to a
 // routing-table neighbour, or to an adjacent peer.
 func (c *Cluster) handleJoinLocate(p *peer, req request) {
-	if side, free := p.freeChildSide(); free && p.routingTablesFull() {
-		req.reply <- response{peerID: p.id, side: side, hops: req.hops}
+	if slot, free := p.freeChildSlot(); free && p.routingTablesFull() {
+		req.reply <- response{peerID: p.id, slot: slot, hops: req.hops}
 		return
 	}
 	if req.visited == nil {
@@ -329,16 +328,15 @@ func (c *Cluster) handleJoinLocate(p *peer, req request) {
 	c.refuse(p, req, ErrUnreachable)
 }
 
-// freeChildSide returns a side whose child slot is empty, preferring the
-// left slot, and whether any slot is free.
-func (p *peer) freeChildSide() (core.Side, bool) {
-	if p.children[0] == nil {
-		return core.Left, true
+// freeChildSlot returns the lowest empty child slot (the leftmost — the
+// binary protocol's "prefer the left child"), and whether any slot is free.
+func (p *peer) freeChildSlot() (int, bool) {
+	for s, l := range p.children {
+		if l == nil {
+			return s, true
+		}
 	}
-	if p.children[1] == nil {
-		return core.Right, true
-	}
-	return core.Left, false
+	return 0, false
 }
 
 // routingTablesFull reports whether every routing-table entry that
@@ -352,7 +350,7 @@ func (p *peer) routingTablesFull() bool {
 			if l != nil {
 				continue
 			}
-			if _, ok := p.pos.Neighbour(side, int64(1)<<uint(i)); ok {
+			if _, ok := p.pos.NeighbourIn(p.fanout, side, core.RTDistance(p.fanout, i)); ok {
 				return false
 			}
 		}
@@ -368,11 +366,11 @@ func (p *peer) routingTablesFull() bool {
 // correctness requirement.
 func (c *Cluster) joinAcceptors() []struct {
 	id   core.PeerID
-	side core.Side
+	slot int
 } {
 	type cand struct {
 		id    core.PeerID
-		side  core.Side
+		slot  int
 		full  bool
 		level int
 	}
@@ -381,16 +379,17 @@ func (c *Cluster) joinAcceptors() []struct {
 		if !c.Alive(id) {
 			continue
 		}
-		var side core.Side
-		switch {
-		case ps.LeftChild == core.NoPeer:
-			side = core.Left
-		case ps.RightChild == core.NoPeer:
-			side = core.Right
-		default:
+		slot, free := -1, false
+		for s, cid := range ps.ChildSlots() {
+			if cid == core.NoPeer {
+				slot, free = s, true
+				break
+			}
+		}
+		if !free {
 			continue
 		}
-		cands = append(cands, cand{id: id, side: side, full: snapshotRTFull(ps), level: ps.Position.Level})
+		cands = append(cands, cand{id: id, slot: slot, full: snapshotRTFull(ps), level: ps.Position.Level})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].full != cands[j].full {
@@ -403,16 +402,17 @@ func (c *Cluster) joinAcceptors() []struct {
 	})
 	out := make([]struct {
 		id   core.PeerID
-		side core.Side
+		slot int
 	}, len(cands))
 	for i, cn := range cands {
-		out[i].id, out[i].side = cn.id, cn.side
+		out[i].id, out[i].slot = cn.id, cn.slot
 	}
 	return out
 }
 
 // snapshotRTFull is routingTablesFull computed from a structural snapshot.
 func snapshotRTFull(ps core.PeerSnapshot) bool {
+	m := ps.Fanout()
 	for si, rt := range [2][]core.PeerID{ps.LeftRouting, ps.RightRouting} {
 		side := core.Left
 		if si == 1 {
@@ -422,7 +422,7 @@ func snapshotRTFull(ps core.PeerSnapshot) bool {
 			if id != core.NoPeer {
 				continue
 			}
-			if _, ok := ps.Position.Neighbour(side, int64(1)<<uint(i)); ok {
+			if _, ok := ps.Position.NeighbourIn(m, side, core.RTDistance(m, i)); ok {
 				return false
 			}
 		}
@@ -438,7 +438,7 @@ func (c *Cluster) locateReplacement(x core.PeerSnapshot) core.PeerID {
 	// a routing-table neighbour that has children; a non-leaf starts at one
 	// of its adjacent peers (which lies as deep as possible in its subtree).
 	start := core.NoPeer
-	if x.LeftChild == core.NoPeer && x.RightChild == core.NoPeer {
+	if !x.HasChildren() {
 		for _, rt := range [2][]core.PeerID{x.LeftRouting, x.RightRouting} {
 			for _, id := range rt {
 				if id == core.NoPeer {
@@ -448,10 +448,11 @@ func (c *Cluster) locateReplacement(x core.PeerSnapshot) core.PeerID {
 				if !ok {
 					continue
 				}
-				if nbr.LeftChild != core.NoPeer {
-					start = nbr.LeftChild
-				} else if nbr.RightChild != core.NoPeer {
-					start = nbr.RightChild
+				for _, cid := range nbr.ChildSlots() {
+					if cid != core.NoPeer {
+						start = cid
+						break
+					}
 				}
 				if start != core.NoPeer {
 					break
@@ -485,14 +486,17 @@ func (c *Cluster) locateReplacement(x core.PeerSnapshot) core.PeerID {
 // candidate replacement; a peer whose children are all dead is a dead end
 // (the coordinator falls back to a structure scan).
 func (c *Cluster) handleFindReplacement(p *peer, req request) {
+	leaf := true
 	for _, l := range p.children {
-		if l != nil && c.Alive(l.id) {
-			if c.send(l.id, req) {
-				return
-			}
+		if l == nil {
+			continue
+		}
+		leaf = false
+		if c.Alive(l.id) && c.send(l.id, req) {
+			return
 		}
 	}
-	if p.children[0] == nil && p.children[1] == nil {
+	if leaf {
 		req.reply <- response{peerID: p.id, hops: req.hops}
 		return
 	}
@@ -525,7 +529,7 @@ func (c *Cluster) replacementCandidates(x core.PeerID) []core.PeerID {
 	}
 	var cands []cand
 	for id, ps := range c.states {
-		if ps.LeftChild != core.NoPeer || ps.RightChild != core.NoPeer {
+		if ps.HasChildren() {
 			continue
 		}
 		if !c.viableReplacement(x, id) {

@@ -376,7 +376,7 @@ type response struct {
 	hops    int
 	// Membership replies.
 	peerID   core.PeerID
-	side     core.Side
+	slot     int
 	snap     *core.PeerSnapshot
 	count    int
 	splitKey keyspace.Key
@@ -397,14 +397,17 @@ type link struct {
 // than the atomic alive flag are owned by the peer's goroutine once it has
 // started; membership changes reach them as kindUpdate messages.
 type peer struct {
-	id    core.PeerID
-	pos   core.Position
-	rng   keyspace.Range
-	data  *store.Store
-	inbox chan request
+	id     core.PeerID
+	fanout int
+	pos    core.Position
+	rng    keyspace.Range
+	data   *store.Store
+	inbox  chan request
 
-	parent   *link
-	children [2]*link
+	parent *link
+	// children holds the fanout child slots in tree order: slot 0 is the
+	// leftmost child, slot fanout-1 the rightmost.
+	children []*link
 	adjacent [2]*link
 	rt       [2][]*link // sideways routing tables, [Left|Right]
 
@@ -514,6 +517,11 @@ func (t *topology) clone() *topology {
 
 // Cluster is a set of live peers animating a BATON overlay.
 type Cluster struct {
+	// fanout is the tree fanout m of the overlay the cluster animates,
+	// adopted from the source network at construction; 2 is the paper's
+	// binary protocol, larger values are the BATON* generalisation.
+	// Immutable after NewCluster.
+	fanout  int
 	topo    atomic.Pointer[topology]
 	wg      sync.WaitGroup
 	done    chan struct{}
@@ -578,6 +586,7 @@ type Cluster struct {
 // own Join and Depart.
 func NewCluster(nw *core.Network) *Cluster {
 	c := &Cluster{
+		fanout:   nw.Fanout(),
 		done:     make(chan struct{}),
 		domain:   nw.Domain(),
 		suspects: make(chan core.PeerID, 64),
@@ -592,7 +601,7 @@ func NewCluster(nw *core.Network) *Cluster {
 	}
 	t.epoch = 1
 	for _, ps := range snapshot {
-		p := newPeer(ps.ID)
+		p := newPeer(ps.ID, c.fanout)
 		p.pos = ps.Position
 		p.rng = ps.Range
 		p.data.Absorb(ps.Items)
@@ -609,8 +618,9 @@ func NewCluster(nw *core.Network) *Cluster {
 	for _, ps := range snapshot {
 		p := t.peers[ps.ID]
 		p.parent = toLink(t.peers, ps.Parent)
-		p.children[0] = toLink(t.peers, ps.LeftChild)
-		p.children[1] = toLink(t.peers, ps.RightChild)
+		for s, cid := range ps.ChildSlots() {
+			p.children[s] = toLink(t.peers, cid)
+		}
 		p.adjacent[0] = toLink(t.peers, ps.LeftAdjacent)
 		p.adjacent[1] = toLink(t.peers, ps.RightAdjacent)
 		for _, id := range ps.LeftRouting {
@@ -661,9 +671,11 @@ const (
 // newPeer builds a peer object with every always-present field
 // initialised — the single place the per-peer metrics block is attached,
 // so a delivery target can never lack one.
-func newPeer(id core.PeerID) *peer {
+func newPeer(id core.PeerID, fanout int) *peer {
 	return &peer{
 		id:        id,
+		fanout:    fanout,
+		children:  make([]*link, fanout),
 		data:      store.New(),
 		inbox:     make(chan request, 256),
 		spillWake: make(chan struct{}, 1),
@@ -1381,11 +1393,17 @@ func (c *Cluster) forward(p *peer, req request) {
 	c.refuse(p, req, ErrUnreachable)
 }
 
-// candidates lists forwarding targets for key at p, best first: the farthest
-// non-overshooting routing-table entry, then the child, adjacent and parent
-// links, then the remaining links as fault-tolerance fallbacks.
+// candidates lists forwarding targets for key at p, best first. The ordering
+// mirrors core's hopCandidates exactly — the deterministic trace tests pin
+// the live hop sequence against core.RoutePath at every fanout, so the two
+// implementations must make identical choices on a healthy cluster: the
+// farthest non-overshooting routing-table entry first, then the child
+// subtree(s) on the key's side of the in-order chain and the adjacent link,
+// then the parent, overshooting entries and the links towards the other side
+// as fault-tolerance fallbacks.
 func (c *Cluster) candidates(p *peer, key keyspace.Key) []*link {
 	var out []*link
+	last := len(p.children) - 1
 	if key >= p.rng.Upper {
 		rt := p.rt[1]
 		for i := len(rt) - 1; i >= 0; i-- {
@@ -1393,12 +1411,18 @@ func (c *Cluster) candidates(p *peer, key keyspace.Key) []*link {
 				out = append(out, rt[i])
 			}
 		}
-		out = append(out, p.children[1], p.adjacent[1], p.parent, p.children[0], p.adjacent[0])
+		// Only the last child subtree lies above p in the in-order chain.
+		out = append(out, p.children[last], p.adjacent[1], p.parent)
 		for i := len(rt) - 1; i >= 0; i-- {
 			if rt[i] != nil && rt[i].lower > key {
 				out = append(out, rt[i])
 			}
 		}
+		for s := last - 1; s >= 0; s-- {
+			out = append(out, p.children[s])
+		}
+		out = append(out, p.adjacent[0])
+		out = append(out, p.rt[0]...)
 	} else {
 		rt := p.rt[0]
 		for i := len(rt) - 1; i >= 0; i-- {
@@ -1406,12 +1430,19 @@ func (c *Cluster) candidates(p *peer, key keyspace.Key) []*link {
 				out = append(out, rt[i])
 			}
 		}
-		out = append(out, p.children[0], p.adjacent[0], p.parent, p.children[1], p.adjacent[1])
+		// Child subtrees in slots 0..last-1 all lie below p in the in-order
+		// chain, nearest (highest slot) first.
+		for s := last - 1; s >= 0; s-- {
+			out = append(out, p.children[s])
+		}
+		out = append(out, p.adjacent[0], p.parent)
 		for i := len(rt) - 1; i >= 0; i-- {
 			if rt[i] != nil && rt[i].upper <= key {
 				out = append(out, rt[i])
 			}
 		}
+		out = append(out, p.children[last], p.adjacent[1])
+		out = append(out, p.rt[1]...)
 	}
 	return out
 }

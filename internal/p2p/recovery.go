@@ -92,7 +92,7 @@ func (c *Cluster) recoverLocked(id core.PeerID) (int, error) {
 	// replacement walk, then the deterministic scan — the same ladder as
 	// Depart, but with the crash-leave variant (no data to extract).
 	done := false
-	if ps.LeftChild == core.NoPeer && ps.RightChild == core.NoPeer &&
+	if !ps.HasChildren() &&
 		ps.Parent != core.NoPeer && c.Alive(ps.Parent) {
 		if _, err := c.mirror.CrashLeaveWith(id, core.NoPeer); err == nil {
 			done = true

@@ -131,7 +131,14 @@ func (c *Cluster) applyReplicaSync(p *peer, req request) {
 // the coordinator never hangs.
 func (c *Cluster) handleReplicaResync(p *peer, req request) {
 	target := p.replicaTarget()
-	if p.replTo != core.NoPeer && p.replTo != target {
+	if p.replTo != core.NoPeer && p.replTo != target && c.topo.Load().members[p.replTo] {
+		// Tell the previous holder to discard the stale set — but only while
+		// it is still a member. A holder that departed in the operation that
+		// moved this peer's adjacency is a tombstone now, and a tombstone
+		// forwards everything to the peer that absorbed its range — which can
+		// be exactly the NEW holder, so the forwarded drop would land after
+		// the sync below and delete the freshly shipped set (losing the only
+		// copy until the next resync). Tombstone-held sets die at the reap.
 		c.send(p.replTo, request{kind: kindReplicaDrop, src: p.id})
 	}
 	p.replTo = target

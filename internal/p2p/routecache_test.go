@@ -417,7 +417,7 @@ func TestDeliverFloodBoundedGoroutines(t *testing.T) {
 	// A ghost peer: a valid delivery target with no serving goroutine, so
 	// the inbox can never drain and every send past its capacity must take
 	// the overflow path deterministically.
-	ghost := newPeer(9999)
+	ghost := newPeer(9999, 2)
 	ghost.alive.Store(true)
 	nt := c.topo.Load().clone()
 	nt.peers[ghost.id] = ghost
@@ -451,7 +451,7 @@ func TestDeliverFloodBoundedGoroutines(t *testing.T) {
 // sender could apply out of order.
 func TestDeliverFIFOWhileSpilled(t *testing.T) {
 	c, _ := liveCluster(t, 4, 0, 107)
-	ghost := newPeer(9998)
+	ghost := newPeer(9998, 2)
 	ghost.alive.Store(true)
 	nt := c.topo.Load().clone()
 	nt.peers[ghost.id] = ghost

@@ -36,6 +36,14 @@ func BuildCluster(peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key, e
 	return BuildClusterDist(peers, items, seed, workload.Uniform, 0)
 }
 
+// BuildClusterFanout is BuildCluster with a tree fanout: 2 (or 0) grows the
+// paper's binary overlay, larger values the BATON* m-ary generalisation with
+// routing tables at distances j*m^i. Every workload and churn scenario runs
+// unchanged at any fanout; only the overlay's hop counts differ.
+func BuildClusterFanout(peers, items int, seed int64, fanout int) (*p2p.Cluster, []keyspace.Key, error) {
+	return BuildClusterDistFanout(peers, items, seed, workload.Uniform, 0, fanout)
+}
+
 // BuildClusterDist is BuildCluster with a key distribution: the pre-loaded
 // items are drawn from dist (workload.Zipf with the given theta skews the
 // stored data the way the paper's skew experiments do, concentrating the
@@ -43,7 +51,16 @@ func BuildCluster(peers, items int, seed int64) (*p2p.Cluster, []keyspace.Key, e
 // are grown by uniform joins either way, so a skewed load lands on a few
 // peers — the configuration the load balancer exists for.
 func BuildClusterDist(peers, items int, seed int64, dist workload.Distribution, theta float64) (*p2p.Cluster, []keyspace.Key, error) {
-	nw := core.NewNetwork(core.Config{Seed: seed})
+	return BuildClusterDistFanout(peers, items, seed, dist, theta, 0)
+}
+
+// BuildClusterDistFanout combines the key-distribution and fanout knobs; it
+// is the full-parameter scaffold every other Build variant wraps.
+func BuildClusterDistFanout(peers, items int, seed int64, dist workload.Distribution, theta float64, fanout int) (*p2p.Cluster, []keyspace.Key, error) {
+	if fanout != 0 && !core.ValidFanout(fanout) {
+		return nil, nil, fmt.Errorf("build cluster: invalid fanout %d (want 2..%d)", fanout, core.MaxFanout)
+	}
+	nw := core.NewNetwork(core.Config{Seed: seed, Fanout: fanout})
 	rng := rand.New(rand.NewSource(seed))
 	for nw.Size() < peers {
 		ids := nw.PeerIDs()
