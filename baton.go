@@ -28,6 +28,7 @@ import (
 	"baton/internal/keyspace"
 	"baton/internal/obs"
 	"baton/internal/p2p"
+	"baton/internal/query"
 	"baton/internal/stats"
 	"baton/internal/store"
 )
@@ -219,6 +220,35 @@ const (
 	RouteOverlay = p2p.RouteOverlay
 	RouteDirect  = p2p.RouteDirect
 )
+
+// Plan is a planned execution strategy for one range query: the serial
+// adjacent-chain walk or the parallel scatter. Cluster.RangeAdaptive picks
+// one per request from the range's estimated peer-span, with the crossover
+// tuned from the latencies the cluster itself observes.
+type Plan = query.Plan
+
+// Range execution plans.
+const (
+	PlanSerial   = query.PlanSerial
+	PlanParallel = query.PlanParallel
+)
+
+// Pred is a pushdown predicate for Cluster.GetFiltered /
+// Cluster.RangeFiltered / Cluster.RangeIterFiltered: plain serialisable
+// data evaluated at the owning peer, so items that cannot match never
+// cross the wire. A positive Limit caps the result and terminates serial
+// walks early.
+type Pred = query.Pred
+
+// RangeIter is a streaming range query in progress: Cluster.RangeIter
+// scatters the range and yields items in bounded batches as the covering
+// peers deliver them, never materialising the full result.
+type RangeIter = p2p.RangeIter
+
+// PlanSnapshot is the query planner's counters — adaptive range queries
+// dispatched serially and in parallel, and plan-cache hits — returned by
+// Cluster.PlanStats and embedded in ClusterMetrics.
+type PlanSnapshot = obs.PlanSnapshot
 
 // ClusterMetrics is the lock-free snapshot of the cluster's metrics
 // registry returned by Cluster.Metrics: per-peer delivered / spilled /

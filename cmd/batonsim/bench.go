@@ -64,6 +64,14 @@ type benchResult struct {
 	Imbalance float64 `json:"imbalance,omitempty"`
 	// Rebalanced counts the background balancer's actions (zipf rows only).
 	Rebalanced int64 `json:"rebalanced,omitempty"`
+	// PlanSerial, PlanParallel and PlanCacheHits are the query layer's
+	// planning counters for the cell (adaptive-plan rows only): how the
+	// self-tuned planner split the cell's ranges between the serial walk
+	// and the parallel scatter, and how often the plan cache short-
+	// circuited the span estimate.
+	PlanSerial    int64 `json:"plan_serial,omitempty"`
+	PlanParallel  int64 `json:"plan_parallel,omitempty"`
+	PlanCacheHits int64 `json:"plan_cache_hits,omitempty"`
 }
 
 // benchReport is the schema of BENCH_p2p.json: the run parameters plus one
@@ -198,6 +206,9 @@ func runBench(o benchOptions) {
 			HopsP99:        rep.HopsP99,
 			QueueWaitP99us: rep.QueueWaitP99us,
 			StaleRoutes:    c.StaleRoutes() - staleBefore,
+			PlanSerial:     rep.PlanSerial,
+			PlanParallel:   rep.PlanParallel,
+			PlanCacheHits:  rep.PlanCacheHits,
 		}
 		if rep.Ops > 0 {
 			// Whole-process deltas: peer-side message handling and replication
@@ -283,6 +294,10 @@ func runBench(o benchOptions) {
 		record(best)
 	}
 
+	// The sweep's gate is deferred until after the JSON write below, so a
+	// red sweep still leaves the rows behind for triage.
+	planGate := runPlanSweep(o, measure, record)
+
 	if o.compareOverlays {
 		runOverlayComparison(o, measure, record)
 	}
@@ -296,6 +311,8 @@ func runBench(o benchOptions) {
 	}
 	fmt.Printf("baseline written to %s\n", o.out)
 	writeObsDump(cluster, o.metricsOut)
+
+	planGate()
 
 	if o.traceSample > 0 {
 		// Sampling must be close to free: gate the traced direct-get row at
@@ -328,6 +345,108 @@ func runBench(o benchOptions) {
 			}
 		}
 		fmt.Printf("bench gate passed (required ≥ %.2fx with ×%.2f margin, best of 3)\n", o.requireSpeedup, gateMargin)
+	}
+}
+
+// runPlanSweep is the range-plan selectivity sweep of the bench matrix: a
+// range-only workload at three selectivities — narrow (≈1 peer per range),
+// mid (≈25% of the peers) and wide (the whole domain) — each answered by
+// the serial chain walk, the parallel scatter and the adaptive planner, on
+// a fresh quiesced cluster (the shared matrix cluster has churned by the
+// time the sweep runs). The sweep is the adaptive layer's contract, and it
+// gates itself: in every cell adaptive must reach at least gateMargin of
+// the better fixed plan's throughput — a planner that guesses wrong
+// anywhere shows up as a big per-cell loss — and it must strictly beat
+// each fixed plan somewhere (serial on wide ranges, parallel on narrow
+// ones), or the layer is overhead with no payoff. The measurements run
+// now; the returned closure evaluates the gate, deferred by the caller
+// until after the baseline JSON is on disk so a red sweep still leaves
+// its rows behind.
+func runPlanSweep(o benchOptions, measure func(*p2p.Cluster, driver.Config) benchResult, record func(benchResult)) func() {
+	fmt.Printf("--- range-plan selectivity sweep (serial vs parallel vs adaptive, %d peers) ---\n", o.peers)
+	c, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed+23, o.fanout)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Stop()
+	cells := []struct {
+		name string
+		sel  float64
+	}{
+		{"narrow", 1.0 / float64(max(1, o.peers))},
+		{"mid", 0.25},
+		{"wide", 1.0},
+	}
+	plans := []string{driver.PlanSerial, driver.PlanParallel, driver.PlanAdaptive}
+	type cellKey struct{ cell, plan string }
+	results := map[cellKey]benchResult{}
+	opsPerCell := max(1, o.ops/10) // ranges cost ~peer-span messages each
+	for _, cell := range cells {
+		base := driver.Config{
+			Clients:          o.clients,
+			Ops:              opsPerCell,
+			Keys:             keys,
+			Seed:             o.seed,
+			RangeFraction:    1,
+			RangeSelectivity: cell.sel,
+		}
+		// Warm the adaptive planner's span bucket before measuring: the
+		// warm-up walks the bucket through both trial bursts and into the
+		// committed stretch, so the measured adaptive cell runs converged,
+		// the steady state the sweep is about.
+		warm := base
+		warm.Plan = driver.PlanAdaptive
+		warm.Ops = 400
+		driver.Run(c, warm)
+		for _, plan := range plans {
+			cfg := base
+			cfg.Plan = plan
+			var best benchResult
+			for rep := 0; rep < 3; rep++ {
+				res := measure(c, cfg)
+				if rep == 0 || res.OpsPerSec > best.OpsPerSec {
+					best = res
+				}
+			}
+			best.Name = fmt.Sprintf("sweep-%s-%s", cell.name, plan)
+			best.Fanout = max(2, o.fanout)
+			record(best)
+			results[cellKey{cell.name, plan}] = best
+		}
+	}
+
+	return func() {
+		beatsSerial, beatsParallel := false, false
+		for _, cell := range cells {
+			ser := results[cellKey{cell.name, driver.PlanSerial}]
+			par := results[cellKey{cell.name, driver.PlanParallel}]
+			ada := results[cellKey{cell.name, driver.PlanAdaptive}]
+			betterFixed := max(ser.OpsPerSec, par.OpsPerSec)
+			if betterFixed <= 0 {
+				fatal(fmt.Errorf("plan-sweep gate: %s cell measured no throughput", cell.name))
+			}
+			ratio := ada.OpsPerSec / betterFixed
+			fmt.Printf("sweep %s: adaptive at %.2fx of the better fixed plan (serial %.0f, parallel %.0f, adaptive %.0f ops/sec)\n",
+				cell.name, ratio, ser.OpsPerSec, par.OpsPerSec, ada.OpsPerSec)
+			if ratio < gateMargin {
+				fatal(fmt.Errorf("plan-sweep gate FAILED: adaptive is %.2fx of the better fixed plan in the %s cell, required ≥ %.2fx",
+					ratio, cell.name, gateMargin))
+			}
+			if ada.OpsPerSec > ser.OpsPerSec {
+				beatsSerial = true
+			}
+			// Against parallel the win shows either as throughput or as tail
+			// latency (narrow ranges served serially skip the scatter's
+			// fan-out tail).
+			if ada.OpsPerSec > par.OpsPerSec || (ada.P99us > 0 && par.P99us > 0 && ada.P99us < par.P99us) {
+				beatsParallel = true
+			}
+		}
+		if !beatsSerial || !beatsParallel {
+			fatal(fmt.Errorf("plan-sweep gate FAILED: adaptive strictly beat serial in some cell: %v, parallel in some cell: %v (want both)",
+				beatsSerial, beatsParallel))
+		}
+		fmt.Printf("plan-sweep gate passed: adaptive ≥ %.2fx of the better fixed plan in every cell and strictly better in at least one\n", gateMargin)
 	}
 }
 

@@ -28,6 +28,7 @@
 //	batonsim -mode faultload -peers 128 -kill 16 -recover 16 -ops 50000
 //	batonsim -mode skewload -peers 64 -theta 1.0 -autobalance -compare
 //	batonsim -mode rangecmp -peers 256 -selectivity 0.15
+//	batonsim -mode rangecmp -peers 64 -plan adaptive -rangedist bimodal
 //	batonsim -mode bench -peers 64 -requirespeedup 1.0
 //	batonsim -mode throughput -peers 64 -fanout 4        # BATON* overlay, m-ary tree
 //	batonsim -mode bench -peers 64 -compareoverlays      # binary vs BATON* m=4/8 vs Chord
@@ -74,6 +75,8 @@ func main() {
 		departs     = flag.Int("departs", 0, "peers that depart gracefully while the workload runs (churnload mode)")
 		recovers    = flag.Int("recover", -1, "crash repairs to run while the workload runs (faultload mode; -1 means match -kill)")
 		serialRange = flag.Bool("serialrange", false, "use the sequential chain walk for range queries")
+		plan        = flag.String("plan", "", "range execution plan: serial, parallel or adaptive (rangecmp default: compare all three)")
+		rangeDist   = flag.String("rangedist", "", "range width distribution around -selectivity: fixed, uniform or bimodal")
 		bulkSize    = flag.Int("bulk", 0, "batch puts through BulkPut in groups of this size (0 = singleton puts)")
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
 		route       = flag.String("route", "overlay", "singleton routing mode: overlay (paper-faithful per-hop) or direct (one-hop route cache)")
@@ -116,6 +119,7 @@ func main() {
 			peers: *peers, items: *items, clients: *clients, ops: *ops,
 			getFrac: *getFrac, putFrac: *putFrac, delFrac: *delFrac, rangeFrac: *rangeFrac,
 			selectivity: *selectivity, kill: *kill, serialRange: *serialRange,
+			plan: *plan, rangeDist: *rangeDist,
 			bulkSize: *bulkSize, route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
 		})
@@ -175,7 +179,11 @@ func main() {
 		})
 		return
 	case "rangecmp":
-		runRangeCompare(*peers, *items, *rcQueries, *selectivity, *seed, *fanout)
+		runRangeCompare(rangecmpOptions{
+			peers: *peers, items: *items, queries: *rcQueries,
+			selectivity: *selectivity, seed: *seed, fanout: *fanout,
+			plan: *plan, rangeDist: *rangeDist,
+		})
 		return
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want figures, throughput, churnload, faultload, skewload, rangecmp or bench)", *mode))
@@ -238,7 +246,7 @@ func main() {
 func validateModeFlags(mode string) error {
 	workloadModes := map[string]bool{"throughput": true, "churnload": true, "faultload": true, "skewload": true}
 	allowed := map[string]map[string]bool{
-		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true, "tracesample": true, "metricsout": true},
+		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true, "plan": true, "rangedist": true, "tracesample": true, "metricsout": true},
 		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true, "tracesample": true, "metricsout": true},
 		"faultload":  {"kill": true, "recover": true, "route": true, "tracesample": true, "metricsout": true},
 		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true, "tracesample": true, "metricsout": true},
@@ -262,6 +270,13 @@ func validateModeFlags(mode string) error {
 			}
 		case "selectivity":
 			if !workloadModes[mode] && mode != "rangecmp" {
+				bad = append(bad, "-"+f.Name)
+			}
+		case "plan", "rangedist":
+			// The range plan and width distribution shape the throughput
+			// workload's range mix and the rangecmp comparison; everywhere
+			// else they would be silently dropped.
+			if !allowed[mode][f.Name] && mode != "rangecmp" {
 				bad = append(bad, "-"+f.Name)
 			}
 		case "fanout":
@@ -291,6 +306,8 @@ func validateModeFlags(mode string) error {
 		"compare":         {"skewload"},
 		"bulk":            {"throughput"},
 		"serialrange":     {"throughput"},
+		"plan":            {"throughput", "rangecmp"},
+		"rangedist":       {"throughput", "rangecmp"},
 		"tracesample":     append(append([]string{}, workloads...), "bench"),
 		"metricsout":      append(append([]string{}, workloads...), "bench"),
 		"get":             workloads,

@@ -19,6 +19,7 @@ type throughputOptions struct {
 	selectivity                          float64
 	kill, bulkSize                       int
 	serialRange                          bool
+	plan, rangeDist                      string
 	route                                p2p.RouteMode
 	seed                                 int64
 	fanout                               int
@@ -30,14 +31,7 @@ type throughputOptions struct {
 // with the closed-loop concurrent workload and prints ops/sec and latency
 // percentiles.
 func runThroughput(o throughputOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
-	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
-	if err != nil {
-		fatal(err)
-	}
-	defer cluster.Stop()
-
-	rep := driver.Run(cluster, driver.Config{
+	cfg := driver.Config{
 		Clients:          o.clients,
 		Ops:              o.ops,
 		GetFraction:      o.getFrac,
@@ -46,15 +40,33 @@ func runThroughput(o throughputOptions) {
 		RangeFraction:    o.rangeFrac,
 		RangeSelectivity: o.selectivity,
 		SerialRange:      o.serialRange,
+		Plan:             o.plan,
+		RangeDist:        o.rangeDist,
 		BulkSize:         o.bulkSize,
 		Route:            o.route,
-		Keys:             keys,
 		KillPeers:        o.kill,
 		TraceSample:      o.traceSample,
 		Seed:             o.seed,
-	})
+	}
+	// Reject an inconsistent plan (e.g. -serialrange with -plan parallel)
+	// before the cluster is built, so a bad flag pair fails fast.
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
+	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Stop()
+
+	cfg.Keys = keys
+	rep := driver.Run(cluster, cfg)
 	rangeMode := "parallel fan-out"
-	if o.serialRange {
+	switch {
+	case o.plan != "":
+		rangeMode = o.plan
+	case o.serialRange:
 		rangeMode = "serial chain walk"
 	}
 	fmt.Printf("throughput run (route mode: %s, range mode: %s)\n", o.route, rangeMode)
@@ -66,41 +78,86 @@ func runThroughput(o throughputOptions) {
 	writeObsDump(cluster, o.metricsOut)
 }
 
-// runRangeCompare benchmarks the two range modes against each other on the
-// same live cluster and prints per-query latency plus the speedup.
-func runRangeCompare(peers, items, queries int, selectivity float64, seed int64, fanout int) {
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", peers, items, max(2, fanout))
-	cluster, _, err := driver.BuildClusterFanout(peers, items, seed, fanout)
+type rangecmpOptions struct {
+	peers, items, queries int
+	selectivity           float64
+	seed                  int64
+	fanout                int
+	// plan restricts the comparison to one plan ("serial", "parallel" or
+	// "adaptive"); empty compares all three.
+	plan string
+	// rangeDist shapes the per-query selectivity: "" / "fixed" (every query
+	// at -selectivity), "uniform" (uniform in (0, 2·selectivity]) or
+	// "bimodal" (half at selectivity/16, half at 16·selectivity).
+	rangeDist string
+}
+
+// runRangeCompare benchmarks the range plans against each other on the same
+// live cluster — the serial chain walk, the parallel fan-out and the
+// adaptive planner — and prints per-query latency plus the speedup. All
+// plans answer the same (via, range) sequence, so routing distance cannot
+// differ between them.
+func runRangeCompare(o rangecmpOptions) {
+	plans := []string{driver.PlanSerial, driver.PlanParallel, driver.PlanAdaptive}
+	if o.plan != "" {
+		switch o.plan {
+		case driver.PlanSerial, driver.PlanParallel, driver.PlanAdaptive:
+			plans = []string{o.plan}
+		default:
+			fatal(fmt.Errorf("unknown -plan %q (want serial, parallel or adaptive)", o.plan))
+		}
+	}
+	switch o.rangeDist {
+	case "", driver.RangeDistFixed, driver.RangeDistUniform, driver.RangeDistBimodal:
+	default:
+		fatal(fmt.Errorf("unknown -rangedist %q (want fixed, uniform or bimodal)", o.rangeDist))
+	}
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
+	cluster, _, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
 	defer cluster.Stop()
 	ids := cluster.PeerIDs()
+	queries := o.queries
 	if queries <= 0 {
 		queries = 200
 	}
-	gen := workload.NewGenerator(workload.Config{Seed: seed + 2})
+	gen := workload.NewGenerator(workload.Config{Seed: o.seed + 2})
+	rng := rand.New(rand.NewSource(o.seed + 3))
+	selOf := func() float64 {
+		s := o.selectivity
+		switch o.rangeDist {
+		case driver.RangeDistUniform:
+			s *= 2 * rng.Float64()
+		case driver.RangeDistBimodal:
+			if rng.Intn(2) == 0 {
+				s /= 16
+			} else {
+				s *= 16
+			}
+		}
+		return min(1, s)
+	}
 	ranges := make([]keyspace.Range, queries)
 	for i := range ranges {
-		ranges[i] = gen.RangeQuery(selectivity)
+		ranges[i] = gen.RangeQuery(selOf())
 	}
-	// Pair the comparison: both modes answer the same (via, range) sequence
-	// so routing distance cannot differ between them.
-	rng := rand.New(rand.NewSource(seed + 3))
 	vias := make([]core.PeerID, len(ranges))
 	for i := range vias {
 		vias[i] = ids[rng.Intn(len(ids))]
 	}
 
-	// Warm both code paths (scheduler, allocator, caches) before measuring
-	// so the first mode measured doesn't absorb the cold-start cost and skew
-	// the printed speedup.
-	for i := 0; i < 16 && i < len(ranges); i++ {
+	// Warm every code path (scheduler, allocator, caches, the adaptive
+	// planner's latency EWMAs) before measuring so the first plan measured
+	// doesn't absorb the cold-start cost and skew the printed speedup.
+	for i := 0; i < 64 && i < len(ranges); i++ {
 		cluster.RangeSerial(vias[i], ranges[i])
 		cluster.Range(vias[i], ranges[i])
+		cluster.RangeAdaptive(vias[i], ranges[i])
 	}
 
-	measure := func(serial bool) (*stats.Latency, int) {
+	measure := func(plan string) (*stats.Latency, int) {
 		lat := &stats.Latency{}
 		maxHops := 0
 		for i, r := range ranges {
@@ -108,9 +165,12 @@ func runRangeCompare(peers, items, queries int, selectivity float64, seed int64,
 			t0 := time.Now()
 			var hops int
 			var err error
-			if serial {
+			switch plan {
+			case driver.PlanSerial:
 				_, hops, err = cluster.RangeSerial(via, r)
-			} else {
+			case driver.PlanAdaptive:
+				_, hops, err = cluster.RangeAdaptive(via, r)
+			default:
 				_, hops, err = cluster.Range(via, r)
 			}
 			if err != nil {
@@ -124,14 +184,26 @@ func runRangeCompare(peers, items, queries int, selectivity float64, seed int64,
 		return lat, maxHops
 	}
 
-	serialLat, serialHops := measure(true)
-	parLat, parHops := measure(false)
-	fmt.Printf("%d range queries, selectivity %.3f (≈%.0f peers per range)\n",
-		queries, selectivity, selectivity*float64(peers))
-	fmt.Printf("%-18s %10s %10s %10s %10s\n", "mode", "mean µs", "p50 µs", "p99 µs", "max hops")
-	fmt.Printf("%-18s %10.0f %10.0f %10.0f %10d\n", "serial chain", serialLat.Mean(), serialLat.Percentile(0.5), serialLat.Percentile(0.99), serialHops)
-	fmt.Printf("%-18s %10.0f %10.0f %10.0f %10d\n", "parallel fan-out", parLat.Mean(), parLat.Percentile(0.5), parLat.Percentile(0.99), parHops)
-	if m := parLat.Mean(); m > 0 {
-		fmt.Printf("speedup: %.2fx (mean latency)\n", serialLat.Mean()/m)
+	dist := o.rangeDist
+	if dist == "" {
+		dist = driver.RangeDistFixed
+	}
+	fmt.Printf("%d range queries, selectivity %.3f (%s widths, ≈%.0f peers per range at the base width)\n",
+		queries, o.selectivity, dist, o.selectivity*float64(o.peers))
+	fmt.Printf("%-18s %10s %10s %10s %10s\n", "plan", "mean µs", "p50 µs", "p99 µs", "max hops")
+	results := make(map[string]*stats.Latency, len(plans))
+	statsBefore := cluster.PlanStats()
+	for _, plan := range plans {
+		lat, hops := measure(plan)
+		results[plan] = lat
+		fmt.Printf("%-18s %10.0f %10.0f %10.0f %10d\n", plan, lat.Mean(), lat.Percentile(0.5), lat.Percentile(0.99), hops)
+	}
+	if s, p := results[driver.PlanSerial], results[driver.PlanParallel]; s != nil && p != nil && p.Mean() > 0 {
+		fmt.Printf("parallel speedup over serial: %.2fx (mean latency)\n", s.Mean()/p.Mean())
+	}
+	if results[driver.PlanAdaptive] != nil {
+		ps := cluster.PlanStats()
+		fmt.Printf("adaptive plans serial/parallel %d/%d  plan cache hits %d\n",
+			ps.Serial-statsBefore.Serial, ps.Parallel-statsBefore.Parallel, ps.CacheHits-statsBefore.CacheHits)
 	}
 }

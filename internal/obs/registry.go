@@ -199,6 +199,11 @@ type ClusterMetrics struct {
 	QueueWaitP99us  float64 `json:"queue_wait_p99_us"`
 	HandleTimeP50us float64 `json:"handle_p50_us"`
 	HandleTimeP99us float64 `json:"handle_p99_us"`
+
+	// Plans tallies the query layer's planning decisions (see PlanCounters);
+	// filled in by the cluster after the per-peer aggregation, since
+	// planning happens client-side and touches no peer.
+	Plans PlanSnapshot `json:"plans"`
 }
 
 // BuildClusterMetrics folds per-peer snapshots (live peers plus the

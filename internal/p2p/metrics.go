@@ -28,7 +28,9 @@ func (c *Cluster) Metrics() obs.ClusterMetrics {
 		peers = append(peers, s)
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i].Peer < peers[j].Peer })
-	return obs.BuildClusterMetrics(peers, c.retired.Snapshot(-1, kindName))
+	cm := obs.BuildClusterMetrics(peers, c.retired.Snapshot(-1, kindName))
+	cm.Plans = c.plans.Snapshot()
+	return cm
 }
 
 // SetTraceSampling sets request-trace sampling to 1-in-n; n <= 0 turns

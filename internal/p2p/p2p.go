@@ -140,6 +140,25 @@
 // whose owner changed under a concurrent membership operation are retried
 // as routed singleton requests, so bulk calls stay correct under churn.
 //
+// # Query layer
+//
+// On top of the two fixed range flavours sits a thin adaptive planner
+// (query.go, internal/query). RangeAdaptive estimates a range's peer-span
+// from the published ring — two binary searches against state the client
+// already holds, no messages, no locks — and dispatches the serial walk
+// for narrow ranges and the scatter for wide ones, with the crossover
+// tuned per span bucket from the latencies the cluster itself observes
+// rather than hard-coded. A small (range bucket, epoch)-keyed plan cache
+// short-circuits the estimate and the entry-point lookup for repeated
+// ranges and is invalidated implicitly by every epoch bump. RangeIter
+// streams a range answer: scatter branches push bounded batches through a
+// channel-backed sink as they land, so wide queries allocate O(batch)
+// rather than O(result). GetFiltered / RangeFiltered push a serialisable
+// predicate (internal/query.Pred: value-length bounds, key-set
+// membership, item limit) down to the owning peers, so items that cannot
+// match never cross the wire, and a limited serial walk terminates the
+// adjacent chain the moment the limit is satisfied.
+//
 // # Observability
 //
 // The cluster records what it does through internal/obs (metrics.go),
@@ -181,6 +200,7 @@ import (
 	"baton/internal/core"
 	"baton/internal/keyspace"
 	"baton/internal/obs"
+	"baton/internal/query"
 	"baton/internal/store"
 )
 
@@ -234,10 +254,18 @@ const (
 	kindReplicaResync // instruct a peer to full-sync to its current holder
 	kindReplicaFetch  // return the replica set held for one source
 	kindReplicaDump   // export every replica set this peer holds
+
+	// Query-layer messages (query.go): predicate-pushdown variants of the
+	// singleton get and the range query. They carry a serialisable
+	// query.Pred evaluated at the owning peer, so items that cannot match
+	// never cross the wire; a kindRangePred with a limit stops the serial
+	// chain walk as soon as the limit is satisfied.
+	kindGetPred   // singleton get answered through the pushdown predicate
+	kindRangePred // range query carrying a pushdown predicate
 )
 
 // numKinds sizes per-kind metric arrays; it must track the enum above.
-const numKinds = int(kindReplicaDump) + 1
+const numKinds = int(kindRangePred) + 1
 
 // String names the kind for metrics and traces. The switch is exhaustive
 // (kindexhaustive) so a new kind cannot ship without a display name.
@@ -287,6 +315,10 @@ func (k kind) String() string {
 		return "REPLICA_FETCH"
 	case kindReplicaDump:
 		return "REPLICA_DUMP"
+	case kindGetPred:
+		return "GET_PRED"
+	case kindRangePred:
+		return "RANGE_PRED"
 	default:
 		return fmt.Sprintf("KIND_%d", int(k))
 	}
@@ -322,8 +354,15 @@ type request struct {
 	par bool
 	// coll is the shared gather state of a parallel range query; set on
 	// kindRangeScatter sub-requests (which carry no reply channel of their
-	// own — the collector answers the client when the last branch finishes).
+	// own — the collector answers the client when the last branch finishes)
+	// and on streaming queries, whose client builds the collector itself so
+	// the channel-backed sink travels with the request (see query.go).
 	coll *collector
+	// pred is the pushdown predicate of a kindGetPred / kindRangePred
+	// request, evaluated at the owning peer. Plain serialisable data —
+	// see query.Pred. Parallel scatter branches read it from coll instead,
+	// so one query evaluates one predicate wherever its branches run.
+	pred *query.Pred
 	// bulk carries the keys/items of a batched operation or a data handoff.
 	bulk []store.Item
 	// state, gains, moves and departTo are the payload of a kindUpdate
@@ -546,6 +585,15 @@ type Cluster struct {
 	retired  *obs.PeerMetrics
 	curEvent *obs.Event
 
+	// The query layer (query.go): planner picks serial vs parallel
+	// execution per range request from the estimated peer-span and tunes
+	// the crossover from observed latencies, planCache short-circuits the
+	// span estimate and owner lookup for repeated ranges until the next
+	// epoch bump, and plans counts the decisions for Metrics.
+	planner   *query.Planner
+	planCache *query.Cache
+	plans     obs.PlanCounters
+
 	// autoRecover and suspects feed the opt-in background repairer (see
 	// recovery.go): routing paths that observe a dead responsible peer
 	// report it, and the repairer runs Recover on it.
@@ -586,13 +634,15 @@ type Cluster struct {
 // own Join and Depart.
 func NewCluster(nw *core.Network) *Cluster {
 	c := &Cluster{
-		fanout:   nw.Fanout(),
-		done:     make(chan struct{}),
-		domain:   nw.Domain(),
-		suspects: make(chan core.PeerID, 64),
-		traces:   obs.NewTraceRing(traceRingSize),
-		journal:  obs.NewJournal(journalSize),
-		retired:  obs.NewPeerMetrics(numKinds),
+		fanout:    nw.Fanout(),
+		done:      make(chan struct{}),
+		domain:    nw.Domain(),
+		suspects:  make(chan core.PeerID, 64),
+		traces:    obs.NewTraceRing(traceRingSize),
+		journal:   obs.NewJournal(journalSize),
+		retired:   obs.NewPeerMetrics(numKinds),
+		planner:   query.NewPlanner(),
+		planCache: query.NewCache(),
 	}
 	snapshot := core.Snapshot(nw)
 	t := &topology{
@@ -1198,7 +1248,7 @@ func (c *Cluster) handle(p *peer, req request) {
 	//batonvet:ignore kindexhaustive partial filter by design: only data kinds feed the load meter
 	switch req.kind {
 	case kindGet, kindPut, kindDelete, kindRange, kindRangeScatter,
-		kindBulkGet, kindBulkPut, kindBulkDelete:
+		kindBulkGet, kindBulkPut, kindBulkDelete, kindGetPred, kindRangePred:
 		p.reqs.Add(1)
 	}
 	//batonvet:ignore kindexhaustive partial dispatch by design: control kinds returned above, singleton data kinds fall through to the owned-key switch below
@@ -1234,7 +1284,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		k, ok := p.data.KeyAtFraction(req.frac)
 		req.reply <- response{splitKey: k, found: ok, hops: req.hops}
 		return
-	case kindRange:
+	case kindRange, kindRangePred:
 		c.handleRange(p, req)
 		return
 	case kindRangeScatter:
@@ -1255,6 +1305,15 @@ func (c *Cluster) handle(p *peer, req request) {
 		switch req.kind {
 		case kindGet:
 			v, ok := p.data.Get(req.key)
+			req.reply <- response{value: v, found: ok, hops: req.hops}
+		case kindGetPred:
+			// Pushdown: the predicate is evaluated here at the owner, so a
+			// non-matching value never crosses the wire. Found reports
+			// "present and matching" — the client asked a filtered question.
+			v, ok := p.data.Get(req.key)
+			if ok && !req.pred.Match(req.key, v) {
+				v, ok = nil, false
+			}
 			req.reply <- response{value: v, found: ok, hops: req.hops}
 		case kindPut:
 			p.data.Put(req.key, req.value)
@@ -1310,13 +1369,13 @@ func (p *peer) touchesPending(req request) bool {
 	}
 	//batonvet:ignore kindexhaustive partial filter by design: only key- and range-addressed kinds can touch a pending region
 	switch req.kind {
-	case kindGet, kindPut, kindDelete:
+	case kindGet, kindPut, kindDelete, kindGetPred:
 		for _, r := range p.pending {
 			if r.Contains(req.key) {
 				return true
 			}
 		}
-	case kindRange, kindRangeScatter:
+	case kindRange, kindRangeScatter, kindRangePred:
 		for _, r := range p.pending {
 			if r.Intersects(req.rng) {
 				return true
@@ -1463,15 +1522,35 @@ func (c *Cluster) handleRange(p *peer, req request) {
 		return
 	}
 	if req.par {
-		// Phase 2, parallel: become the fan-out coordinator.
-		coll := &collector{reply: req.reply}
-		coll.grow(1)
+		// Phase 2, parallel: become the fan-out coordinator. A streaming
+		// query (Cluster.RangeIter) built its collector client-side so the
+		// channel-backed sink and the pushdown predicate travel with the
+		// request; a materialising query's collector is created here.
+		coll := req.coll
+		if coll == nil {
+			coll = &collector{reply: req.reply, pred: req.pred}
+			coll.grow(1)
+		}
 		c.scatterAt(p, r, req.hops, coll)
 		return
 	}
-	// Phase 2, serial: collect locally and continue rightwards.
+	// Phase 2, serial: collect locally and continue rightwards. The
+	// accumulator is grown once per peer with a CountRange pre-pass
+	// (store.ScanAppend) instead of appending an unsized Scan result; a
+	// pushdown predicate is evaluated here so filtered-out items never
+	// travel down the chain.
 	if p.rng.Intersects(r) {
-		req.acc = append(req.acc, p.data.Scan(r)...)
+		if req.pred == nil {
+			req.acc = p.data.ScanAppend(req.acc, r)
+		} else {
+			req.acc = scanFiltered(p.data, req.acc, r, req.pred)
+		}
+	}
+	if lim := req.pred.LimitOrZero(); lim > 0 && len(req.acc) >= lim {
+		// Limit-aware early termination: the pushdown limit is satisfied,
+		// so answer now instead of walking the rest of the chain.
+		req.reply <- response{items: req.acc[:lim], hops: req.hops}
+		return
 	}
 	next := p.adjacent[1]
 	if next == nil || next.lower >= r.Upper {

@@ -6,6 +6,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/query"
 	"baton/internal/store"
 )
 
@@ -26,6 +27,16 @@ type chunk struct {
 // the count to zero delivers the gathered answer to the client.
 type collector struct {
 	reply chan response
+	// pred is the query's pushdown predicate, shared by every branch so a
+	// scatter sub-request carries one pointer instead of re-encoding the
+	// predicate per segment. Nil for unfiltered queries.
+	pred *query.Pred
+	// sink, when non-nil, switches the collector to streaming mode
+	// (Cluster.RangeIter): branches push their contributions to the
+	// bounded channel-backed sink as they land instead of accumulating
+	// chunks, and the last branch closes the sink with the query's hop
+	// count and error. See query.go.
+	sink *rangeSink
 
 	mu      sync.Mutex
 	chunks  []chunk
@@ -36,18 +47,53 @@ type collector struct {
 
 // grow registers n additional outstanding branches. It must be called
 // before the corresponding sub-requests are sent so a fast child cannot
-// drive pending to zero while its parent is still scattering.
+// drive pending to zero while its parent is still scattering. It also
+// pre-sizes the chunk slice: every outstanding branch contributes at most
+// one chunk, so growing capacity here (one reallocation per scatter level
+// at worst) replaces append's repeated grow-and-copy inside the gather —
+// the CountRange pre-pass discipline of the singleton path, applied to the
+// collector.
 func (g *collector) grow(n int) {
 	g.mu.Lock()
 	g.pending += n
+	if g.sink == nil && cap(g.chunks)-len(g.chunks) < g.pending {
+		grown := make([]chunk, len(g.chunks), len(g.chunks)+g.pending)
+		copy(grown, g.chunks)
+		g.chunks = grown
+	}
 	g.mu.Unlock()
 }
 
 // finish reports one branch's partial result: the sorted items of the peer
 // whose range starts at lo. When the last branch finishes, the chunks are
 // stitched together in key order and sent to the client; the reply channel
-// is buffered so this never blocks a peer goroutine.
+// is buffered so this never blocks a peer goroutine. In streaming mode the
+// items go straight to the sink (a bounded send that respects the
+// iterator's cancellation) and the last branch closes the sink instead.
 func (g *collector) finish(lo keyspace.Key, items []store.Item, hops int, err error) {
+	if g.sink != nil {
+		// Deliver before the bookkeeping: pending can only reach zero after
+		// every branch's send has completed, so the final batch is always
+		// the last thing the iterator receives.
+		if len(items) > 0 {
+			g.sink.send(items)
+		}
+		g.mu.Lock()
+		if err != nil && g.err == nil {
+			g.err = err
+		}
+		if hops > g.hops {
+			g.hops = hops
+		}
+		g.pending--
+		done := g.pending == 0
+		ferr, fhops := g.err, g.hops
+		g.mu.Unlock()
+		if done {
+			g.sink.close(fhops, ferr)
+		}
+		return
+	}
 	g.mu.Lock()
 	if len(items) > 0 {
 		g.chunks = append(g.chunks, chunk{lo: lo, items: items})
@@ -67,9 +113,19 @@ func (g *collector) finish(lo keyspace.Key, items []store.Item, hops int, err er
 		for _, c := range g.chunks {
 			n += len(c.items)
 		}
+		if lim := g.pred.LimitOrZero(); lim > 0 && n > lim {
+			n = lim
+		}
 		all := make([]store.Item, 0, n)
 		for _, c := range g.chunks {
-			all = append(all, c.items...)
+			take := c.items
+			if len(take) > n-len(all) {
+				take = take[:n-len(all)]
+			}
+			all = append(all, take...)
+			if len(all) == n {
+				break
+			}
 		}
 		resp = response{items: all, hops: g.hops, err: g.err}
 	}
@@ -88,16 +144,74 @@ func (g *collector) finish(lo keyspace.Key, items []store.Item, hops int, err er
 // same, so a range covering m peers completes in O(log m) message depth
 // instead of m sequential hops.
 func (c *Cluster) scatterAt(p *peer, rng keyspace.Range, hops int, coll *collector) {
-	items := p.data.Scan(rng)
 	rem := rng
 	if p.rng.Upper > rem.Lower {
 		rem.Lower = p.rng.Upper
 	}
+	// Scatter the remainder before scanning locally: the sub-requests are
+	// in flight while this peer walks its own tree, and the store cannot
+	// change in between — the serving goroutine owns it and handles one
+	// message at a time.
 	var err error
 	if !rem.IsEmpty() {
 		err = c.scatterRemainder(p, rem, hops, coll)
 	}
+	if coll.sink != nil {
+		// Streaming branch: ship the local contribution in bounded batches
+		// through the sink. The owning peer never materialises its whole
+		// chunk (store.ScanBatches allocates one batch at a time) and the
+		// client starts consuming while other branches are still scanning.
+		// A false from send means the iterator was closed or the cluster
+		// stopped: stop scanning, the work cannot be needed.
+		p.data.ScanBatches(rng, iterBatchSize, func(batch []store.Item) bool {
+			if coll.pred != nil {
+				batch = filterInPlace(batch, coll.pred)
+				if len(batch) == 0 {
+					return true
+				}
+			}
+			return coll.sink.send(batch)
+		})
+		coll.finish(rng.Lower, nil, hops, err)
+		return
+	}
+	var items []store.Item
+	if coll.pred == nil {
+		items = p.data.Scan(rng)
+	} else {
+		// Pushdown: evaluate the predicate during the scan so the branch
+		// ships only matching items, at most the predicate's limit (more
+		// than lim matches can never be needed whatever the other branches
+		// return).
+		items = scanFiltered(p.data, nil, rng, coll.pred)
+	}
 	coll.finish(rng.Lower, items, hops, err)
+}
+
+// scanFiltered appends the items of r that match pred to dst, stopping at
+// the predicate's limit (counted across dst as the serial walk requires).
+func scanFiltered(data *store.Store, dst []store.Item, r keyspace.Range, pred *query.Pred) []store.Item {
+	lim := pred.LimitOrZero()
+	data.AscendRange(r, func(it store.Item) bool {
+		if !pred.MatchItem(it) {
+			return true
+		}
+		dst = append(dst, it)
+		return lim == 0 || len(dst) < lim
+	})
+	return dst
+}
+
+// filterInPlace drops the items of batch that fail pred, in place (the
+// batch is owned by the streaming scan that allocated it).
+func filterInPlace(batch []store.Item, pred *query.Pred) []store.Item {
+	kept := batch[:0]
+	for _, it := range batch {
+		if pred.MatchItem(it) {
+			kept = append(kept, it)
+		}
+	}
+	return kept
 }
 
 // scatterRemainder splits rem (which starts exactly at p's upper bound)

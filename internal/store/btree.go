@@ -325,6 +325,67 @@ func (s *Store) Scan(r keyspace.Range) []Item {
 	return out
 }
 
+// ScanBatches calls fn with successive batches of at most batchSize items
+// with keys in r, in ascending order, until the range is exhausted or fn
+// returns false. It is the visitor form of Scan for streaming consumers:
+// the store never materialises the whole result, only one batch at a time,
+// so a scan's peak allocation is O(batchSize) instead of O(result). Each
+// batch is freshly allocated and handed off to fn (the store keeps no
+// reference), so fn may retain or send it. Batches sized for the items
+// that remain, never over-allocated.
+func (s *Store) ScanBatches(r keyspace.Range, batchSize int, fn func([]Item) bool) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	remaining := s.CountRange(r)
+	if remaining == 0 {
+		return
+	}
+	var batch []Item
+	s.AscendRange(r, func(it Item) bool {
+		if batch == nil {
+			n := batchSize
+			if remaining < n {
+				n = remaining
+			}
+			batch = make([]Item, 0, n)
+		}
+		batch = append(batch, it)
+		if len(batch) == cap(batch) {
+			remaining -= len(batch)
+			out := batch
+			batch = nil
+			return fn(out)
+		}
+		return true
+	})
+	if len(batch) > 0 {
+		fn(batch)
+	}
+}
+
+// ScanAppend appends all items with keys in r to dst and returns the
+// extended slice. Like Scan it pre-sizes with a CountRange pass, but it
+// grows the caller's accumulator in place — one reallocation at most, no
+// intermediate slice — which is what the serial range walk wants when it
+// folds each peer's contribution into the travelling result.
+func (s *Store) ScanAppend(dst []Item, r keyspace.Range) []Item {
+	n := s.CountRange(r)
+	if n == 0 {
+		return dst
+	}
+	if cap(dst)-len(dst) < n {
+		grown := make([]Item, len(dst), len(dst)+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	s.AscendRange(r, func(it Item) bool {
+		dst = append(dst, it)
+		return true
+	})
+	return dst
+}
+
 // CountRange returns the number of items with keys in r.
 func (s *Store) CountRange(r keyspace.Range) int {
 	count := 0

@@ -167,6 +167,77 @@ func TestAscendRangeEarlyStop(t *testing.T) {
 	}
 }
 
+// TestScanBatches pins the streaming visitor: batches arrive in key order,
+// never exceed the batch size, are never over-allocated, and an early false
+// from the visitor stops the walk.
+func TestScanBatches(t *testing.T) {
+	s := NewWithDegree(3)
+	for i := 0; i < 100; i++ {
+		s.Put(keyspace.Key(i*10), nil)
+	}
+	var got []keyspace.Key
+	batches := 0
+	s.ScanBatches(keyspace.NewRange(95, 545), 10, func(items []Item) bool {
+		batches++
+		if len(items) > 10 {
+			t.Fatalf("batch of %d items exceeds batch size 10", len(items))
+		}
+		if cap(items) != len(items) {
+			t.Fatalf("batch over-allocated: len %d cap %d", len(items), cap(items))
+		}
+		for _, it := range items {
+			got = append(got, it.Key)
+		}
+		return true
+	})
+	// Keys 100..540 step 10: 45 items → 4 full batches + one of 5.
+	if len(got) != 45 || batches != 5 {
+		t.Fatalf("ScanBatches yielded %d items in %d batches, want 45 in 5", len(got), batches)
+	}
+	for i, k := range got {
+		if want := keyspace.Key(100 + i*10); k != want {
+			t.Fatalf("item %d key = %d, want %d", i, k, want)
+		}
+	}
+	// Early stop: the visitor's false must end the walk after one batch.
+	batches = 0
+	s.ScanBatches(keyspace.FullDomain(), 10, func([]Item) bool {
+		batches++
+		return false
+	})
+	if batches != 1 {
+		t.Fatalf("early stop saw %d batches, want 1", batches)
+	}
+	// Empty range: the visitor must not be called at all.
+	s.ScanBatches(keyspace.NewRange(5000, 6000), 10, func([]Item) bool {
+		t.Fatal("visitor called for an empty range")
+		return false
+	})
+}
+
+// TestScanAppend pins the accumulator form: items land behind the existing
+// prefix in key order with at most one reallocation.
+func TestScanAppend(t *testing.T) {
+	s := NewWithDegree(3)
+	for i := 0; i < 50; i++ {
+		s.Put(keyspace.Key(i), []byte{byte(i)})
+	}
+	acc := []Item{{Key: -1}}
+	acc = s.ScanAppend(acc, keyspace.NewRange(10, 15))
+	wantKeys := []keyspace.Key{-1, 10, 11, 12, 13, 14}
+	if len(acc) != len(wantKeys) {
+		t.Fatalf("ScanAppend result has %d items, want %d", len(acc), len(wantKeys))
+	}
+	for i, it := range acc {
+		if it.Key != wantKeys[i] {
+			t.Fatalf("item %d key = %d, want %d", i, it.Key, wantKeys[i])
+		}
+	}
+	if got := s.ScanAppend(nil, keyspace.NewRange(900, 1000)); got != nil {
+		t.Fatalf("ScanAppend of empty range = %v, want nil", got)
+	}
+}
+
 func TestExtractRange(t *testing.T) {
 	s := New()
 	for i := 0; i < 100; i++ {

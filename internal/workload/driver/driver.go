@@ -110,8 +110,22 @@ type Config struct {
 	// query. Default 0.01.
 	RangeSelectivity float64
 	// SerialRange walks ranges with the sequential adjacent-chain protocol
-	// instead of the parallel fan-out.
+	// instead of the parallel fan-out. Equivalent to Plan "serial"; setting
+	// both to conflicting values is a Validate error.
 	SerialRange bool
+	// Plan selects the range execution plan: "serial" (the adjacent-chain
+	// walk), "parallel" (the scatter fan-out) or "adaptive" (the query
+	// layer's self-tuned planner picks per request from the range's
+	// estimated peer-span). Empty defaults to "serial" when SerialRange is
+	// set and "parallel" otherwise, matching the pre-planner behaviour.
+	Plan string
+	// RangeDist shapes the per-query range width around the
+	// RangeSelectivity base width: "fixed" (every query uses the base
+	// width; the default), "uniform" (widths uniform in [1, 2·base], same
+	// mean) or "bimodal" (half the queries very narrow at base/16, half
+	// very wide at 16·base — the mixed workload an adaptive planner has to
+	// split across plans).
+	RangeDist string
 	// Route selects how singleton Get/Put/Delete requests are routed: the
 	// zero value p2p.RouteOverlay is the paper-faithful per-hop walk,
 	// p2p.RouteDirect the one-hop epoch-validated fast path. Run installs
@@ -177,6 +191,55 @@ type Config struct {
 	Seed int64
 }
 
+// Range plan names accepted by Config.Plan.
+const (
+	PlanSerial   = "serial"
+	PlanParallel = "parallel"
+	PlanAdaptive = "adaptive"
+)
+
+// Range width distributions accepted by Config.RangeDist.
+const (
+	RangeDistFixed   = "fixed"
+	RangeDistUniform = "uniform"
+	RangeDistBimodal = "bimodal"
+)
+
+// Validate rejects a Config whose plan or range-distribution knobs are
+// inconsistent: an unknown Plan or RangeDist name, or a Plan that
+// contradicts the legacy SerialRange flag. Run assumes a valid Config;
+// cmd/batonsim turns a Validate error into a usage failure.
+func (cfg Config) Validate() error {
+	switch cfg.Plan {
+	case "", PlanSerial, PlanParallel, PlanAdaptive:
+	default:
+		return fmt.Errorf("driver: unknown plan %q (want %s, %s or %s)",
+			cfg.Plan, PlanSerial, PlanParallel, PlanAdaptive)
+	}
+	if cfg.SerialRange && cfg.Plan != "" && cfg.Plan != PlanSerial {
+		return fmt.Errorf("driver: SerialRange conflicts with plan %q", cfg.Plan)
+	}
+	switch cfg.RangeDist {
+	case "", RangeDistFixed, RangeDistUniform, RangeDistBimodal:
+	default:
+		return fmt.Errorf("driver: unknown range distribution %q (want %s, %s or %s)",
+			cfg.RangeDist, RangeDistFixed, RangeDistUniform, RangeDistBimodal)
+	}
+	return nil
+}
+
+// planOf resolves the effective range plan, folding the legacy SerialRange
+// flag into the Plan namespace.
+func (cfg Config) planOf() string {
+	if cfg.Plan != "" {
+		return cfg.Plan
+	}
+	if cfg.SerialRange {
+		return PlanSerial
+	}
+	return PlanParallel
+}
+
 // Report summarises one driver run: counts, wall-clock throughput and
 // per-operation latency percentiles (microseconds).
 type Report struct {
@@ -206,6 +269,11 @@ type Report struct {
 	// served — over this run only (the cluster registry's delta),
 	// in microseconds.
 	QueueWaitP50us, QueueWaitP99us float64
+	// PlanSerial, PlanParallel and PlanCacheHits are the query layer's
+	// planning counters over this run only (the cluster's PlanStats delta):
+	// adaptive-path range queries dispatched serially and in parallel, and
+	// plan-cache hits. All zero unless the run used Plan "adaptive".
+	PlanSerial, PlanParallel, PlanCacheHits int64
 }
 
 // OpAll indexes the aggregate latency distribution in Report.Latency.
@@ -220,6 +288,10 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "elapsed %v  throughput %.0f ops/sec\n", r.Elapsed.Round(time.Millisecond), r.OpsPerSec)
 	fmt.Fprintf(&b, "hops p50/p99 %.0f/%.0f  queue wait p50/p99 %.1f/%.1f µs\n",
 		r.HopsP50, r.HopsP99, r.QueueWaitP50us, r.QueueWaitP99us)
+	if r.PlanSerial+r.PlanParallel > 0 {
+		fmt.Fprintf(&b, "plans serial/parallel %d/%d  plan cache hits %d\n",
+			r.PlanSerial, r.PlanParallel, r.PlanCacheHits)
+	}
 	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %10s %10s\n", "op", "count", "mean µs", "p50 µs", "p95 µs", "p99 µs", "max µs")
 	ops := make([]string, 0, len(r.Latency))
 	for op := range r.Latency {
@@ -287,6 +359,33 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	if width < 1 {
 		width = 1
 	}
+	// widthFor draws one query's range width around the base width
+	// according to the configured distribution; each client passes its own
+	// deterministic source.
+	clampWidth := func(w int64) int64 {
+		if w < 1 {
+			return 1
+		}
+		if max := domain.Size(); w > max {
+			return max
+		}
+		return w
+	}
+	widthFor := func(rng *rand.Rand) int64 {
+		switch cfg.RangeDist {
+		case RangeDistUniform:
+			return clampWidth(1 + rng.Int63n(2*width))
+		case RangeDistBimodal:
+			if rng.Intn(2) == 0 {
+				return clampWidth(width / 16)
+			}
+			return clampWidth(width * 16)
+		default: // "" or RangeDistFixed
+			return width
+		}
+	}
+	plan := cfg.planOf()
+	plansBefore := c.PlanStats()
 
 	report := Report{
 		Clients: cfg.Clients,
@@ -567,20 +666,24 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 				default:
 					// Range queries positioned by the distribution too, so a
 					// skewed run scans the hot region as often as it reads it.
+					w := widthFor(rng)
 					lo := gen.NextKey()
-					if ceil := domain.Upper - keyspace.Key(width); lo > ceil {
+					if ceil := domain.Upper - keyspace.Key(w); lo > ceil {
 						lo = ceil
 					}
 					if lo < domain.Lower {
 						lo = domain.Lower
 					}
-					r := keyspace.NewRange(lo, lo+keyspace.Key(width))
+					r := keyspace.NewRange(lo, lo+keyspace.Key(w))
 					var err error
 					var hops int
 					t0 := time.Now()
-					if cfg.SerialRange {
+					switch plan {
+					case PlanSerial:
 						_, hops, err = c.RangeSerial(via, r)
-					} else {
+					case PlanAdaptive:
+						_, hops, err = c.RangeAdaptive(via, r)
+					default:
 						_, hops, err = c.Range(via, r)
 					}
 					record(OpRange, 1, time.Since(t0), err, true, hops)
@@ -608,5 +711,9 @@ func Run(c *p2p.Cluster, cfg Config) Report {
 	queueWait := c.Metrics().QueueWait.Sub(queueWaitBefore)
 	report.QueueWaitP50us = float64(queueWait.Percentile(50)) / 1e3
 	report.QueueWaitP99us = float64(queueWait.Percentile(99)) / 1e3
+	plans := c.PlanStats()
+	report.PlanSerial = plans.Serial - plansBefore.Serial
+	report.PlanParallel = plans.Parallel - plansBefore.Parallel
+	report.PlanCacheHits = plans.CacheHits - plansBefore.CacheHits
 	return report
 }
