@@ -24,6 +24,7 @@ type benchOptions struct {
 	compareOverlays            bool
 	traceSample                int
 	metricsOut                 string
+	transport, listen          string
 }
 
 // benchCase is one cell of the fixed benchmark matrix. Cells that feed the
@@ -40,6 +41,11 @@ type benchCase struct {
 type benchResult struct {
 	Name  string `json:"name"`
 	Route string `json:"route"`
+	// Transport is the message medium the cell's cluster ran on: "local"
+	// (in-process channel inboxes) or "tcp" (the loopback wire pair), so
+	// the baseline tracks serialization and wire cost alongside routing
+	// cost.
+	Transport string `json:"transport"`
 	// Fanout is the overlay tree fanout m the cell's cluster was built with
 	// (2 = binary BATON, >2 = BATON*). Zero marks the Chord comparison rows,
 	// which have no tree.
@@ -107,12 +113,16 @@ func runBench(o benchOptions) {
 		o.clients = 8
 	}
 	matrixFanout := max(2, o.fanout)
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, matrixFanout)
-	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
+	matrixTransport := o.transport
+	if matrixTransport == "" {
+		matrixTransport = "local"
+	}
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d, transport %s ...\n", o.peers, o.items, matrixFanout, matrixTransport)
+	cluster, keys, stop, err := buildScenarioCluster(matrixTransport, o.listen, o.peers, o.items, o.seed, workload.Uniform, 0, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
-	defer cluster.Stop()
+	defer stop()
 
 	base := driver.Config{
 		Clients: o.clients,
@@ -220,6 +230,9 @@ func runBench(o benchOptions) {
 		return res
 	}
 	record := func(res benchResult) {
+		if res.Transport == "" {
+			res.Transport = matrixTransport
+		}
 		report.Results = append(report.Results, res)
 		byName[res.Name] = res
 		imb := "-"
@@ -242,6 +255,15 @@ func runBench(o benchOptions) {
 		record(best)
 	}
 
+	// The loopback-TCP column: the serialization-sensitive cells (direct
+	// singletons, batched puts, both range plans) re-run on a fresh
+	// loopback wire pair, so the baseline tracks the codec and wire cost
+	// next to the in-process rows. Skipped when the whole matrix already
+	// ran over tcp.
+	if matrixTransport == "local" {
+		runTCPColumn(o, measure, record)
+	}
+
 	// The skew cells: a Zipf(1.0) data set and key stream, balancer off vs
 	// on, each on its own freshly built cluster so the imbalance ratios are
 	// directly comparable (the shared matrix cluster has uniform data, and
@@ -254,7 +276,7 @@ func runBench(o benchOptions) {
 	}{{"zipf1.0-nobalance", false}, {"zipf1.0-autobalance", true}} {
 		var best benchResult
 		for rep := 0; rep < 3; rep++ {
-			sc, skeys, err := driver.BuildClusterDistFanout(o.peers, o.items, o.seed+7, workload.Zipf, 1.0, o.fanout)
+			sc, skeys, scStop, err := buildScenarioCluster(matrixTransport, "", o.peers, o.items, o.seed+7, workload.Zipf, 1.0, o.fanout)
 			if err != nil {
 				fatal(err)
 			}
@@ -284,7 +306,7 @@ func runBench(o benchOptions) {
 			}
 			res.Imbalance = imb
 			res.Rebalanced = sc.BalanceEvents()
-			sc.Stop()
+			scStop()
 			if rep == 0 || res.OpsPerSec > best.OpsPerSec {
 				best = res
 			}
@@ -536,4 +558,63 @@ func runOverlayComparison(o benchOptions, measure func(*p2p.Cluster, driver.Conf
 			hopsP50[8], hopsP50[2]))
 	}
 	fmt.Println("overlay comparison gate passed: m=8 routes in strictly fewer hops than binary")
+}
+
+// runTCPColumn re-measures the serialization-sensitive matrix cells over a
+// fresh loopback-TCP pair (coordinator + in-process daemon half): direct
+// gets and puts, batched bulk puts and both range plans. The rows land in
+// the baseline with transport "tcp" and a "-tcp" name suffix, so diffs
+// track codec and wire cost cell by cell against the local rows. No gates:
+// the wire column is a trajectory, not a floor — loopback throughput is at
+// the mercy of the kernel's socket paths in a way the in-process rows are
+// not.
+func runTCPColumn(o benchOptions, measure func(*p2p.Cluster, driver.Config) benchResult, record func(benchResult)) {
+	c, keys, stop, err := buildScenarioCluster("tcp", "", o.peers, o.items, o.seed+31, workload.Uniform, 0, o.fanout)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+	base := driver.Config{
+		Clients: o.clients,
+		Ops:     o.ops,
+		Keys:    keys,
+		Seed:    o.seed,
+	}
+	with := func(mut func(*driver.Config)) driver.Config {
+		cfg := base
+		mut(&cfg)
+		return cfg
+	}
+	// Warm the wire path (connection setup, route cache) like the local
+	// matrix warms the schedulers.
+	driver.Run(c, with(func(cfg *driver.Config) { cfg.GetFraction = 1; cfg.Ops = 500; cfg.Route = p2p.RouteDirect }))
+	cells := []benchCase{
+		{"get-direct-tcp", 3, with(func(cfg *driver.Config) { cfg.GetFraction = 1; cfg.Route = p2p.RouteDirect })},
+		{"put-direct-tcp", 3, with(func(cfg *driver.Config) { cfg.PutFraction = 1; cfg.Route = p2p.RouteDirect })},
+		{"bulkput-64-tcp", 1, with(func(cfg *driver.Config) { cfg.PutFraction = 1; cfg.BulkSize = 64 })},
+		{"range-serial-tcp", 1, with(func(cfg *driver.Config) {
+			cfg.RangeFraction = 1
+			cfg.RangeSelectivity = 0.05
+			cfg.SerialRange = true
+			cfg.Ops = max(1, o.ops/10)
+		})},
+		{"range-parallel-tcp", 1, with(func(cfg *driver.Config) {
+			cfg.RangeFraction = 1
+			cfg.RangeSelectivity = 0.05
+			cfg.Ops = max(1, o.ops/10)
+		})},
+	}
+	for _, bc := range cells {
+		var best benchResult
+		for rep := 0; rep < max(bc.reps, 1); rep++ {
+			res := measure(c, bc.cfg)
+			if rep == 0 || res.OpsPerSec > best.OpsPerSec {
+				best = res
+			}
+		}
+		best.Name = bc.name
+		best.Fanout = max(2, o.fanout)
+		best.Transport = "tcp"
+		record(best)
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/p2p"
+	"baton/internal/workload"
 	"baton/internal/workload/driver"
 )
 
@@ -18,6 +19,7 @@ type churnloadOptions struct {
 	fanout                               int
 	traceSample                          int
 	metricsOut                           string
+	transport, listen                    string
 }
 
 // runChurnLoad is the batonsim churnload mode: the closed-loop workload
@@ -26,12 +28,12 @@ type churnloadOptions struct {
 // quiesced cluster snapshot is rebuilt into a simulator network and checked
 // against the full invariant suite.
 func runChurnLoad(o churnloadOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
-	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d, transport %s ...\n", o.peers, o.items, max(2, o.fanout), o.transport)
+	cluster, keys, stop, err := buildScenarioCluster(o.transport, o.listen, o.peers, o.items, o.seed, workload.Uniform, 0, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
-	defer cluster.Stop()
+	defer stop()
 	startSize := cluster.Size()
 
 	rep := driver.Run(cluster, driver.Config{

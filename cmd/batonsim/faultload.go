@@ -6,6 +6,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/p2p"
+	"baton/internal/workload"
 	"baton/internal/workload/driver"
 )
 
@@ -19,6 +20,7 @@ type faultloadOptions struct {
 	fanout                               int
 	traceSample                          int
 	metricsOut                           string
+	transport, listen                    string
 }
 
 // runFaultLoad is the batonsim faultload mode: the closed-loop workload
@@ -29,12 +31,12 @@ type faultloadOptions struct {
 // replication invariant (every peer's items exactly mirrored at its
 // holder).
 func runFaultLoad(o faultloadOptions) {
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
-	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
+	fmt.Printf("building live cluster: %d peers, %d items, fanout %d, transport %s ...\n", o.peers, o.items, max(2, o.fanout), o.transport)
+	cluster, keys, stop, err := buildScenarioCluster(o.transport, o.listen, o.peers, o.items, o.seed, workload.Uniform, 0, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
-	defer cluster.Stop()
+	defer stop()
 	startSize := cluster.Size()
 
 	rep := driver.Run(cluster, driver.Config{

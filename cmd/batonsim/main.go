@@ -43,8 +43,28 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/experiments"
+	"baton/internal/keyspace"
 	"baton/internal/p2p"
+	"baton/internal/workload"
+	"baton/internal/workload/driver"
 )
+
+// buildScenarioCluster builds a scenario's live cluster over the selected
+// transport: in-process channels ("local") or a loopback-TCP pair ("tcp",
+// coordinator plus a daemon half hosting half the peers, so every
+// cross-half message crosses the wire). The returned stop function
+// replaces Cluster.Stop — over tcp it tears down the daemon half too.
+func buildScenarioCluster(transport, listen string, peers, items int, seed int64, dist workload.Distribution, theta float64, fanout int) (*p2p.Cluster, []keyspace.Key, func(), error) {
+	if transport == "tcp" {
+		c, stop, keys, err := driver.BuildClusterTCPDistFanout(peers, items, seed, dist, theta, fanout, listen)
+		return c, keys, stop, err
+	}
+	c, keys, err := driver.BuildClusterDistFanout(peers, items, seed, dist, theta, fanout)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return c, keys, c.Stop, nil
+}
 
 func main() {
 	var (
@@ -81,6 +101,11 @@ func main() {
 		rcQueries   = flag.Int("queries-rangecmp", 200, "range queries per mode in rangecmp mode")
 		route       = flag.String("route", "overlay", "singleton routing mode: overlay (paper-faithful per-hop) or direct (one-hop route cache)")
 
+		// Wire-transport flags (workload and bench modes).
+		transport = flag.String("transport", "local", "message transport for live-cluster modes: local (in-process channels) or tcp (a loopback wire pair: coordinator + daemon half)")
+		listen    = flag.String("listen", "", "tcp transport: the coordinator's listen address (default 127.0.0.1:0, a free loopback port)")
+		seedAddr  = flag.String("seedaddr", "", "tcp transport, throughput mode: attach to a running batond coordinator at this address instead of building a cluster in-process")
+
 		// Skewload-mode flags.
 		theta       = flag.Float64("theta", 1.0, "skewload mode: Zipf skew parameter of the data set and key stream")
 		autobalance = flag.Bool("autobalance", false, "skewload mode: run the background load balancer during the workload")
@@ -111,6 +136,9 @@ func main() {
 	// overridden by a mode's default churn.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateTransportFlags(*transport, *listen, *seedAddr, explicit); err != nil {
+		fatal(err)
+	}
 
 	switch *mode {
 	case "figures":
@@ -122,6 +150,7 @@ func main() {
 			plan: *plan, rangeDist: *rangeDist,
 			bulkSize: *bulkSize, route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
+			transport: *transport, listen: *listen, seedAddr: *seedAddr,
 		})
 		return
 	case "bench":
@@ -130,6 +159,7 @@ func main() {
 			seed: *seed, out: *benchOut, requireSpeedup: *requireSpeedup,
 			fanout: *fanout, compareOverlays: *compareOverlays,
 			traceSample: *traceSample, metricsOut: *metricsOut,
+			transport: *transport, listen: *listen,
 		})
 		return
 	case "churnload":
@@ -139,6 +169,7 @@ func main() {
 			selectivity: *selectivity, joins: *joins, departs: *departs, kill: *kill,
 			route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
+			transport: *transport, listen: *listen,
 		}
 		if !explicit["joins"] && !explicit["departs"] && !explicit["kill"] {
 			// No churn flags at all: default to steady-state churn turning
@@ -156,6 +187,7 @@ func main() {
 			selectivity: *selectivity, kill: *kill, recovers: *recovers,
 			route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
+			transport: *transport, listen: *listen,
 		}
 		if !explicit["kill"] {
 			// -kill not given: default to crashing (and repairing) ~1/4 of
@@ -176,6 +208,7 @@ func main() {
 			selectivity: *selectivity, theta: *theta, autobalance: *autobalance,
 			compare: *compare, route: routeMode, seed: *seed, fanout: *fanout,
 			traceSample: *traceSample, metricsOut: *metricsOut,
+			transport: *transport, listen: *listen,
 		})
 		return
 	case "rangecmp":
@@ -246,19 +279,23 @@ func main() {
 func validateModeFlags(mode string) error {
 	workloadModes := map[string]bool{"throughput": true, "churnload": true, "faultload": true, "skewload": true}
 	allowed := map[string]map[string]bool{
-		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true, "plan": true, "rangedist": true, "tracesample": true, "metricsout": true},
-		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true, "tracesample": true, "metricsout": true},
-		"faultload":  {"kill": true, "recover": true, "route": true, "tracesample": true, "metricsout": true},
-		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true, "tracesample": true, "metricsout": true},
-		"bench":      {"out": true, "requirespeedup": true, "compareoverlays": true, "tracesample": true, "metricsout": true},
+		"throughput": {"kill": true, "route": true, "bulk": true, "serialrange": true, "plan": true, "rangedist": true, "tracesample": true, "metricsout": true, "transport": true, "listen": true},
+		"churnload":  {"kill": true, "joins": true, "departs": true, "route": true, "tracesample": true, "metricsout": true, "transport": true, "listen": true},
+		"faultload":  {"kill": true, "recover": true, "route": true, "tracesample": true, "metricsout": true, "transport": true, "listen": true},
+		"skewload":   {"theta": true, "autobalance": true, "compare": true, "route": true, "tracesample": true, "metricsout": true, "transport": true, "listen": true},
+		"bench":      {"out": true, "requirespeedup": true, "compareoverlays": true, "tracesample": true, "metricsout": true, "transport": true, "listen": true},
 	}
 	var bad []string
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "kill", "joins", "departs", "recover", "route", "out", "requirespeedup",
 			"theta", "autobalance", "compare", "compareoverlays", "bulk", "serialrange",
-			"tracesample", "metricsout":
+			"tracesample", "metricsout", "transport", "listen":
 			if !allowed[mode][f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		case "seedaddr":
+			if mode != "throughput" {
 				bad = append(bad, "-"+f.Name)
 			}
 		case "get", "put", "del", "range":
@@ -310,6 +347,9 @@ func validateModeFlags(mode string) error {
 		"rangedist":       {"throughput", "rangecmp"},
 		"tracesample":     append(append([]string{}, workloads...), "bench"),
 		"metricsout":      append(append([]string{}, workloads...), "bench"),
+		"transport":       append(append([]string{}, workloads...), "bench"),
+		"listen":          append(append([]string{}, workloads...), "bench"),
+		"seedaddr":        {"throughput"},
 		"get":             workloads,
 		"put":             workloads,
 		"del":             workloads,
@@ -321,6 +361,41 @@ func validateModeFlags(mode string) error {
 		hints = append(hints, fmt.Sprintf("%s (only meaningful in mode %s)", f, strings.Join(modes[strings.TrimPrefix(f, "-")], "/")))
 	}
 	return fmt.Errorf("mode %q ignores flag(s) %s; drop them or switch mode", mode, strings.Join(hints, ", "))
+}
+
+// validateTransportFlags enforces the wire-transport flag combinations:
+// -transport names a known medium, -listen and -seedaddr only mean
+// something over tcp, and -seedaddr (attach to an external coordinator)
+// excludes both -listen (we are not the coordinator) and churn flags
+// (structural operations are the coordinator's alone). Like
+// validateModeFlags, a bad combination exits 1 instead of being silently
+// dropped.
+func validateTransportFlags(transport, listen, seedAddr string, explicit map[string]bool) error {
+	switch transport {
+	case "local", "tcp":
+	default:
+		return fmt.Errorf("unknown -transport %q (want local or tcp)", transport)
+	}
+	if transport != "tcp" {
+		if listen != "" {
+			return fmt.Errorf("-listen requires -transport tcp")
+		}
+		if seedAddr != "" {
+			return fmt.Errorf("-seedaddr requires -transport tcp")
+		}
+		return nil
+	}
+	if seedAddr != "" {
+		if listen != "" {
+			return fmt.Errorf("-seedaddr and -listen are mutually exclusive: attaching to a coordinator at %s means not listening as one", seedAddr)
+		}
+		for _, churn := range []string{"kill", "joins", "departs", "recover", "autobalance"} {
+			if explicit[churn] {
+				return fmt.Errorf("-%s cannot be combined with -seedaddr: structural operations belong to the coordinator, and an attached client is not one", churn)
+			}
+		}
+	}
+	return nil
 }
 
 // parseRoute maps the -route flag to a routing mode.

@@ -20,6 +20,7 @@ type skewloadOptions struct {
 	fanout                               int
 	traceSample                          int
 	metricsOut                           string
+	transport, listen                    string
 }
 
 // skewResult summarises one skewload run for the comparison gate.
@@ -60,12 +61,12 @@ func runSkewLoad(o skewloadOptions) {
 // skewRun executes one skewload scenario on a fresh cluster and returns its
 // summary.
 func skewRun(o skewloadOptions, autobalance bool) skewResult {
-	fmt.Printf("building live cluster: %d peers, %d Zipf(%.2f) items, fanout %d ...\n", o.peers, o.items, o.theta, max(2, o.fanout))
-	cluster, keys, err := driver.BuildClusterDistFanout(o.peers, o.items, o.seed, workload.Zipf, o.theta, o.fanout)
+	fmt.Printf("building live cluster: %d peers, %d Zipf(%.2f) items, fanout %d, transport %s ...\n", o.peers, o.items, o.theta, max(2, o.fanout), o.transport)
+	cluster, keys, stop, err := buildScenarioCluster(o.transport, o.listen, o.peers, o.items, o.seed, workload.Zipf, o.theta, o.fanout)
 	if err != nil {
 		fatal(err)
 	}
-	defer cluster.Stop()
+	defer stop()
 
 	var res skewResult
 	if res.imbBefore, err = cluster.ImbalanceRatio(); err != nil {

@@ -25,6 +25,7 @@ type throughputOptions struct {
 	fanout                               int
 	traceSample                          int
 	metricsOut                           string
+	transport, listen, seedAddr          string
 }
 
 // runThroughput is the batonsim throughput mode: it drives the live cluster
@@ -53,12 +54,28 @@ func runThroughput(o throughputOptions) {
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("building live cluster: %d peers, %d items, fanout %d ...\n", o.peers, o.items, max(2, o.fanout))
-	cluster, keys, err := driver.BuildClusterFanout(o.peers, o.items, o.seed, o.fanout)
+	var (
+		cluster *p2p.Cluster
+		keys    []keyspace.Key
+		stop    func()
+		err     error
+	)
+	if o.seedAddr != "" {
+		fmt.Printf("attaching to coordinator at %s, preloading %d items ...\n", o.seedAddr, o.items)
+		cluster, keys, err = driver.AttachCluster(o.seedAddr, o.items, o.seed)
+		stop = func() {
+			if cluster != nil {
+				cluster.Stop()
+			}
+		}
+	} else {
+		fmt.Printf("building live cluster: %d peers, %d items, fanout %d, transport %s ...\n", o.peers, o.items, max(2, o.fanout), o.transport)
+		cluster, keys, stop, err = buildScenarioCluster(o.transport, o.listen, o.peers, o.items, o.seed, workload.Uniform, 0, o.fanout)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	defer cluster.Stop()
+	defer stop()
 
 	cfg.Keys = keys
 	rep := driver.Run(cluster, cfg)
@@ -69,7 +86,7 @@ func runThroughput(o throughputOptions) {
 	case o.serialRange:
 		rangeMode = "serial chain walk"
 	}
-	fmt.Printf("throughput run (route mode: %s, range mode: %s)\n", o.route, rangeMode)
+	fmt.Printf("throughput run (route mode: %s, range mode: %s, transport: %s)\n", o.route, rangeMode, o.transport)
 	fmt.Print(rep.String())
 	fmt.Printf("peer-to-peer messages delivered: %d\n", cluster.Messages())
 	if o.route == p2p.RouteDirect {

@@ -165,3 +165,51 @@ func plainInt(i int) bool {
 	}
 	return false
 }
+
+// --- codec-boundary shape: the enum arrives as a raw wire byte and the
+// switch tag is a conversion, as in the p2p framing dispatch ---
+
+type frameKind uint8
+
+const (
+	frameRequest frameKind = 1
+	frameReply   frameKind = 2
+	frameControl frameKind = 3
+)
+
+// decodeDispatch converts the header byte in the tag: still a switch over
+// frameKind, still checked, and exhaustive here.
+func decodeDispatch(header byte) string {
+	switch frameKind(header) {
+	case frameRequest:
+		return "request"
+	case frameReply:
+		return "reply"
+	case frameControl:
+		return "control"
+	}
+	return ""
+}
+
+// decodeDropsControl converts the header byte but forgot the control arm: a
+// new (or existing) frame kind vanishes without a reply.
+func decodeDropsControl(header byte) string {
+	switch frameKind(header) { // want `missing cases frameControl and has no default`
+	case frameRequest:
+		return "request"
+	case frameReply:
+		return "reply"
+	}
+	return ""
+}
+
+// encodeLoudDefault is the encoder's shape: an unencodable kind is a
+// programming error, surfaced loudly rather than encoded as garbage.
+func encodeLoudDefault(k frameKind) byte {
+	switch k {
+	case frameRequest, frameReply, frameControl:
+		return byte(k)
+	default:
+		panic(fmt.Sprintf("unencodable frame kind %d", int(k)))
+	}
+}

@@ -1,29 +1,43 @@
-// Package replypool enforces the reply-channel pool discipline of the
-// request path: every getReply() acquisition must be paired with a
-// putReply() on every return path that follows it.
+// Package replypool enforces the acquire/release disciplines of the request
+// path: every getReply() acquisition must be paired with a putReply() on
+// every return path that follows it, and — since requests learned to cross
+// process boundaries — every acquireCorr() registration must likewise be
+// paired with a releaseCorr() on every return path.
 //
-// The pool (see internal/p2p/routecache.go) is what keeps the steady-state
-// client side of Get/Put/Delete allocation-free; a return path that forgets
-// putReply silently degrades the pool back to one allocation per request,
-// and — worse — a path that double-returns or returns a channel that may
-// still receive poisons a later request with a stale answer.
+// The reply-channel pool (see internal/p2p/routecache.go) is what keeps the
+// steady-state client side of Get/Put/Delete allocation-free; a return path
+// that forgets putReply silently degrades the pool back to one allocation
+// per request, and — worse — a path that double-returns or returns a channel
+// that may still receive poisons a later request with a stale answer.
+//
+// The correlation table (see internal/p2p/node.go) is the wire transport's
+// replacement for reply channels: an entry that is registered but never
+// released — and whose frame never went out — waits for a response that
+// cannot come, and survives until the node dies.
 //
 // The check is lexical, per function, and deliberately simple. For each
 // return statement after an acquisition it walks backwards through the
 // preceding statements (climbing out of nested blocks): a statement releases
-// the channel when its last putReply call comes after every return and every
-// getReply inside it — i.e. the fall-through path through that statement has
+// when its last release call comes after every return and every acquisition
+// inside it — i.e. the fall-through path through that statement has
 // released; hitting the acquisition first means this return path never
-// released, and is reported. A `defer putReply(...)` after the acquisition
+// released, and is reported. A `defer <release>(...)` after the acquisition
 // covers every later return.
 //
-// Deliberate abandonment — the Stop path leaves a channel that may still
-// receive to the garbage collector rather than poison the pool — is exactly
-// the documented exception the //batonvet:ignore directive exists for:
+// Deliberate exceptions opt out per site with the //batonvet:ignore
+// directive. Two are idiomatic in this codebase: the Stop path leaves a
+// channel that may still receive to the garbage collector rather than
+// poison the pool,
 //
 //	case <-c.done:
 //		//batonvet:ignore replypool abandoned on Stop: a late answer must not reach the pool
 //		return response{}, ErrStopped
+//
+// and the successful-send path of the wire transport hands the correlation
+// entry's ownership to the remote node, whose response frame releases it:
+//
+//	//batonvet:ignore replypool ownership crossed the wire: the response frame releases the entry
+//	return true
 package replypool
 
 import (
@@ -37,31 +51,49 @@ import (
 // Analyzer is the replypool check.
 var Analyzer = &analysis.Analyzer{
 	Name: "replypool",
-	Doc:  "every getReply() must be paired with putReply() on all return paths",
+	Doc:  "every getReply()/acquireCorr() must be paired with putReply()/releaseCorr() on all return paths",
 	Run:  run,
+}
+
+// pair is one acquire/release discipline: the two package-level function
+// names and the noun the diagnostic says an unbalanced path leaks.
+type pair struct {
+	acquire, release string
+	leaks            string
+}
+
+// pairs lists every discipline the analyzer enforces. The check runs once
+// per pair, so a function mixing both (a wire send that falls back to a
+// local reply channel) has each audited independently.
+var pairs = []pair{
+	{acquire: "getReply", release: "putReply", leaks: "the pooled reply channel"},
+	{acquire: "acquireCorr", release: "releaseCorr", leaks: "the correlation entry"},
 }
 
 func run(pass *analysis.Pass) error {
 	analysis.WalkFuncs(pass.Files, func(node ast.Node, body *ast.BlockStmt, _ []ast.Node) {
-		checkBody(pass, node, body)
+		for _, pr := range pairs {
+			checkBody(pass, node, body, pr)
+		}
 	})
 	return nil
 }
 
-// checkBody analyses one function body. Nested function literals are
-// excluded everywhere — WalkFuncs hands them over as their own bodies.
-func checkBody(pass *analysis.Pass, node ast.Node, body *ast.BlockStmt) {
+// checkBody analyses one function body against one pair. Nested function
+// literals are excluded everywhere — WalkFuncs hands them over as their own
+// bodies.
+func checkBody(pass *analysis.Pass, node ast.Node, body *ast.BlockStmt, pr pair) {
 	firstGet := token.NoPos
 	var deferPuts []token.Pos
 	var returns []*ast.ReturnStmt
 	inspectSansLits(body, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isPoolCall(pass, n, "getReply") && (!firstGet.IsValid() || n.Pos() < firstGet) {
+			if isPoolCall(pass, n, pr.acquire) && (!firstGet.IsValid() || n.Pos() < firstGet) {
 				firstGet = n.Pos()
 			}
 		case *ast.DeferStmt:
-			if isPoolCall(pass, n.Call, "putReply") {
+			if isPoolCall(pass, n.Call, pr.release) {
 				deferPuts = append(deferPuts, n.Pos())
 			}
 		case *ast.ReturnStmt:
@@ -82,18 +114,18 @@ ret:
 				continue ret
 			}
 		}
-		if !backwardReleased(pass, body.List, r) {
+		if !backwardReleased(pass, body.List, r, pr) {
 			pass.Reportf(r.Pos(),
-				"return in %s leaks the pooled reply channel: no putReply on this path after getReply",
-				analysis.FuncName(node))
+				"return in %s leaks %s: no %s on this path after %s",
+				analysis.FuncName(node), pr.leaks, pr.release, pr.acquire)
 		}
 	}
 }
 
 // backwardReleased walks backwards from the return through preceding
 // statements, climbing out of nested blocks, and decides whether the path
-// reaching this return has released the channel.
-func backwardReleased(pass *analysis.Pass, top []ast.Stmt, target *ast.ReturnStmt) bool {
+// reaching this return has released the acquisition.
+func backwardReleased(pass *analysis.Pass, top []ast.Stmt, target *ast.ReturnStmt, pr pair) bool {
 	path, ok := findPath(top, target)
 	if !ok {
 		return true // unreachable syntax shape: stay silent
@@ -101,7 +133,7 @@ func backwardReleased(pass *analysis.Pass, top []ast.Stmt, target *ast.ReturnStm
 	for level := len(path) - 1; level >= 0; level-- {
 		fr := path[level]
 		for j := fr.idx - 1; j >= 0; j-- {
-			put, get, ret := scanStmt(pass, fr.list[j])
+			put, get, ret := scanStmt(pass, fr.list[j], pr)
 			if put.IsValid() && put > ret && put > get {
 				return true // fall-through path through this statement released
 			}
@@ -169,16 +201,16 @@ func subLists(s ast.Stmt) [][]ast.Stmt {
 	return nil
 }
 
-// scanStmt reports the last putReply, getReply and return positions inside
+// scanStmt reports the last release, acquire and return positions inside
 // one statement (NoPos when absent), skipping nested function literals.
-func scanStmt(pass *analysis.Pass, s ast.Stmt) (put, get, ret token.Pos) {
+func scanStmt(pass *analysis.Pass, s ast.Stmt, pr pair) (put, get, ret token.Pos) {
 	inspectSansLits(s, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isPoolCall(pass, n, "putReply") && n.Pos() > put {
+			if isPoolCall(pass, n, pr.release) && n.Pos() > put {
 				put = n.Pos()
 			}
-			if isPoolCall(pass, n, "getReply") && n.Pos() > get {
+			if isPoolCall(pass, n, pr.acquire) && n.Pos() > get {
 				get = n.Pos()
 			}
 		case *ast.ReturnStmt:

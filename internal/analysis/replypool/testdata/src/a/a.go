@@ -105,3 +105,77 @@ func earlyReturn(ok bool) (response, error) {
 func unrelated() response {
 	return response{}
 }
+
+// --- correlation-table pairing (the wire transport's discipline) ---
+
+type corrTable struct{ next uint64 }
+
+func acquireCorr(t *corrTable, fn func(response)) uint64 {
+	t.next++
+	return t.next
+}
+
+func releaseCorr(t *corrTable, id uint64) (func(response), bool) { return nil, false }
+
+func wireSend(id uint64) bool { return id != 0 }
+
+var corr corrTable
+
+// corrGood mirrors the real deliver path: release on the failed send,
+// directive-marked handoff on success (the response frame releases it).
+func corrGood() bool {
+	id := acquireCorr(&corr, func(response) {})
+	if !wireSend(id) {
+		releaseCorr(&corr, id)
+		return false
+	}
+	//batonvet:ignore replypool ownership crossed the wire: the response frame releases the entry
+	return true
+}
+
+// corrDeferred releases via defer: one registration covers every return.
+func corrDeferred() (response, error) {
+	id := acquireCorr(&corr, func(response) {})
+	defer releaseCorr(&corr, id)
+	if !wireSend(id) {
+		return response{}, nil
+	}
+	return response{}, nil
+}
+
+// corrLeakOnError registers an entry and forgets it on the failed send: the
+// completion can never fire and the entry lives until the node dies.
+func corrLeakOnError() bool {
+	id := acquireCorr(&corr, func(response) {})
+	if !wireSend(id) {
+		return false // want `leaks the correlation entry`
+	}
+	releaseCorr(&corr, id)
+	return true
+}
+
+// corrLeakNoDirective is the handoff shape without the directive: the
+// analyzer cannot see the ownership transfer and must say so.
+func corrLeakNoDirective() bool {
+	id := acquireCorr(&corr, func(response) {})
+	if !wireSend(id) {
+		releaseCorr(&corr, id)
+		return false
+	}
+	return true // want `leaks the correlation entry`
+}
+
+// mixedPairs uses both disciplines in one function: each is audited
+// independently, and the reply-channel leak is caught even though the
+// correlation entry is released on every path.
+func mixedPairs() bool {
+	id := acquireCorr(&corr, func(response) {})
+	reply := getReply()
+	if !wireSend(id) {
+		releaseCorr(&corr, id)
+		return false // want `leaks the pooled reply channel`
+	}
+	releaseCorr(&corr, id)
+	putReply(reply)
+	return true
+}

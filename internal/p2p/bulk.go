@@ -237,5 +237,5 @@ func (c *Cluster) handleBulk(p *peer, req request) {
 		}
 	}
 	p.noteItems()
-	req.reply <- response{results: results, hops: req.hops}
+	c.respond(req, response{results: results, hops: req.hops})
 }

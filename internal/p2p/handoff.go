@@ -1,6 +1,6 @@
 // Structural-delta application and data migration for live membership: the
 // mirror (a data-less core.Network) is the authority for what the overlay
-// should look like after a Join/Depart/LoadBalance, and applyMirrorDiff
+// should look like after a Join/Depart/LoadBalance, and applyMirrorDiffLocked
 // pushes the difference out to the live peers as messages, migrating the
 // affected items in batched handoffs without ever dropping a key.
 package p2p
@@ -16,7 +16,7 @@ import (
 	"baton/internal/store"
 )
 
-// applyMirrorDiff reconciles the live peers with the mirror after a
+// applyMirrorDiffLocked reconciles the live peers with the mirror after a
 // structural operation. It compares the mirror's state against c.states
 // (the snapshot from before the operation), derives which key regions moved
 // between which peers, and orchestrates the change in phases:
@@ -49,7 +49,7 @@ import (
 // affected peers receive messages. At the cluster sizes the driver runs
 // this is dwarfed by the data handoff; pushing membership throughput
 // further means diffing only the region the mirror knows changed.
-func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, error) {
+func (c *Cluster) applyMirrorDiffLocked(salvage map[core.PeerID][]store.Item) (int, error) {
 	c.reapTombstones()
 	nextList := core.Snapshot(c.mirror)
 	next := snapshotMap(nextList)
@@ -105,9 +105,19 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 	// or handoff can be addressed to them.
 	phaseStart := time.Now()
 	base := c.topo.Load()
-	var spawned []*peer
+	var spawned, remoteSpawned []*peer
 	for id, ns := range next {
 		if _, existed := prev[id]; existed {
+			continue
+		}
+		if c.spawnAt != 0 && c.net != nil {
+			// A remote-requested join: the real peer will live on the
+			// requesting node; here it is represented by a stub so every
+			// later phase (updates, handoffs) addresses it as usual.
+			p := newStub(id, c.spawnAt, c.fanout)
+			p.rng = ns.Range
+			p.alive.Store(true)
+			remoteSpawned = append(remoteSpawned, p)
 			continue
 		}
 		p := newPeer(id, c.fanout)
@@ -116,15 +126,27 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 		p.alive.Store(true)
 		spawned = append(spawned, p)
 	}
-	if len(spawned) > 0 {
+	if len(spawned)+len(remoteSpawned) > 0 {
 		nt := base.clone()
 		for _, p := range spawned {
+			nt.peers[p.id] = p
+		}
+		for _, p := range remoteSpawned {
 			nt.peers[p.id] = p
 		}
 		c.topo.Store(nt)
 		for _, p := range spawned {
 			c.wg.Add(1)
 			go c.serve(p)
+		}
+		// Synchronous ctlSpawn after the stubs are registered: the hosting
+		// node's peer is provably serving (buffering its pending regions)
+		// before any handoff can be addressed to it.
+		for _, p := range remoteSpawned {
+			ns := next[p.id]
+			if err := c.net.spawnRemote(c.spawnAt, p.id, buildState(ns, next), gains[p.id]); err != nil {
+				return 0, err
+			}
 		}
 	}
 
@@ -251,11 +273,22 @@ func (c *Cluster) applyMirrorDiff(salvage map[core.PeerID][]store.Item) (int, er
 	t := c.topo.Load()
 	for id := range prev {
 		if _, ok := next[id]; !ok {
-			c.tombstones = append(c.tombstones, t.peers[id])
+			tp := t.peers[id]
+			c.tombstones = append(c.tombstones, tp)
+			if tp != nil && tp.node != 0 {
+				// A remotely hosted peer left the overlay: its real
+				// tombstone forwards on the hosting node, but this stub
+				// must accept deliveries from stale local routing state
+				// too — up, like any tombstone, whatever killed it.
+				tp.alive.Store(true)
+			}
 		}
 	}
 	c.states = next
 	c.publishTopology(nextList)
+	if c.net != nil {
+		c.net.broadcastTopoLocked(c)
+	}
 
 	// Phase 6: re-seat the replicas. Every peer whose range or adjacent
 	// links changed — the sole determinants of what its replica contains
@@ -566,7 +599,21 @@ func (c *Cluster) applyUpdate(p *peer, req request) {
 	if len(req.moves) > 0 {
 		for _, mv := range req.moves {
 			items := p.data.ExtractRange(mv.region)
-			c.sendAny(mv.dst, request{kind: kindHandoff, rng: mv.region, bulk: items, reply: mv.ack})
+			h := request{kind: kindHandoff, rng: mv.region, bulk: items, reply: mv.ack}
+			if mv.ack == nil && mv.ackCorr != 0 {
+				// The update crossed the wire: the destination acknowledges
+				// to the coordinator's correlation instead of a channel.
+				h.rcorr, h.rnode = mv.ackCorr, mv.ackNode
+			}
+			if !c.sendAny(mv.dst, h) && c.net != nil && h.rcorr != 0 &&
+				!c.net.sendRequestTo(mv.dstNode, mv.dst, h, true) {
+				// A freshly spawned destination on another node may not be
+				// in this node's stub table yet — the coordinator named its
+				// hosting node in the move for exactly this case. If that
+				// also fails, answer the coordinator's ack so the structural
+				// operation observes the failure instead of hanging.
+				c.net.replyWire(h.rnode, h.rcorr, response{err: ErrOwnerDown})
+			}
 		}
 		p.noteItems()
 	}
@@ -579,7 +626,7 @@ func (c *Cluster) applyUpdate(p *peer, req request) {
 		// pass them to its successor, not bounce them off the dead flag.
 		p.alive.Store(true)
 	}
-	req.reply <- response{hops: req.hops}
+	c.respond(req, response{hops: req.hops})
 	// Shrinking the range may strand held requests this peer no longer
 	// owns; replay them so they are forwarded to the new owner.
 	c.replayHeld(p)
@@ -610,7 +657,7 @@ func (c *Cluster) applyHandoff(p *peer, req request) {
 			break
 		}
 	}
-	req.reply <- response{count: len(req.bulk), hops: req.hops}
+	c.respond(req, response{count: len(req.bulk), hops: req.hops})
 	c.replayHeld(p)
 }
 
@@ -668,6 +715,9 @@ func (p *peer) snapshot() *core.PeerSnapshot {
 // is in flight. Data traffic may keep running; each peer's items are
 // captured atomically with respect to its own request handling.
 func (c *Cluster) Snapshot() ([]core.PeerSnapshot, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return nil, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {

@@ -22,7 +22,9 @@ import (
 // asynchronously after m.Run returns, and peer goroutines may still be
 // inside their final select when Stop's WaitGroup releases the test.
 func TestMain(m *testing.M) {
-	before := runtime.NumGoroutine()
+	// +1: under `go test -fuzz`, the fuzzing engine installs an os/signal
+	// handler goroutine that lives until process exit.
+	before := runtime.NumGoroutine() + 1
 	code := m.Run()
 	if code == 0 {
 		if n := settleGoroutines(before, 5*time.Second); n > before {

@@ -62,9 +62,16 @@ const loadRateAlpha = 0.5
 // behind data traffic or structural operations. A concurrent membership
 // change can make the snapshot catch a migration in flight; callers that
 // need a decision-grade view serialise via BalanceOnce.
+//
+// Exception to "message-free": the coordinator of a multi-process overlay
+// first refreshes the counters of remotely hosted peers with one control
+// RPC per connected node (node.go); single-process clusters pay nothing.
 func (c *Cluster) Loads() ([]PeerLoad, error) {
 	if c.stopped.Load() {
 		return nil, ErrStopped
+	}
+	if c.net != nil && c.net.isHead {
+		c.net.gatherRemoteLoads(c)
 	}
 	t := c.topo.Load()
 	now := time.Now()
@@ -209,6 +216,9 @@ func (a BalanceAction) String() string {
 // membership lock while data traffic keeps flowing.
 func (c *Cluster) BalanceOnce(cfg AutoBalanceConfig) (BalanceAction, int, error) {
 	cfg = cfg.withDefaults()
+	if err := c.requireCoordinator(); err != nil {
+		return BalanceNone, 0, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {
@@ -342,6 +352,9 @@ func (c *Cluster) lightestRecruit(hot core.PeerID, counts map[core.PeerID]int) c
 // acknowledged write is lost. It returns the number of items that migrated
 // (light's handoff to its heir plus hot's handoff to light).
 func (c *Cluster) ForceRejoin(light, hot core.PeerID) (int, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return 0, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {
@@ -402,7 +415,7 @@ func (c *Cluster) rejoinLocked(light, hot core.PeerID) (int, error) {
 	if _, err := c.mirror.ForcedRejoin(light, hot, boundary); err != nil {
 		return 0, err
 	}
-	return c.applyMirrorDiff(nil)
+	return c.applyMirrorDiffLocked(nil)
 }
 
 // BalanceUntilStable runs BalanceOnce passes until one takes no action, an

@@ -18,6 +18,7 @@ import (
 
 	"baton/internal/core"
 	"baton/internal/keyspace"
+	"baton/internal/transport"
 )
 
 // peerState is the structural state a kindUpdate message installs at a
@@ -38,6 +39,16 @@ type handoffMove struct {
 	region keyspace.Range
 	dst    core.PeerID
 	ack    chan response
+	// Wire representation (wire.go / node.go): dstNode names the node
+	// hosting dst — carried inside the move so a source peer on another
+	// process can deliver the handoff before the topology broadcast that
+	// names a freshly spawned destination reaches it — and ackCorr/ackNode
+	// replace the ack channel when the kindUpdate crosses a process
+	// boundary: the source acknowledges by wire-replying to that
+	// correlation at the coordinator.
+	dstNode transport.NodeID
+	ackCorr uint64
+	ackNode transport.NodeID
 }
 
 // Join adds a brand-new peer to the running cluster. The join request
@@ -49,6 +60,9 @@ type handoffMove struct {
 // in mid-handoff are buffered at the new peer and answered as soon as the
 // data lands. Join returns the new peer's ID.
 func (c *Cluster) Join(via core.PeerID) (core.PeerID, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return core.NoPeer, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	c.journalBegin("join", core.NoPeer)
@@ -89,7 +103,7 @@ func (c *Cluster) joinLocked(via core.PeerID) (core.PeerID, error) {
 	if newID == core.NoPeer {
 		return core.NoPeer, fmt.Errorf("p2p: no peer can accept a join: %w", ErrUnreachable)
 	}
-	if _, err := c.applyMirrorDiff(nil); err != nil {
+	if _, err := c.applyMirrorDiffLocked(nil); err != nil {
 		return core.NoPeer, err
 	}
 	return newID, nil
@@ -104,6 +118,9 @@ func (c *Cluster) joinLocked(via core.PeerID) (core.PeerID, error) {
 // acknowledged write is lost. The departed peer's goroutine remains as a
 // tombstone that forwards stragglers to the peer that absorbed its range.
 func (c *Cluster) Depart(id core.PeerID) error {
+	if err := c.requireCoordinator(); err != nil {
+		return err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	c.journalBegin("depart", id)
@@ -160,7 +177,7 @@ func (c *Cluster) departLocked(id core.PeerID) error {
 	if !done {
 		return fmt.Errorf("p2p: no viable replacement leaf for peer %d: %w", id, ErrUnreachable)
 	}
-	_, err := c.applyMirrorDiff(nil)
+	_, err := c.applyMirrorDiffLocked(nil)
 	return err
 }
 
@@ -173,6 +190,9 @@ func (c *Cluster) departLocked(id core.PeerID) error {
 // inside the peer's range separates the two shares — the shuffle never
 // leaves either side of the boundary with an empty range).
 func (c *Cluster) LoadBalance(id core.PeerID) (int, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return 0, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {
@@ -248,7 +268,7 @@ func (c *Cluster) shuffleLocked(id core.PeerID) (int, error) {
 	if _, err := c.mirror.ShiftBoundary(id, bestSide, boundary); err != nil {
 		return 0, err
 	}
-	return c.applyMirrorDiff(nil)
+	return c.applyMirrorDiffLocked(nil)
 }
 
 // shuffleFrac returns the KeyAtFraction argument that selects the boundary
@@ -297,7 +317,7 @@ func (c *Cluster) locateJoin(via core.PeerID) (core.PeerID, int, error) {
 // routing-table neighbour, or to an adjacent peer.
 func (c *Cluster) handleJoinLocate(p *peer, req request) {
 	if slot, free := p.freeChildSlot(); free && p.routingTablesFull() {
-		req.reply <- response{peerID: p.id, slot: slot, hops: req.hops}
+		c.respond(req, response{peerID: p.id, slot: slot, hops: req.hops})
 		return
 	}
 	if req.visited == nil {
@@ -497,10 +517,10 @@ func (c *Cluster) handleFindReplacement(p *peer, req request) {
 		}
 	}
 	if leaf {
-		req.reply <- response{peerID: p.id, hops: req.hops}
+		c.respond(req, response{peerID: p.id, hops: req.hops})
 		return
 	}
-	req.reply <- response{peerID: core.NoPeer, hops: req.hops}
+	c.respond(req, response{peerID: core.NoPeer, hops: req.hops})
 }
 
 // viableReplacement reports whether y can serve as the replacement for

@@ -202,6 +202,7 @@ import (
 	"baton/internal/obs"
 	"baton/internal/query"
 	"baton/internal/store"
+	"baton/internal/transport"
 )
 
 // Errors returned by cluster operations.
@@ -404,6 +405,13 @@ type request struct {
 	// off, which is what keeps instrumentation off the allocation budget.
 	trace *obs.Trace
 	reply chan response
+	// rnode and rcorr identify the origin-node correlation of a request
+	// that crossed the wire (set from the frame header by inboundRequest,
+	// never encoded in the payload): the completion c.respond answers when
+	// reply is nil. Zero on in-process requests and fire-and-forget wire
+	// messages.
+	rnode transport.NodeID
+	rcorr uint64
 }
 
 // response is the terminal answer to a request.
@@ -438,6 +446,13 @@ type link struct {
 type peer struct {
 	id     core.PeerID
 	fanout int
+	// node is the transport node hosting this peer: 0 for peers served by
+	// this process (the overwhelmingly common case — and the only case in
+	// a single-process cluster), nonzero for a *stub* standing in for a
+	// peer hosted elsewhere. A stub has no goroutine; deliveries to it
+	// detour through netLayer.deliver onto the wire (see node.go).
+	// Immutable after construction.
+	node transport.NodeID
 	pos    core.Position
 	rng    keyspace.Range
 	data   *store.Store
@@ -625,6 +640,14 @@ type Cluster struct {
 	// tombstones lists departed peers not yet retired. Guarded by memberMu.
 	tombstones []*peer
 	domain     keyspace.Range
+
+	// net, when non-nil, is the node's connection to the rest of a
+	// multi-process overlay (see node.go); nil for in-process clusters,
+	// and every wire hook on the data path is gated on that nil check.
+	// spawnAt, while a remote-requested join runs (guarded by memberMu),
+	// redirects applyMirrorDiffLocked's phase-1 spawn to that node.
+	net     *netLayer
+	spawnAt transport.NodeID
 }
 
 // NewCluster builds a live cluster from a snapshot of the given simulated
@@ -811,6 +834,9 @@ func (c *Cluster) PeerIDs() []core.PeerID {
 // see recovery.go. Kill serialises with membership changes so a migration's
 // source or destination can never die mid-handoff.
 func (c *Cluster) Kill(id core.PeerID) (err error) {
+	if err := c.requireCoordinator(); err != nil {
+		return err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	c.journalBegin("kill", id)
@@ -832,6 +858,11 @@ func (c *Cluster) Kill(id core.PeerID) (err error) {
 		case <-c.done:
 			return ErrStopped
 		}
+	}
+	if c.net != nil {
+		// Same epoch, updated alive flag: other nodes' stubs for the dead
+		// peer must start refusing sends just like this node's did.
+		c.net.broadcastTopoLocked(c)
 	}
 	return nil
 }
@@ -859,7 +890,15 @@ func (c *Cluster) Stop() {
 	}
 	c.memberMu.Unlock()
 	if !already {
+		if c.net != nil {
+			// Unblock control RPCs first: the ctl worker is in the
+			// WaitGroup and may be waiting on one.
+			c.net.beginClose()
+		}
 		c.wg.Wait()
+		if c.net != nil {
+			c.net.finishClose()
+		}
 	}
 }
 
@@ -899,6 +938,16 @@ func (c *Cluster) deliverTo(p *peer, req request, evenDead bool) bool {
 	}
 	if !evenDead && !p.alive.Load() {
 		return false
+	}
+	if p.node != 0 {
+		// A stub for a peer hosted on another node: hand the request to the
+		// wire (same refusal semantics; the correlation machinery replaces
+		// the reply channel). gone gates retired remote tombstones exactly
+		// like local ones.
+		if c.net == nil || p.gone.Load() {
+			return false
+		}
+		return c.net.deliver(p, req, evenDead)
 	}
 	// The inflight count brackets the whole delivery so a tombstone is only
 	// retired once provably no send can still land in its inbox or spill
@@ -1177,13 +1226,11 @@ func (c *Cluster) refuse(p *peer, req request, err error) {
 		req.coll.finish(req.rng.Lower, nil, req.hops, err)
 		return
 	}
-	if req.reply == nil {
-		return
-	}
 	// A serial range walk carries everything collected so far in req.acc;
 	// the client is promised the partial answer alongside the error, so it
-	// must not be dropped here.
-	req.reply <- response{items: req.acc, hops: req.hops, err: err}
+	// must not be dropped here. respond answers the reply channel or the
+	// wire correlation, and drops fire-and-forget requests (no waiter).
+	c.respond(req, response{items: req.acc, hops: req.hops, err: err})
 }
 
 func (c *Cluster) handle(p *peer, req request) {
@@ -1203,7 +1250,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		c.applyHandoff(p, req)
 		return
 	case kindSnapshot:
-		req.reply <- response{snap: p.snapshot(), hops: req.hops}
+		c.respond(req, response{snap: p.snapshot(), hops: req.hops})
 		return
 	case kindCrash:
 		c.applyCrash(p, req)
@@ -1220,7 +1267,7 @@ func (c *Cluster) handle(p *peer, req request) {
 			// only surviving copy — the peer that absorbed the tombstone's
 			// range never held them, so forwarding the fetch would answer
 			// with an empty set and the dead range's data would be lost.
-			req.reply <- response{items: p.replicaFor(req.src).Items(), hops: req.hops}
+			c.respond(req, response{items: p.replicaFor(req.src).Items(), hops: req.hops})
 			return
 		}
 		if !c.send(p.departTo, req) {
@@ -1266,7 +1313,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		c.handleReplicaResync(p, req)
 		return
 	case kindReplicaFetch:
-		req.reply <- response{items: p.replicaFor(req.src).Items(), hops: req.hops}
+		c.respond(req, response{items: p.replicaFor(req.src).Items(), hops: req.hops})
 		return
 	case kindReplicaDump:
 		c.handleReplicaDump(p, req)
@@ -1278,11 +1325,11 @@ func (c *Cluster) handle(p *peer, req request) {
 		c.handleFindReplacement(p, req)
 		return
 	case kindStats:
-		req.reply <- response{count: p.data.Len(), hops: req.hops}
+		c.respond(req, response{count: p.data.Len(), hops: req.hops})
 		return
 	case kindSplitKey:
 		k, ok := p.data.KeyAtFraction(req.frac)
-		req.reply <- response{splitKey: k, found: ok, hops: req.hops}
+		c.respond(req, response{splitKey: k, found: ok, hops: req.hops})
 		return
 	case kindRange, kindRangePred:
 		c.handleRange(p, req)
@@ -1305,7 +1352,7 @@ func (c *Cluster) handle(p *peer, req request) {
 		switch req.kind {
 		case kindGet:
 			v, ok := p.data.Get(req.key)
-			req.reply <- response{value: v, found: ok, hops: req.hops}
+			c.respond(req, response{value: v, found: ok, hops: req.hops})
 		case kindGetPred:
 			// Pushdown: the predicate is evaluated here at the owner, so a
 			// non-matching value never crosses the wire. Found reports
@@ -1314,19 +1361,19 @@ func (c *Cluster) handle(p *peer, req request) {
 			if ok && !req.pred.Match(req.key, v) {
 				v, ok = nil, false
 			}
-			req.reply <- response{value: v, found: ok, hops: req.hops}
+			c.respond(req, response{value: v, found: ok, hops: req.hops})
 		case kindPut:
 			p.data.Put(req.key, req.value)
 			p.noteItems()
 			c.replicateWrite(p, []store.Item{{Key: req.key, Value: req.value}}, nil)
-			req.reply <- response{hops: req.hops}
+			c.respond(req, response{hops: req.hops})
 		case kindDelete:
 			ok := p.data.Delete(req.key)
 			if ok {
 				p.noteItems()
 				c.replicateWrite(p, nil, []keyspace.Key{req.key})
 			}
-			req.reply <- response{found: ok, hops: req.hops}
+			c.respond(req, response{found: ok, hops: req.hops})
 		default:
 			// Every kind that can reach the owner must answer here: a silent
 			// return would leave the client blocked on its reply channel
@@ -1529,6 +1576,11 @@ func (c *Cluster) handleRange(p *peer, req request) {
 		coll := req.coll
 		if coll == nil {
 			coll = &collector{reply: req.reply, pred: req.pred}
+			if req.reply == nil && req.rcorr != 0 && c.net != nil {
+				// The client sits on another node: the gathered answer goes
+				// back over the wire to its correlation.
+				coll.wire = &wireDest{n: c.net, node: req.rnode, corr: req.rcorr}
+			}
 			coll.grow(1)
 		}
 		c.scatterAt(p, r, req.hops, coll)
@@ -1549,12 +1601,12 @@ func (c *Cluster) handleRange(p *peer, req request) {
 	if lim := req.pred.LimitOrZero(); lim > 0 && len(req.acc) >= lim {
 		// Limit-aware early termination: the pushdown limit is satisfied,
 		// so answer now instead of walking the rest of the chain.
-		req.reply <- response{items: req.acc[:lim], hops: req.hops}
+		c.respond(req, response{items: req.acc[:lim], hops: req.hops})
 		return
 	}
 	next := p.adjacent[1]
 	if next == nil || next.lower >= r.Upper {
-		req.reply <- response{items: req.acc, hops: req.hops}
+		c.respond(req, response{items: req.acc, hops: req.hops})
 		return
 	}
 	// Trim the still-uncovered part of the range so the next peer (whose
@@ -1570,5 +1622,5 @@ func (c *Cluster) handleRange(p *peer, req request) {
 	// The right adjacent peer is dead: answer with what has been collected
 	// so far and flag the dead link to the background repairer if one runs.
 	c.suspect(next.id)
-	req.reply <- response{items: req.acc, hops: req.hops, err: ErrOwnerDown}
+	c.respond(req, response{items: req.acc, hops: req.hops, err: ErrOwnerDown})
 }

@@ -27,6 +27,12 @@ type chunk struct {
 // the count to zero delivers the gathered answer to the client.
 type collector struct {
 	reply chan response
+	// wire, when non-nil (and reply is nil), names the origin-node
+	// correlation the finished answer is delivered to: either the remote
+	// client of a parallel query whose coordinator lives here, or — for a
+	// proxy collector built by inboundRequest — the remote parent scatter
+	// branch this node's sub-tree reports into.
+	wire *wireDest
 	// pred is the query's pushdown predicate, shared by every branch so a
 	// scatter sub-request carries one pointer instead of re-encoding the
 	// predicate per segment. Nil for unfiltered queries.
@@ -131,7 +137,11 @@ func (g *collector) finish(lo keyspace.Key, items []store.Item, hops int, err er
 	}
 	g.mu.Unlock()
 	if done {
-		g.reply <- resp
+		if g.reply != nil {
+			g.reply <- resp
+		} else if g.wire != nil {
+			g.wire.deliver(resp)
+		}
 	}
 }
 

@@ -45,6 +45,9 @@ var ErrReplicaLost = errors.New("p2p: no surviving replica for the crashed peer'
 // range must come back up — but the data is gone and Recover returns
 // ErrReplicaLost alongside the count of zero.
 func (c *Cluster) Recover(id core.PeerID) (int, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return 0, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	c.journalBegin("recover", id)
@@ -122,7 +125,7 @@ func (c *Cluster) recoverLocked(id core.PeerID) (int, error) {
 	// Push the delta out. The salvage map makes the coordinator play the
 	// dead source's part in the handoff phase: the restored items are sent
 	// to the range's new owner instead of being extracted from the corpse.
-	if _, err := c.applyMirrorDiff(map[core.PeerID][]store.Item{id: salvaged}); err != nil {
+	if _, err := c.applyMirrorDiffLocked(map[core.PeerID][]store.Item{id: salvaged}); err != nil {
 		return 0, err
 	}
 	return len(salvaged), replicaErr

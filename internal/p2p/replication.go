@@ -118,9 +118,7 @@ func (c *Cluster) applyReplicaSync(p *peer, req request) {
 	}
 	p.replicas[req.src] = st
 	p.replicaMin[req.src] = req.seq
-	if req.reply != nil {
-		req.reply <- response{count: len(req.bulk), hops: req.hops}
-	}
+	c.respond(req, response{count: len(req.bulk), hops: req.hops})
 }
 
 // handleReplicaResync runs at the source peer: ship the full local item set
@@ -143,14 +141,18 @@ func (c *Cluster) handleReplicaResync(p *peer, req request) {
 	}
 	p.replTo = target
 	if target == core.NoPeer {
-		req.reply <- response{hops: req.hops}
+		c.respond(req, response{hops: req.hops})
 		return
 	}
 	p.replSeq++
-	if !c.send(target, request{kind: kindReplicaSync, src: p.id, bulk: p.data.Items(), seq: p.replSeq, reply: req.reply}) {
+	// The coordinator's completion — reply channel or wire correlation —
+	// rides on the sync so the holder acknowledges straight back to it.
+	sync := request{kind: kindReplicaSync, src: p.id, bulk: p.data.Items(), seq: p.replSeq,
+		reply: req.reply, rcorr: req.rcorr, rnode: req.rnode}
+	if !c.send(target, sync) {
 		// The holder is dead (or the cluster is stopping): this peer is
 		// unprotected until the next structural change re-seats it.
-		req.reply <- response{hops: req.hops, err: ErrOwnerDown}
+		c.respond(req, response{hops: req.hops, err: ErrOwnerDown})
 	}
 }
 
@@ -160,7 +162,7 @@ func (c *Cluster) handleReplicaDump(p *peer, req request) {
 	for src, st := range p.replicas {
 		out[src] = st.Items()
 	}
-	req.reply <- response{replicaSets: out, hops: req.hops}
+	c.respond(req, response{replicaSets: out, hops: req.hops})
 }
 
 // applyCrash wipes the peer's stores — its own items, the replicas it held
@@ -180,7 +182,7 @@ func (c *Cluster) applyCrash(p *peer, req request) {
 	for _, h := range held {
 		c.refuse(p, h, ErrOwnerDown)
 	}
-	req.reply <- response{hops: req.hops}
+	c.respond(req, response{hops: req.hops})
 }
 
 // resyncReplicas tells each of the given peers (every member when ids is
@@ -210,6 +212,9 @@ func (c *Cluster) resyncReplicas(ids []core.PeerID) error {
 // asynchronously, trailing acknowledgement by the message in flight).
 // SyncReplicas serialises with membership changes.
 func (c *Cluster) SyncReplicas() error {
+	if err := c.requireCoordinator(); err != nil {
+		return err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {
@@ -225,6 +230,9 @@ func (c *Cluster) SyncReplicas() error {
 // lock, so no handoff or resync is in flight; call SyncReplicas first to
 // close the asynchronous write-path window.
 func (c *Cluster) Replicas() (map[core.PeerID]map[core.PeerID][]store.Item, error) {
+	if err := c.requireCoordinator(); err != nil {
+		return nil, err
+	}
 	c.memberMu.Lock()
 	defer c.memberMu.Unlock()
 	if c.stopped.Load() {

@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: every frame is a u32 little-endian length followed by that
+// many bytes: To u64 | Corr u64 | Origin u32 | Kind u8 | Flags u8 | payload.
+// The length covers the 22-byte header and the payload, not itself.
+const (
+	frameHeader = 8 + 8 + 4 + 1 + 1
+
+	// DefaultMaxFrame bounds a single frame (bulk handoffs carry whole key
+	// ranges, so this is generous). A peer announcing a larger frame is
+	// protocol-broken and the connection is dropped rather than trusted
+	// with the allocation.
+	DefaultMaxFrame = 1 << 26
+)
+
+var (
+	// ErrFrameTooLarge is returned when a frame announces a length above
+	// the configured maximum.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrFrameTruncated is returned when a frame is shorter than its own
+	// header.
+	ErrFrameTruncated = errors.New("transport: truncated frame")
+)
+
+// AppendFrame appends m encoded as one frame to dst and returns the
+// extended slice.
+func AppendFrame(dst []byte, m *Msg) []byte {
+	n := frameHeader + len(m.Payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint64(dst, m.To)
+	dst = binary.LittleEndian.AppendUint64(dst, m.Corr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(m.Origin))
+	dst = append(dst, m.Kind, m.Flags)
+	return append(dst, m.Payload...)
+}
+
+// ReadFrame reads one frame from r. maxFrame bounds the announced length
+// (0 means DefaultMaxFrame); a malformed or oversized frame returns an
+// error without allocating more than the limit. The returned Msg's Payload
+// aliases a fresh buffer owned by the caller.
+func ReadFrame(r io.Reader, maxFrame int) (*Msg, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if n < frameHeader {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTruncated, n)
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m := &Msg{
+		To:     binary.LittleEndian.Uint64(buf[0:]),
+		Corr:   binary.LittleEndian.Uint64(buf[8:]),
+		Origin: NodeID(binary.LittleEndian.Uint32(buf[16:])),
+		Kind:   buf[20],
+		Flags:  buf[21],
+	}
+	if n > frameHeader {
+		m.Payload = buf[frameHeader:]
+	}
+	return m, nil
+}

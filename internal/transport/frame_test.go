@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []*Msg{
+		{},
+		{To: 42, Corr: 7, Origin: 3, Kind: 9, Flags: 1, Payload: []byte("hello")},
+		{To: ^uint64(0), Corr: ^uint64(0), Origin: ^NodeID(0), Kind: 255, Flags: 255, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		buf.Write(AppendFrame(nil, m))
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.To != want.To || got.Corr != want.Corr || got.Origin != want.Origin ||
+			got.Kind != want.Kind || got.Flags != want.Flags || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestFrameChainedAppend(t *testing.T) {
+	// AppendFrame must compose: two frames appended to one buffer decode in
+	// order.
+	b := AppendFrame(nil, &Msg{To: 1, Payload: []byte("a")})
+	b = AppendFrame(b, &Msg{To: 2, Payload: []byte("b")})
+	r := bytes.NewReader(b)
+	m1, err1 := ReadFrame(r, 0)
+	m2, err2 := ReadFrame(r, 0)
+	if err1 != nil || err2 != nil || m1.To != 1 || m2.To != 2 {
+		t.Fatalf("chained decode: %v %v %+v %+v", err1, err2, m1, m2)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 1<<30)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), 1<<20)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestFrameShorterThanHeader(t *testing.T) {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 3)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), 0)
+	if !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("want ErrFrameTruncated, got %v", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	full := AppendFrame(nil, &Msg{Payload: []byte("payload")})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut]), 0); err == nil {
+			t.Fatalf("truncation at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must either
+// return a frame or an error — never panic, and never allocate beyond the
+// configured frame cap no matter what length the header announces.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendFrame(nil, &Msg{To: 9, Corr: 1, Origin: 2, Kind: 3, Payload: []byte("seed")}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{22, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const cap = 1 << 16
+		r := bytes.NewReader(data)
+		for {
+			m, err := ReadFrame(r, cap)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, ErrFrameTruncated) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if len(m.Payload) > cap {
+				t.Fatalf("payload %d exceeds cap", len(m.Payload))
+			}
+			// A successfully decoded frame must re-encode to the same bytes.
+			re := AppendFrame(nil, m)
+			if len(re) != 4+frameHeader+len(m.Payload) {
+				t.Fatalf("re-encode length mismatch")
+			}
+		}
+	})
+}

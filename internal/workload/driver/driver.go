@@ -78,6 +78,100 @@ func BuildClusterDistFanout(peers, items int, seed int64, dist workload.Distribu
 	return p2p.NewCluster(nw), keys, nil
 }
 
+// BuildClusterTCP is BuildClusterTCPDistFanout with uniform keys — the
+// loopback-wire counterpart of BuildClusterFanout.
+func BuildClusterTCP(peers, items int, seed int64, fanout int, listen string) (*p2p.Cluster, func(), []keyspace.Key, error) {
+	return BuildClusterTCPDistFanout(peers, items, seed, workload.Uniform, 0, fanout, listen)
+}
+
+// BuildClusterTCPDistFanout builds the same overlay as
+// BuildClusterDistFanout but animates it as a two-process-shaped pair over
+// loopback TCP: a coordinator hosting roughly half the peers listens on the
+// given address ("" picks a free loopback port), and a daemon-side cluster
+// in the same OS process joins through the wire and hosts the other half —
+// so every cross-half message, handoff, replica sync and structural update
+// crosses the transport, exactly as it would between cmd/batond processes.
+// The returned cluster is the coordinator: every scenario (workload mix,
+// churn, kills, audits) drives it unchanged. The returned stop function
+// tears down the daemon first, then the coordinator; the caller must call
+// it instead of Cluster.Stop.
+func BuildClusterTCPDistFanout(peers, items int, seed int64, dist workload.Distribution, theta float64, fanout int, listen string) (*p2p.Cluster, func(), []keyspace.Key, error) {
+	if fanout != 0 && !core.ValidFanout(fanout) {
+		return nil, nil, nil, fmt.Errorf("build cluster: invalid fanout %d (want 2..%d)", fanout, core.MaxFanout)
+	}
+	daemonShare := peers / 2
+	headPeers := peers - daemonShare
+	nw := core.NewNetwork(core.Config{Seed: seed, Fanout: fanout})
+	rng := rand.New(rand.NewSource(seed))
+	for nw.Size() < headPeers {
+		ids := nw.PeerIDs()
+		if _, _, err := nw.Join(ids[rng.Intn(len(ids))]); err != nil {
+			return nil, nil, nil, fmt.Errorf("grow cluster: %w", err)
+		}
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: seed + 1, Distribution: dist, ZipfTheta: theta})
+	keys := gen.Keys(items)
+	for _, k := range keys {
+		if _, err := nw.Insert(nw.RandomPeer(), k, []byte("v")); err != nil {
+			return nil, nil, nil, fmt.Errorf("load cluster: %w", err)
+		}
+	}
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	head, err := p2p.NewClusterListen(nw, listen)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("listen: %w", err)
+	}
+	if daemonShare == 0 {
+		return head, head.Stop, keys, nil
+	}
+	daemon, err := p2p.JoinRemote(head.Addr(), daemonShare)
+	if err != nil {
+		head.Stop()
+		return nil, nil, nil, fmt.Errorf("join daemon half: %w", err)
+	}
+	stop := func() {
+		daemon.Stop()
+		head.Stop()
+	}
+	return head, stop, keys, nil
+}
+
+// AttachCluster joins an existing multi-process overlay (a cmd/batond
+// coordinator) at seedAddr as a pure data-plane client and preloads items
+// uniformly drawn keys through the wire, so the returned key set behaves
+// like BuildCluster's (reads drawn from it hit). Structural operations are
+// the coordinator's alone — drive only churn-free workloads through the
+// returned cluster. The caller must Stop it.
+func AttachCluster(seedAddr string, items int, seed int64) (*p2p.Cluster, []keyspace.Key, error) {
+	c, err := p2p.JoinRemote(seedAddr, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attach to %s: %w", seedAddr, err)
+	}
+	gen := workload.NewGenerator(workload.Config{Seed: seed + 1, Distribution: workload.Uniform})
+	keys := gen.Keys(items)
+	for at := 0; at < len(keys); at += 1024 {
+		batch := keys[at:min(at+1024, len(keys))]
+		puts := make([]store.Item, len(batch))
+		for i, k := range batch {
+			puts[i] = store.Item{Key: k, Value: []byte("v")}
+		}
+		results, err := c.BulkPut(puts)
+		if err != nil {
+			c.Stop()
+			return nil, nil, fmt.Errorf("preload via %s: %w", seedAddr, err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				c.Stop()
+				return nil, nil, fmt.Errorf("preload key %d: %w", r.Key, r.Err)
+			}
+		}
+	}
+	return c, keys, nil
+}
+
 // Op names the operation kinds the throughput driver issues.
 type Op string
 
